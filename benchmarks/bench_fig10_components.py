@@ -1,0 +1,122 @@
+"""Figure 10 (+ Table 15) — the §5.4 component study.
+
+One benchmark algorithm (Table 13 defaults), one component swapped at a
+time, everything else held constant — the evaluation methodology the
+paper argues past work lacked.  Each swap reports Recall@10 / NDC at a
+fixed candidate size plus build time (Table 15).
+
+Paper shapes: C1_NSG beats C1_KGraph; distribution-aware C3 beats
+distance-only C3_KGraph; C4_IEH (hash seeds) beats C4_NGT and
+C4_SPTAG-BKT (tree seeds that pay distance calculations); C5_NSG beats
+no connectivity; C7_NGT shows a recall ceiling at small ε.
+"""
+
+import pytest
+
+from common import BENCH_N, BENCH_QUERIES, write_table
+from repro.datasets import load_dataset
+from repro.pipeline import BenchmarkAlgorithm
+
+# the two-dataset setting of §5.4: one simple, one hard
+DATASETS = ("sift1m", "gist1m")
+
+# the initialization study (C1) is scale-sensitive — a random-init
+# candidate pool is "good" on tiny data — so C1 swaps run on a larger
+# floor (ordering validated to hold at n=2000); the remaining
+# components are scale-robust and use the shared suite size
+FIG10_LARGE_N = max(BENCH_N, 2000)
+
+
+def get_dataset(name: str, large: bool = False):
+    n = FIG10_LARGE_N if large else BENCH_N
+    return load_dataset(name, cardinality=n, num_queries=BENCH_QUERIES)
+
+SWAPS = [
+    ("c1", "nsg"), ("c1", "efanna"), ("c1", "kgraph"),
+    ("c2", "nssg"), ("c2", "dpg"), ("c2", "nsw"),
+    ("c3", "hnsw"), ("c3", "kgraph"), ("c3", "dpg"), ("c3", "nssg"),
+    ("c3", "vamana"),
+    ("c4", "nssg"), ("c4", "nsg"), ("c4", "hcnng"), ("c4", "ieh"),
+    ("c4", "ngt"), ("c4", "sptag-bkt"),
+    ("c5", "nsg"), ("c5", "vamana"),
+    ("c7", "nsw"), ("c7", "ngt"), ("c7", "fanng"), ("c7", "hcnng"),
+]
+
+_rows: dict[tuple[str, str, str], tuple] = {}
+_config_cache: dict[tuple, tuple] = {}
+_graph_cache: dict[tuple, object] = {}
+
+
+def _build_key(bench: BenchmarkAlgorithm, dataset_name: str, large: bool) -> tuple:
+    """Only C1/C2/C3/C5 shape the graph; C4 and C7 are search-side."""
+    return (bench.c1, bench.c2, bench.c3, bench.c5, dataset_name, large)
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("component,choice", SWAPS, ids=[f"{c}_{v}" for c, v in SWAPS])
+def test_component_swap(benchmark, component, choice, dataset_name):
+    dataset = get_dataset(dataset_name, large=component == "c1")
+
+    def build_and_search():
+        # many swaps share the Table 13 default construction: identical
+        # (C1, C2, C3, C5) means an identical graph, so C4/C7 variants
+        # reuse it and only redo the search-side work
+        bench = BenchmarkAlgorithm(**{component: choice}, seed=0)
+        key = (bench.name, dataset_name)
+        if key in _config_cache:
+            return _config_cache[key]
+        graph_key = _build_key(bench, dataset_name, component == "c1")
+        if graph_key in _graph_cache:
+            donor = _graph_cache[graph_key]
+            bench.data = donor.data
+            bench.graph = donor.graph
+            bench.phase_times = dict(donor.phase_times)
+            bench.seed_provider = bench._make_seed_provider()
+            bench.seed_provider.prepare(bench.data, bench.graph)
+            bench._deleted = donor._deleted
+            bench.build_report = donor.build_report
+        else:
+            bench.build(dataset.base)
+            _graph_cache[graph_key] = bench
+        stats = bench.batch_search(
+            dataset.queries, dataset.ground_truth, k=10, ef=60
+        )
+        _config_cache[key] = (bench, stats)
+        return _config_cache[key]
+
+    bench, stats = benchmark.pedantic(build_and_search, rounds=1, iterations=1)
+    _rows[(component, choice, dataset_name)] = (
+        stats.recall,
+        stats.mean_ndc,
+        bench.build_report.build_time_s,
+    )
+    benchmark.extra_info.update(recall=stats.recall, ndc=stats.mean_ndc)
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = []
+    for ds in DATASETS:
+        lines.append(f"--- {ds}: recall@10 / NDC / build-time per swap ---")
+        for component, choice in SWAPS:
+            row = _rows.get((component, choice, ds))
+            if row is None:
+                continue
+            recall, ndc, build_s = row
+            lines.append(
+                f"{component.upper()}_{choice:10s} recall={recall:.3f} "
+                f"ndc={ndc:7.1f} build={build_s:6.2f}s"
+            )
+    write_table(
+        "fig10_components",
+        "Figure 10 / Table 15: component study on the unified framework",
+        lines,
+    )
+
+    for ds in DATASETS:
+        # C1: NN-Descent init beats purely random init (Figure 10(a))
+        if ("c1", "nsg", ds) in _rows and ("c1", "kgraph", ds) in _rows:
+            assert _rows[("c1", "nsg", ds)][0] >= _rows[("c1", "kgraph", ds)][0] - 0.02
+        # C4: hash seeds never lose to VP-tree seeds on NDC (Figure 10(d))
+        if ("c4", "ieh", ds) in _rows and ("c4", "ngt", ds) in _rows:
+            assert _rows[("c4", "ieh", ds)][1] <= _rows[("c4", "ngt", ds)][1] * 1.2

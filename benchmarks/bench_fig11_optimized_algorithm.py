@@ -1,0 +1,84 @@
+"""Figure 11 + Tables 19-22 — the optimized algorithm (OA) vs the
+state of the art.
+
+Paper shapes: OA reaches the best speedup-vs-recall band while its
+construction time ranks near the top (second to DPG in the paper), its
+index is among the smallest (no auxiliary structure), its graph quality
+is deliberately *not* maximal, and its connectivity repair yields CC=1.
+"""
+
+import pytest
+
+from common import get_dataset, write_table
+from repro import create
+from repro.metrics import graph_index_stats, search_memory_bytes
+from repro.pipeline import candidate_size_for_recall, sweep_recall_curve
+
+DATASETS = ("sift1m", "gist1m")
+CONTENDERS = ("oa", "nsg", "nssg", "hcnng", "hnsw", "dpg")
+
+_built: dict[tuple[str, str], object] = {}
+_curves: dict[tuple[str, str], list] = {}
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("algorithm_name", CONTENDERS)
+def test_oa_vs_sota(benchmark, algorithm_name, dataset_name):
+    dataset = get_dataset(dataset_name)
+
+    def build():
+        index = create(algorithm_name, seed=0)
+        index.build(dataset.base)
+        return index
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    _built[(algorithm_name, dataset_name)] = index
+    _curves[(algorithm_name, dataset_name)] = sweep_recall_curve(
+        index, dataset, k=10, ef_grid=(10, 20, 40, 80, 160)
+    )
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = []
+    for ds in DATASETS:
+        dataset = get_dataset(ds)
+        lines.append(f"--- {ds} ---")
+        lines.append(
+            f"{'algorithm':8s} {'build(s)':>9s} {'size(K)':>8s} {'GQ':>6s} "
+            f"{'AD':>6s} {'CC':>4s} {'CS@.9':>6s} {'PL':>7s} {'MO(K)':>8s} "
+            f"{'best(recall,speedup)':>24s}"
+        )
+        for name in CONTENDERS:
+            index = _built.get((name, ds))
+            if index is None:
+                continue
+            stats = graph_index_stats(index.graph, dataset.base, k=10)
+            cs = candidate_size_for_recall(index, dataset, 0.9)
+            memory = search_memory_bytes(index, cs.candidate_size)
+            best = max(_curves[(name, ds)], key=lambda p: (p.recall, p.speedup))
+            lines.append(
+                f"{name:8s} {index.build_report.build_time_s:9.2f} "
+                f"{index.index_size_bytes() / 1024:8.1f} "
+                f"{stats.graph_quality:6.3f} {stats.average_out_degree:6.1f} "
+                f"{stats.connected_components:4d} {cs.candidate_size:6d} "
+                f"{cs.mean_hops:7.1f} {memory / 1024:8.1f} "
+                f"({best.recall:.3f}, {best.speedup:6.1f}x)"
+            )
+    write_table(
+        "fig11_optimized_algorithm",
+        "Figure 11 / Tables 19-22: OA vs state of the art",
+        lines,
+    )
+
+    # qualitative claims from §6 / Appendix P
+    for ds in DATASETS:
+        oa = _built.get(("oa", ds))
+        if oa is None:
+            continue
+        assert oa.graph.num_connected_components() == 1, "OA guarantees C5"
+        dpg = _built.get(("dpg", ds))
+        if dpg is not None:
+            assert oa.index_size_bytes() < dpg.index_size_bytes(), (
+                "OA's pruned index must be smaller than DPG's"
+            )

@@ -1,0 +1,86 @@
+"""Figure 14 / Appendix D — empirical complexity exponents.
+
+Construction time and per-query NDC (at a fixed recall target) are
+measured over a cardinality sweep of the d=32 / 10-cluster / SD=5
+synthetic dataset (Table 8), then fitted to a * n^b in log-log space.
+
+Paper shapes: NN-Descent construction is slightly super-linear
+(O(n^1.14) in the paper); search NDC grows sub-linearly with strongly
+different exponents per family (DPG ~ n^0.28 vs KGraph ~ n^0.54 — the
+diversification pay-off the appendix highlights).
+"""
+
+import pytest
+
+from common import write_table
+from repro import create
+from repro.datasets import make_clustered
+from repro.pipeline import candidate_size_for_recall, fit_power_law
+
+SIZES = (300, 600, 1500)
+ALGORITHMS = ("kgraph", "efanna", "dpg", "nsg", "hcnng", "vamana", "ieh")
+
+_build: dict[str, list] = {}
+_search: dict[str, list] = {}
+
+
+def _dataset(n):
+    return make_clustered(
+        32, n, 10, 5.0, num_queries=20, gt_depth=20, seed=1,
+        name=f"complexity_{n}",
+    )
+
+
+@pytest.mark.parametrize("algorithm_name", ALGORITHMS)
+def test_complexity_sweep(benchmark, algorithm_name):
+    def sweep():
+        build_pts, search_pts = [], []
+        for n in SIZES:
+            dataset = _dataset(n)
+            index = create(algorithm_name, seed=0)
+            index.build(dataset.base)
+            build_pts.append((n, index.build_report.build_time_s))
+            cs = candidate_size_for_recall(
+                index, dataset, 0.9, ef_grid=(10, 20, 40, 80, 160)
+            )
+            search_pts.append((n, cs.mean_ndc))
+        return build_pts, search_pts
+
+    build_pts, search_pts = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    _build[algorithm_name] = build_pts
+    _search[algorithm_name] = search_pts
+    build_exp, _ = fit_power_law(*zip(*build_pts))
+    search_exp, _ = fit_power_law(*zip(*search_pts))
+    benchmark.extra_info.update(build_exponent=build_exp, search_exponent=search_exp)
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"{'algorithm':10s} {'build O(n^b)':>13s} {'search O(n^b)':>14s}  "
+        f"(sizes {SIZES})"
+    ]
+    exponents = {}
+    for name in ALGORITHMS:
+        if name not in _build:
+            continue
+        build_exp, _ = fit_power_law(*zip(*_build[name]))
+        search_exp, _ = fit_power_law(*zip(*_search[name]))
+        exponents[name] = (build_exp, search_exp)
+        lines.append(f"{name:10s} {build_exp:13.2f} {search_exp:14.2f}")
+    write_table(
+        "fig14_complexity", "Figure 14: empirical complexity exponents", lines
+    )
+
+    # search NDC must grow sub-linearly across the family; individual
+    # four-point fits are noisy (CS moves in ef-grid steps), so assert
+    # the family median strictly and each algorithm with a margin
+    search_exps = sorted(exp for _, exp in exponents.values())
+    if search_exps:
+        median = search_exps[len(search_exps) // 2]
+        assert median < 0.9, f"median search exponent {median:.2f}"
+        for name, (_, search_exp) in exponents.items():
+            assert search_exp < 1.1, f"{name} search exponent {search_exp:.2f}"
+    # the diversification claim: DPG's search exponent < KGraph's
+    if "dpg" in exponents and "kgraph" in exponents:
+        assert exponents["dpg"][1] <= exponents["kgraph"][1] + 0.1

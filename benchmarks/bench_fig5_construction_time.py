@@ -1,0 +1,53 @@
+"""Figure 5 — index construction time of all algorithms per dataset.
+
+Paper shape to reproduce: NN-Descent-based KNNG algorithms (KGraph,
+EFANNA) build fastest; brute-force-initialized algorithms (IEH, FANNG)
+are the slowest band; construction cost rises with dataset difficulty.
+
+Each pytest-benchmark entry is one (algorithm, dataset) build, so the
+benchmark table itself is the Figure 5 bar chart in rows.
+"""
+
+import pytest
+
+import common
+from common import BENCH_ALGORITHMS, bench_datasets, get_dataset, write_table
+from repro import create
+
+_build_times: dict[tuple[str, str], float] = {}
+
+
+@pytest.mark.parametrize("dataset_name", bench_datasets())
+@pytest.mark.parametrize("algorithm_name", BENCH_ALGORITHMS)
+def test_construction_time(benchmark, algorithm_name, dataset_name):
+    dataset = get_dataset(dataset_name)
+
+    def build():
+        index = create(algorithm_name, seed=0)
+        index.build(dataset.base)
+        return index
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    _build_times[(algorithm_name, dataset_name)] = (
+        index.build_report.build_time_s
+    )
+    # donate the freshly built index to the session-wide cache so the
+    # Table 4/5/11 and Figure 7/8 benches reuse it instead of rebuilding
+    common._index_cache.setdefault((algorithm_name, dataset_name), index)
+    benchmark.extra_info["dataset"] = dataset_name
+    benchmark.extra_info["build_ndc"] = index.build_report.build_ndc
+
+
+def test_zzz_report(benchmark):
+    """Aggregate the Figure 5 table after all builds ran."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    datasets = bench_datasets()
+    header = f"{'algorithm':11s} " + " ".join(f"{d:>9s}" for d in datasets)
+    lines = [header]
+    for name in BENCH_ALGORITHMS:
+        cells = []
+        for ds in datasets:
+            t = _build_times.get((name, ds))
+            cells.append(f"{t:9.2f}" if t is not None else f"{'-':>9s}")
+        lines.append(f"{name:11s} " + " ".join(cells))
+    write_table("fig5_construction_time", "Figure 5: construction time (s)", lines)

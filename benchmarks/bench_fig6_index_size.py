@@ -1,0 +1,44 @@
+"""Figure 6 — index size of all algorithms per dataset.
+
+Paper shape: RNG-pruned graphs (NSG, NSSG) are the smallest band;
+KNNG-, DG- and MST-based indexes and anything with an attached tree
+(NGT, SPTAG, EFANNA) are larger.
+"""
+
+import pytest
+
+from common import BENCH_ALGORITHMS, bench_datasets, get_index, write_table
+
+_sizes: dict[tuple[str, str], int] = {}
+
+
+@pytest.mark.parametrize("dataset_name", bench_datasets())
+@pytest.mark.parametrize("algorithm_name", BENCH_ALGORITHMS)
+def test_index_size(benchmark, algorithm_name, dataset_name):
+    index = get_index(algorithm_name, dataset_name)
+    size = benchmark.pedantic(index.index_size_bytes, rounds=1, iterations=1)
+    _sizes[(algorithm_name, dataset_name)] = size
+    benchmark.extra_info["index_size_bytes"] = size
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    datasets = bench_datasets()
+    header = f"{'algorithm':11s} " + " ".join(f"{d:>9s}" for d in datasets)
+    lines = [header]
+    smallest = {}
+    for name in BENCH_ALGORITHMS:
+        cells = []
+        for ds in datasets:
+            size = _sizes.get((name, ds))
+            if size is None:
+                cells.append(f"{'-':>9s}")
+                continue
+            cells.append(f"{size / 1024:8.1f}K")
+            if ds not in smallest or size < smallest[ds][1]:
+                smallest[ds] = (name, size)
+        lines.append(f"{name:11s} " + " ".join(cells))
+    lines.append(
+        "smallest:   " + " ".join(f"{smallest[d][0]:>9s}" for d in datasets)
+    )
+    write_table("fig6_index_size", "Figure 6: index size", lines)

@@ -1,0 +1,48 @@
+"""Figures 8 & 21 — Speedup (|S| / NDC) vs Recall@10 curves.
+
+The hardware-independent twin of Figure 7: "algorithms capable of
+obtaining higher speedup also can achieve higher QPS" (§5.3) because
+graph-search efficiency is dominated by the number of distance
+evaluations.  The report checks that QPS and Speedup rank algorithms
+consistently.
+"""
+
+import pytest
+
+from common import BENCH_ALGORITHMS, bench_datasets, get_sweep, write_table
+
+EF_GRID = (10, 20, 40, 80, 160)
+
+_curves: dict[tuple[str, str], list] = {}
+
+
+@pytest.mark.parametrize("dataset_name", bench_datasets())
+@pytest.mark.parametrize("algorithm_name", BENCH_ALGORITHMS)
+def test_speedup_recall_curve(benchmark, algorithm_name, dataset_name):
+    curve = benchmark.pedantic(
+        get_sweep,
+        args=(algorithm_name, dataset_name, EF_GRID),
+        rounds=1,
+        iterations=1,
+    )
+    _curves[(algorithm_name, dataset_name)] = curve
+    best = max(curve, key=lambda p: p.recall)
+    benchmark.extra_info.update(
+        best_recall=best.recall, speedup_at_best=best.speedup
+    )
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = []
+    for ds in bench_datasets():
+        lines.append(f"--- {ds} (Speedup @ Recall@10 over ef={EF_GRID}) ---")
+        for name in BENCH_ALGORITHMS:
+            curve = _curves.get((name, ds))
+            if curve is None:
+                continue
+            series = " ".join(
+                f"({p.recall:.3f},{p.speedup:6.1f}x)" for p in curve
+            )
+            lines.append(f"{name:11s} {series}")
+    write_table("fig8_speedup_recall", "Figure 8/21: Speedup vs Recall@10", lines)

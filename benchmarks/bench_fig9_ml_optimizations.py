@@ -1,0 +1,97 @@
+"""Figure 9 / Figure 19 + Tables 6 & 24 — ML-based optimizations.
+
+Paper shapes: every ML optimization costs orders of magnitude more
+index-processing time and memory than the plain index; ML1 improves
+the NDC-recall tradeoff; ML2 gives a modest latency trim at high
+recall; ML3 improves speedup by searching in a reduced space.
+"""
+
+import numpy as np
+import pytest
+
+from common import get_dataset, write_table
+from repro import create
+from repro.metrics import recall_at_k
+from repro.ml import ML1LearnedRouting, ML2EarlyTermination, ML3DimensionReduction
+
+# the paper uses SIFT100K / GIST100K; we use the matching stand-ins
+DATASETS = ("sift1m", "gist1m")
+
+_rows: dict[tuple[str, str], tuple] = {}
+
+
+def _evaluate(searcher, dataset, k=10, ef=60):
+    recalls, ndcs = [], []
+    for i, query in enumerate(dataset.queries):
+        result = searcher.search(query, k=k, ef=ef)
+        recalls.append(recall_at_k(result.ids, dataset.ground_truth[i], k))
+        ndcs.append(result.ndc)
+    return float(np.mean(recalls)), float(np.mean(ndcs))
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+def test_ml_optimizations(benchmark, dataset_name):
+    dataset = get_dataset(dataset_name)
+
+    def run_experiment():
+        base = create("nsg", seed=0)
+        base.build(dataset.base)
+        rows = {}
+        rows["nsg"] = (
+            base.build_report.build_time_s,
+            base.index_size_bytes(),
+            *_evaluate(base, dataset),
+        )
+        ml1 = ML1LearnedRouting(base, epochs=10, seed=0).fit()
+        rows["nsg+ml1"] = (
+            base.build_report.build_time_s + ml1.preprocessing_time_s,
+            base.index_size_bytes() + ml1.memory_bytes,
+            *_evaluate(ml1, dataset),
+        )
+        hnsw = create("hnsw", seed=0)
+        hnsw.build(dataset.base)
+        ml2 = ML2EarlyTermination(hnsw, seed=0).fit(dataset.queries[:10], ef=60)
+        rows["hnsw+ml2"] = (
+            hnsw.build_report.build_time_s + ml2.preprocessing_time_s,
+            hnsw.index_size_bytes() + ml2.memory_bytes,
+            *_evaluate(ml2, dataset),
+        )
+        ml3 = ML3DimensionReduction(
+            lambda: create("nsg", seed=0), target_dim=16
+        ).fit(dataset.base)
+        rows["nsg+ml3"] = (
+            ml3.preprocessing_time_s,
+            base.index_size_bytes() + ml3.memory_bytes,
+            *_evaluate(ml3, dataset),
+        )
+        return rows
+
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    for method, row in rows.items():
+        _rows[(method, dataset_name)] = row
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"{'method':9s} {'dataset':8s} {'IPT(s)':>8s} {'MC(K)':>9s} "
+        f"{'recall@10':>9s} {'NDC':>8s}"
+    ]
+    for (method, ds), (ipt, memory, recall, ndc) in sorted(_rows.items()):
+        lines.append(
+            f"{method:9s} {ds:8s} {ipt:8.2f} {memory / 1024:9.1f} "
+            f"{recall:9.3f} {ndc:8.1f}"
+        )
+    write_table(
+        "fig9_ml_optimizations",
+        "Figure 9/19 + Tables 6/24: ML-based optimizations on NSG/HNSW",
+        lines,
+    )
+
+    for ds in DATASETS:
+        plain = _rows.get(("nsg", ds))
+        ml1 = _rows.get(("nsg+ml1", ds))
+        if plain and ml1:
+            # Table 6's shape: ML1 multiplies preprocessing time & memory
+            assert ml1[0] > plain[0]
+            assert ml1[1] > plain[1]

@@ -1,0 +1,50 @@
+"""Table 11 — maximum/minimum out-degree of every graph index.
+
+Paper shapes: fixed-degree designs (KGraph, IEH, SPTAG, EFANNA, FANNG)
+have D_max == D_min; incremental undirected graphs (NSW) and
+reverse-edge designs (DPG, k-DR) grow huge hubs; HNSW/NSG floors drop
+to D_min ~ 1.
+"""
+
+import pytest
+
+from common import BENCH_ALGORITHMS, bench_datasets, get_index, write_table
+from repro.metrics import degree_stats
+
+_rows: dict[tuple[str, str], tuple] = {}
+
+
+@pytest.mark.parametrize("dataset_name", bench_datasets())
+@pytest.mark.parametrize("algorithm_name", BENCH_ALGORITHMS + ("kdr",))
+def test_degrees(benchmark, algorithm_name, dataset_name):
+    index = get_index(algorithm_name, dataset_name)
+    stats = benchmark.pedantic(
+        degree_stats, args=(index.graph,), rounds=1, iterations=1
+    )
+    _rows[(algorithm_name, dataset_name)] = (stats.maximum, stats.minimum)
+    benchmark.extra_info.update(d_max=stats.maximum, d_min=stats.minimum)
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    datasets = bench_datasets()
+    header = f"{'algorithm':11s} " + " ".join(
+        f"{d + ' Dmax':>11s} {'Dmin':>5s}" for d in datasets
+    )
+    lines = [header]
+    for name in BENCH_ALGORITHMS + ("kdr",):
+        cells = []
+        for ds in datasets:
+            row = _rows.get((name, ds))
+            if row is None:
+                cells.append(f"{'-':>11s} {'-':>5s}")
+            else:
+                cells.append(f"{row[0]:11d} {row[1]:5d}")
+        lines.append(f"{name:11s} " + " ".join(cells))
+    write_table("table11_degrees", "Table 11: max/min out-degree", lines)
+
+    # qualitative claim: NSW hubs dwarf its minimum degree
+    for ds in datasets:
+        if ("nsw", ds) in _rows:
+            d_max, d_min = _rows[("nsw", ds)]
+            assert d_max > d_min, "NSW must grow hub vertices"

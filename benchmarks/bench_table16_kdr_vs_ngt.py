@@ -1,0 +1,66 @@
+"""Tables 16-18 / Appendix N — k-DR vs NGT head-to-head.
+
+Paper shapes: k-DR's strict alternative-path rule produces a smaller
+average out-degree, index size and memory overhead than NGT-panng /
+NGT-onng; NGT builds faster (its initial graph is incremental rather
+than an exact KNNG); both stay fully connected after reverse edges.
+"""
+
+import pytest
+
+from common import get_dataset, write_table
+from repro import create
+from repro.metrics import graph_index_stats, search_memory_bytes
+from repro.pipeline import candidate_size_for_recall
+
+DATASETS = ("sift1m", "gist1m")
+CONTENDERS = ("kdr", "ngt-panng", "ngt-onng")
+
+_rows: dict[tuple[str, str], tuple] = {}
+
+
+@pytest.mark.parametrize("dataset_name", DATASETS)
+@pytest.mark.parametrize("algorithm_name", CONTENDERS)
+def test_kdr_vs_ngt(benchmark, algorithm_name, dataset_name):
+    dataset = get_dataset(dataset_name)
+
+    def build():
+        index = create(algorithm_name, seed=0)
+        index.build(dataset.base)
+        return index
+
+    index = benchmark.pedantic(build, rounds=1, iterations=1)
+    stats = graph_index_stats(index.graph, dataset.base, k=10)
+    cs = candidate_size_for_recall(index, dataset, 0.9)
+    _rows[(algorithm_name, dataset_name)] = (
+        index.build_report.build_time_s,
+        index.index_size_bytes(),
+        stats.graph_quality,
+        stats.average_out_degree,
+        stats.connected_components,
+        cs.candidate_size,
+        cs.mean_hops,
+        search_memory_bytes(index, cs.candidate_size),
+    )
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    lines = [
+        f"{'algorithm':10s} {'dataset':8s} {'ICT(s)':>7s} {'IS(K)':>7s} "
+        f"{'GQ':>6s} {'AD':>6s} {'CC':>4s} {'CS':>5s} {'PL':>7s} {'MO(K)':>8s}"
+    ]
+    for (name, ds), row in sorted(_rows.items()):
+        ict, size, gq, ad, cc, cs, pl, mo = row
+        lines.append(
+            f"{name:10s} {ds:8s} {ict:7.2f} {size / 1024:7.1f} {gq:6.3f} "
+            f"{ad:6.1f} {cc:4d} {cs:5d} {pl:7.1f} {mo / 1024:8.1f}"
+        )
+    write_table("table16_kdr_vs_ngt", "Tables 16-17: k-DR vs NGT", lines)
+
+    for ds in DATASETS:
+        kdr = _rows.get(("kdr", ds))
+        panng = _rows.get(("ngt-panng", ds))
+        if kdr and panng:
+            # Appendix N: the stricter rule keeps fewer edges
+            assert kdr[3] <= panng[3] * 1.5, "k-DR AD should not exceed NGT's"

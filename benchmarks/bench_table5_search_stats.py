@@ -1,0 +1,66 @@
+"""Table 5 — candidate set size (CS), query path length (PL), and peak
+memory overhead (MO) at a high-precision recall target.
+
+Paper shapes: DG-based and most RNG-based algorithms need small CS;
+algorithms with weak search performance need huge CS (or hit a recall
+ceiling, reported with a "+"); RNG-pruned graphs have the lowest MO and
+tree-augmented ones the highest.
+"""
+
+import pytest
+
+from common import BENCH_ALGORITHMS, bench_datasets, get_dataset, get_index, write_table
+from repro.metrics import search_memory_bytes
+from repro.pipeline import candidate_size_for_recall
+
+TARGET_RECALL = 0.90
+EF_GRID = (10, 20, 30, 40, 60, 80, 120, 160, 240)
+
+_rows: dict[tuple[str, str], tuple] = {}
+
+
+@pytest.mark.parametrize("dataset_name", bench_datasets())
+@pytest.mark.parametrize("algorithm_name", BENCH_ALGORITHMS)
+def test_search_stats(benchmark, algorithm_name, dataset_name):
+    index = get_index(algorithm_name, dataset_name)
+    dataset = get_dataset(dataset_name)
+    result = benchmark.pedantic(
+        candidate_size_for_recall,
+        args=(index, dataset, TARGET_RECALL),
+        kwargs={"ef_grid": EF_GRID},
+        rounds=1,
+        iterations=1,
+    )
+    memory = search_memory_bytes(index, result.candidate_size)
+    _rows[(algorithm_name, dataset_name)] = (
+        result.candidate_size, result.hit_ceiling, result.mean_hops, memory
+    )
+    benchmark.extra_info.update(
+        cs=result.candidate_size, ceiling=result.hit_ceiling,
+        pl=result.mean_hops, mo=memory,
+    )
+
+
+def test_zzz_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    datasets = bench_datasets()
+    header = f"{'algorithm':11s} " + " ".join(
+        f"{d + ' CS':>9s} {'PL':>7s} {'MO(K)':>8s}" for d in datasets
+    )
+    lines = [header]
+    for name in BENCH_ALGORITHMS:
+        cells = []
+        for ds in datasets:
+            row = _rows.get((name, ds))
+            if row is None:
+                cells.append(f"{'-':>9s} {'-':>7s} {'-':>8s}")
+                continue
+            cs, ceiling, pl, mo = row
+            cs_text = f"{cs}+" if ceiling else f"{cs}"
+            cells.append(f"{cs_text:>9s} {pl:7.1f} {mo / 1024:8.1f}")
+        lines.append(f"{name:11s} " + " ".join(cells))
+    write_table(
+        "table5_search_stats",
+        f"Table 5: CS / PL / MO at Recall@10 >= {TARGET_RECALL}",
+        lines,
+    )

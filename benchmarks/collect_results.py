@@ -1,0 +1,59 @@
+"""Collect benchmarks/results/*.txt into EXPERIMENTS.md.
+
+Run after a full benchmark pass:
+
+    python benchmarks/collect_results.py
+
+Replaces everything below the ``MEASURED_RESULTS`` marker in
+EXPERIMENTS.md with the recorded tables.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+MARKER = "<!-- MEASURED_RESULTS -->"
+ROOT = Path(__file__).resolve().parent.parent
+RESULTS = Path(__file__).resolve().parent / "results"
+
+# the order experiments appear in the paper
+ORDER = [
+    "fig5_construction_time",
+    "fig6_index_size",
+    "table4_graph_stats",
+    "fig7_qps_recall",
+    "fig8_speedup_recall",
+    "table5_search_stats",
+    "fig9_ml_optimizations",
+    "fig10_components",
+    "fig11_optimized_algorithm",
+    "table7_recommendations",
+    "table11_degrees",
+    "table12_scalability",
+    "fig14_complexity",
+    "fig15_iterations",
+    "table16_kdr_vs_ngt",
+    "table23_randomness",
+    "ablations",
+]
+
+
+def main() -> None:
+    experiments = ROOT / "EXPERIMENTS.md"
+    text = experiments.read_text()
+    if MARKER not in text:
+        raise SystemExit(f"marker {MARKER!r} missing from EXPERIMENTS.md")
+    head = text.split(MARKER)[0] + MARKER + "\n"
+    chunks = []
+    for name in ORDER:
+        path = RESULTS / f"{name}.txt"
+        if not path.exists():
+            chunks.append(f"\n*(no recorded run for `{name}`)*\n")
+            continue
+        chunks.append("\n```\n" + path.read_text().rstrip() + "\n```\n")
+    experiments.write_text(head + "".join(chunks))
+    print(f"embedded {len(chunks)} result tables into EXPERIMENTS.md")
+
+
+if __name__ == "__main__":
+    main()

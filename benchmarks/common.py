@@ -1,0 +1,92 @@
+"""Shared infrastructure for the per-table/figure benchmarks.
+
+Scale knobs (environment variables):
+
+* ``REPRO_BENCH_N``      — base cardinality per dataset (default 1200);
+* ``REPRO_BENCH_QUERIES``— queries per dataset (default 30);
+* ``REPRO_BENCH_FULL``   — ``1`` runs all eight real-world stand-ins
+  (default: four spanning the difficulty range, like the paper's
+  representative-figures subset).
+
+Built indexes are cached per (algorithm, dataset) across the whole
+pytest session, so every benchmark file sees identical indexes — the
+paper's "same index, many metrics" methodology.
+
+Results are appended to ``benchmarks/results/<experiment>.txt`` as
+paper-style tables and echoed to stdout (visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro import create
+from repro.algorithms.base import GraphANNS
+from repro.datasets import Dataset, load_dataset
+
+BENCH_N = int(os.environ.get("REPRO_BENCH_N", "600"))
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "16"))
+FULL_SUITE = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: difficulty-ordered subset used by default (easy -> hard, Table 3 LID)
+CORE_DATASETS = ("audio", "sift1m", "gist1m", "glove")
+ALL_DATASETS = (
+    "audio", "uqv", "sift1m", "msong", "enron", "crawl", "gist1m", "glove",
+)
+
+#: all algorithm variants compared in the paper's figures
+BENCH_ALGORITHMS = (
+    "kgraph", "ngt-panng", "ngt-onng", "sptag-kdt", "sptag-bkt", "nsw",
+    "ieh", "fanng", "hnsw", "efanna", "dpg", "nsg", "hcnng", "vamana",
+    "nssg",
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_dataset_cache: dict[str, Dataset] = {}
+_index_cache: dict[tuple[str, str], GraphANNS] = {}
+_sweep_cache: dict[tuple, list] = {}
+
+
+def bench_datasets() -> tuple[str, ...]:
+    return ALL_DATASETS if FULL_SUITE else CORE_DATASETS
+
+
+def get_dataset(name: str) -> Dataset:
+    if name not in _dataset_cache:
+        _dataset_cache[name] = load_dataset(
+            name, cardinality=BENCH_N, num_queries=BENCH_QUERIES
+        )
+    return _dataset_cache[name]
+
+
+def get_index(algorithm: str, dataset: str, **params) -> GraphANNS:
+    """Build (once) and return the index for one (algorithm, dataset)."""
+    key = (algorithm, dataset)
+    if key not in _index_cache:
+        index = create(algorithm, seed=0, **params)
+        index.build(get_dataset(dataset).base)
+        _index_cache[key] = index
+    return _index_cache[key]
+
+
+def write_table(experiment: str, title: str, lines: list[str]) -> None:
+    """Persist one paper-style table and echo it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    body = "\n".join([f"== {title} ==", *lines, ""])
+    (RESULTS_DIR / f"{experiment}.txt").write_text(body)
+    print("\n" + body)
+
+
+def get_sweep(algorithm: str, dataset: str, ef_grid: tuple[int, ...]) -> list:
+    """ef-sweep over a cached index, memoised (Figures 7 and 8 share it)."""
+    from repro.pipeline import sweep_recall_curve
+
+    key = (algorithm, dataset, ef_grid)
+    if key not in _sweep_cache:
+        _sweep_cache[key] = sweep_recall_curve(
+            get_index(algorithm, dataset), get_dataset(dataset),
+            k=10, ef_grid=ef_grid,
+        )
+    return _sweep_cache[key]

@@ -1,0 +1,6 @@
+"""Benchmark-suite fixtures (scale knobs documented in common.py)."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,80 @@
+"""Generate docs/api.md from the package's docstrings.
+
+Usage:  python docs/generate_api.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import repro
+
+OUT = Path(__file__).parent / "api.md"
+
+
+def first_line(obj) -> str:
+    doc = inspect.getdoc(obj)
+    return doc.splitlines()[0] if doc else "(undocumented)"
+
+
+def walk_modules():
+    yield "repro", repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        try:
+            yield info.name, importlib.import_module(info.name)
+        except Exception as error:  # pragma: no cover - defensive
+            print(f"skipping {info.name}: {error}")
+
+
+def document_module(name: str, module) -> list[str]:
+    lines = [f"## `{name}`", "", first_line(module), ""]
+    members = []
+    for attr, value in vars(module).items():
+        if attr.startswith("_"):
+            continue
+        if inspect.isclass(value) and value.__module__ == name:
+            members.append((attr, value, "class"))
+        elif inspect.isfunction(value) and value.__module__ == name:
+            members.append((attr, value, "function"))
+    for attr, value, kind in sorted(members):
+        try:
+            signature = str(inspect.signature(value))
+        except (TypeError, ValueError):
+            signature = "(...)"
+        lines.append(f"### {kind} `{attr}{signature}`")
+        lines.append("")
+        lines.append(first_line(value))
+        if kind == "class":
+            for meth_name, meth in sorted(vars(value).items()):
+                if meth_name.startswith("_") or not inspect.isfunction(meth):
+                    continue
+                try:
+                    meth_sig = str(inspect.signature(meth))
+                except (TypeError, ValueError):
+                    meth_sig = "(...)"
+                lines.append(f"- `.{meth_name}{meth_sig}` — {first_line(meth)}")
+        lines.append("")
+    return lines
+
+
+def main() -> None:
+    chunks = [
+        "# API Reference",
+        "",
+        "Generated from docstrings by `docs/generate_api.py`; regenerate",
+        "after changing public signatures.",
+        "",
+    ]
+    for name, module in walk_modules():
+        chunks.extend(document_module(name, module))
+    OUT.write_text("\n".join(chunks))
+    print(f"wrote {OUT} ({len(chunks)} lines)")
+
+
+if __name__ == "__main__":
+    main()

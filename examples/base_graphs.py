@@ -1,0 +1,57 @@
+"""The four base graphs of §3.1, side by side (Figure 2 in text form).
+
+Every surveyed algorithm approximates one or more of: the Delaunay
+Graph (DG), the Relative Neighborhood Graph (RNG), the K-Nearest
+Neighbor Graph (KNNG) and the Minimum Spanning Tree (MST).  This
+example builds all four exactly on a small 2-D point set and verifies
+the classical containment chain  MST ⊆ RNG ⊆ DG.
+
+Run:  python examples/base_graphs.py
+"""
+
+import numpy as np
+
+from repro.graphs import (
+    Graph,
+    delaunay_graph,
+    euclidean_mst,
+    exact_knn_graph,
+    relative_neighborhood_graph,
+)
+
+rng = np.random.default_rng(7)
+points = rng.random((120, 2)).astype(np.float32) * 10.0
+
+dg = delaunay_graph(points)
+rng_graph = relative_neighborhood_graph(points)
+knng = exact_knn_graph(points, k=4)
+mst_edges = euclidean_mst(points)
+mst = Graph(len(points))
+for u, v, _ in mst_edges:
+    mst.add_undirected_edge(u, v)
+
+print(f"{'graph':6s} {'edges':>6s} {'avg deg':>8s} {'components':>11s} {'directed':>9s}")
+for label, graph, directed in (
+    ("DG", dg, False),
+    ("RNG", rng_graph, False),
+    ("KNNG", knng, True),
+    ("MST", mst, False),
+):
+    undirected_edges = graph.num_edges if directed else graph.num_edges // 2
+    print(
+        f"{label:6s} {undirected_edges:6d} {graph.average_out_degree:8.1f} "
+        f"{graph.num_connected_components():11d} {str(directed):>9s}"
+    )
+
+# the classical containments (in the plane)
+dg_edges = dg.edge_set()
+rng_edges = rng_graph.edge_set()
+mst_set = {(u, v) for u, v, _ in mst_edges} | {(v, u) for u, v, _ in mst_edges}
+
+assert mst_set <= rng_edges, "MST must be contained in the RNG"
+assert rng_edges <= dg_edges, "RNG must be contained in the DG"
+print("\ncontainment verified: MST ⊆ RNG ⊆ DG")
+print(
+    "\nKNNG is the odd one out: directed, possibly disconnected — the"
+    "\nconnectivity problem every KNNG-based algorithm has to repair."
+)

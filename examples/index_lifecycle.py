@@ -1,0 +1,50 @@
+"""Production lifecycle: build, save, load, serve, update.
+
+The survey's S1 scenario (frequently updated data) is about exactly
+this loop.  Incremental algorithms (NSW/HNSW) absorb inserts natively;
+deletions are tombstones; a built index round-trips through one
+``.npz`` file for deployment.
+
+Run:  python examples/index_lifecycle.py
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro import create, load_dataset
+from repro.io import load_index, save_index
+
+dataset = load_dataset("sift1m", cardinality=1500, num_queries=20)
+
+# build ----------------------------------------------------------------
+index = create("hnsw", seed=0)
+report = index.build(dataset.base)
+print(f"built hnsw: {report.build_time_s:.2f}s, {dataset.n} vectors")
+
+# serve a query ---------------------------------------------------------
+query = dataset.queries[0]
+before = index.search(query, k=5, ef=60)
+print(f"top-5: {before.ids.tolist()}")
+
+# update: a fresher, closer document arrives; an old one is withdrawn ---
+fresh = (query + np.random.default_rng(0).normal(0, 0.05, dataset.dim)).astype(
+    np.float32
+)
+new_id = index.insert(fresh)
+index.delete(int(before.ids[0]))
+after = index.search(query, k=5, ef=60)
+print(f"after insert+delete: {after.ids.tolist()}  (new doc id {new_id})")
+assert new_id in after.ids
+assert before.ids[0] not in after.ids
+
+# persist and reload ----------------------------------------------------
+with tempfile.TemporaryDirectory() as tmp:
+    path = Path(tmp) / "hnsw.npz"
+    save_index(index, path)
+    print(f"saved {path.stat().st_size / 1024:.0f} KiB")
+    served = load_index(path)
+    result = served.search(query, k=5, ef=60)
+    print(f"reloaded index answers: {result.ids.tolist()}")
+print("\nlifecycle complete: build -> serve -> insert/delete -> save -> load")

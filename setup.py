@@ -1,0 +1,5 @@
+"""Legacy shim: the sandbox has no `wheel` package, so PEP 517 editable
+installs fail; `pip install -e .` falls back to `setup.py develop` here."""
+from setuptools import setup
+
+setup()

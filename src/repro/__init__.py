@@ -1,0 +1,41 @@
+"""repro — graph-based approximate nearest neighbor search.
+
+A complete, from-scratch reproduction of *"A Comprehensive Survey and
+Experimental Comparison of Graph-Based Approximate Nearest Neighbor
+Search"* (Wang, Xu, Yue, Wang — VLDB 2021): the four base proximity
+graphs, the 13 surveyed algorithms (plus k-DR and the paper's optimized
+algorithm), the seven-component C1–C7 pipeline, the dataset suite, all
+evaluation metrics, and one benchmark per table/figure.
+
+Quickstart::
+
+    from repro import create, load_dataset
+    ds = load_dataset("sift1m", cardinality=2000)
+    index = create("hnsw")
+    index.build(ds.base)
+    ids = index.search(ds.queries[0], k=10).ids
+"""
+
+from repro.advisor import Scenario, recommend, recommend_for_data
+from repro.algorithms import ALGORITHMS, ALL_ALGORITHMS, GraphANNS, create, info
+from repro.datasets import Dataset, load_dataset, available_datasets, make_clustered
+from repro.distance import DistanceCounter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "ALL_ALGORITHMS",
+    "GraphANNS",
+    "create",
+    "info",
+    "Dataset",
+    "load_dataset",
+    "available_datasets",
+    "make_clustered",
+    "DistanceCounter",
+    "Scenario",
+    "recommend",
+    "recommend_for_data",
+    "__version__",
+]

@@ -1,0 +1,105 @@
+"""Command-line interface:  python -m repro <command>.
+
+Commands
+--------
+``list``      — registered algorithms with their Table 2 taxonomy row.
+``datasets``  — available dataset names (real-world stand-ins + synthetic).
+``eval``      — build one algorithm on one dataset and print recall / QPS
+                / speedup at a given candidate-set size.
+``recommend`` — Table 7 advice for a named dataset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import ALGORITHMS, available_datasets, create, load_dataset
+from repro.advisor import recommend_for_data
+
+
+def _cmd_list(_args) -> int:
+    print(f"{'name':11s} {'base graph':13s} {'edges':11s} {'construction':20s}")
+    for name, meta in ALGORITHMS.items():
+        print(
+            f"{name:11s} {meta.base_graph:13s} {meta.edge_type:11s} "
+            f"{meta.construction:20s}"
+        )
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    for name in available_datasets():
+        print(name)
+    return 0
+
+
+def _cmd_eval(args) -> int:
+    dataset = load_dataset(args.dataset, cardinality=args.n, num_queries=args.queries)
+    index = create(args.algorithm, seed=args.seed)
+    report = index.build(dataset.base)
+    stats = index.batch_search(
+        dataset.queries, dataset.ground_truth, k=args.k, ef=args.ef
+    )
+    print(
+        f"{args.algorithm} on {dataset.name}: "
+        f"build={report.build_time_s:.2f}s "
+        f"index={report.index_size_bytes / 1024:.0f}KiB "
+        f"recall@{args.k}={stats.recall:.3f} "
+        f"qps={stats.qps:.0f} speedup={stats.speedup:.1f}x"
+    )
+    return 0
+
+
+def _cmd_recommend(args) -> int:
+    dataset = load_dataset(args.dataset, cardinality=args.n, num_queries=10)
+    picks = recommend_for_data(
+        dataset.base,
+        updates_frequent=args.frequent_updates,
+        memory_limited=args.limited_memory,
+        external_memory=args.external_memory,
+    )
+    print(", ".join(picks))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="graph-based ANNS survey reproduction"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list algorithms").set_defaults(run=_cmd_list)
+    commands.add_parser("datasets", help="list datasets").set_defaults(
+        run=_cmd_datasets
+    )
+
+    evaluate = commands.add_parser("eval", help="build + evaluate one algorithm")
+    evaluate.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    evaluate.add_argument("dataset")
+    evaluate.add_argument("--n", type=int, default=2000)
+    evaluate.add_argument("--queries", type=int, default=30)
+    evaluate.add_argument("--k", type=int, default=10)
+    evaluate.add_argument("--ef", type=int, default=60)
+    evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.set_defaults(run=_cmd_eval)
+
+    advise = commands.add_parser("recommend", help="Table 7 advice for a dataset")
+    advise.add_argument("dataset")
+    advise.add_argument("--n", type=int, default=2000)
+    advise.add_argument("--frequent-updates", action="store_true")
+    advise.add_argument("--limited-memory", action="store_true")
+    advise.add_argument("--external-memory", action="store_true")
+    advise.set_defaults(run=_cmd_recommend)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

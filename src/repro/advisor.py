@@ -1,0 +1,99 @@
+"""Algorithm recommendation — Table 7 of the paper, as an API.
+
+The survey closes with rule-of-thumb recommendations mapping usage
+scenarios to algorithms (§6, Table 7).  :func:`recommend` encodes that
+table; :func:`profile_dataset` derives the relevant characteristics
+(scale, difficulty via LID) from data so callers can ask directly:
+"which index should I build for *this* corpus under *these*
+constraints?" — the question the paper answers for practitioners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.datasets.ground_truth import estimate_lid
+
+__all__ = ["Scenario", "recommend", "profile_dataset", "DatasetProfile"]
+
+
+class Scenario(str, Enum):
+    """The seven usage scenarios of Table 7."""
+
+    FREQUENT_UPDATES = "frequent-updates"       # S1
+    RAPID_KNNG = "rapid-knng-construction"      # S2
+    EXTERNAL_MEMORY = "external-memory"         # S3
+    HARD_DATASET = "hard-dataset"               # S4
+    SIMPLE_DATASET = "simple-dataset"           # S5
+    GPU_ACCELERATION = "gpu-acceleration"       # S6
+    LIMITED_MEMORY = "limited-memory"           # S7
+
+
+#: Table 7, verbatim
+_RECOMMENDATIONS: dict[Scenario, tuple[str, ...]] = {
+    Scenario.FREQUENT_UPDATES: ("nsg", "nssg"),
+    Scenario.RAPID_KNNG: ("kgraph", "efanna", "dpg"),
+    Scenario.EXTERNAL_MEMORY: ("dpg", "hcnng"),
+    Scenario.HARD_DATASET: ("hnsw", "nsg", "hcnng"),
+    Scenario.SIMPLE_DATASET: ("dpg", "nsg", "hcnng", "nssg"),
+    Scenario.GPU_ACCELERATION: ("ngt-panng",),
+    Scenario.LIMITED_MEMORY: ("nsg", "nssg"),
+}
+
+#: LID above which the survey's "hard dataset" behaviours dominate
+#: (Table 3: Crawl 15.7 / GIST 18.9 / GloVe 20.0 are the hard group)
+HARD_LID_THRESHOLD = 14.0
+
+
+def recommend(scenario: Scenario | str) -> tuple[str, ...]:
+    """Registry names recommended for one Table 7 scenario."""
+    scenario = Scenario(scenario)
+    return _RECOMMENDATIONS[scenario]
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Characteristics that drive the Table 7 recommendation."""
+
+    cardinality: int
+    dim: int
+    lid: float
+
+    @property
+    def is_hard(self) -> bool:
+        """Above the hard-dataset LID threshold (Table 3's hard group)."""
+        return self.lid >= HARD_LID_THRESHOLD
+
+
+def profile_dataset(data: np.ndarray, sample: int = 500, seed: int = 0) -> DatasetProfile:
+    """Measure the recommendation-relevant characteristics of a corpus."""
+    if data.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got shape {data.shape}")
+    lid = estimate_lid(data, sample=sample, seed=seed)
+    return DatasetProfile(cardinality=len(data), dim=data.shape[1], lid=lid)
+
+
+def recommend_for_data(
+    data: np.ndarray,
+    updates_frequent: bool = False,
+    memory_limited: bool = False,
+    external_memory: bool = False,
+) -> tuple[str, ...]:
+    """Combined recommendation: constraints first, then data difficulty.
+
+    Constraint scenarios (S1/S3/S7) override the difficulty-based pick
+    (S4/S5), mirroring the way the paper's discussion prioritises them.
+    """
+    if updates_frequent:
+        return recommend(Scenario.FREQUENT_UPDATES)
+    if memory_limited:
+        return recommend(Scenario.LIMITED_MEMORY)
+    if external_memory:
+        return recommend(Scenario.EXTERNAL_MEMORY)
+    profile = profile_dataset(data)
+    if profile.is_hard:
+        return recommend(Scenario.HARD_DATASET)
+    return recommend(Scenario.SIMPLE_DATASET)

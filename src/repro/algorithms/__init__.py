@@ -1,0 +1,46 @@
+"""The 13 surveyed graph-based ANNS algorithms, plus k-DR and OA (§3.2, §6)."""
+
+from repro.algorithms.base import BatchStats, BuildReport, GraphANNS
+from repro.algorithms.dpg import DPG
+from repro.algorithms.efanna import EFANNA
+from repro.algorithms.fanng import FANNG
+from repro.algorithms.hcnng import HCNNG
+from repro.algorithms.hnsw import HNSW
+from repro.algorithms.ieh import IEH
+from repro.algorithms.kdr import KDR
+from repro.algorithms.kgraph import KGraph
+from repro.algorithms.ngt import NGTOnng, NGTPanng
+from repro.algorithms.nsg import NSG
+from repro.algorithms.nssg import NSSG
+from repro.algorithms.nsw import NSW
+from repro.algorithms.optimized import OptimizedAlgorithm
+from repro.algorithms.registry import ALGORITHMS, ALL_ALGORITHMS, create, info
+from repro.algorithms.sptag import SPTAGBKT, SPTAGKDT
+from repro.algorithms.vamana import Vamana
+
+__all__ = [
+    "GraphANNS",
+    "BuildReport",
+    "BatchStats",
+    "KGraph",
+    "NGTPanng",
+    "NGTOnng",
+    "SPTAGKDT",
+    "SPTAGBKT",
+    "NSW",
+    "IEH",
+    "FANNG",
+    "HNSW",
+    "EFANNA",
+    "DPG",
+    "NSG",
+    "HCNNG",
+    "Vamana",
+    "NSSG",
+    "KDR",
+    "OptimizedAlgorithm",
+    "ALGORITHMS",
+    "ALL_ALGORITHMS",
+    "create",
+    "info",
+]

@@ -1,0 +1,210 @@
+"""Uniform interface for every graph-based ANNS algorithm in the survey.
+
+``build`` constructs the graph index (and any C4 auxiliary structure)
+over a dataset; ``search`` answers one query, charging *all* distance
+evaluations — seed acquisition included — to a per-query counter so the
+Speedup/NDC numbers match the paper's accounting.  ``batch_search``
+aggregates the per-query statistics the evaluation section reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.components.routing import SearchResult, best_first_search
+from repro.components.seeding import RandomSeeds, SeedProvider
+from repro.distance import DistanceCounter
+from repro.graphs.graph import Graph
+
+__all__ = ["BuildReport", "BatchStats", "GraphANNS"]
+
+
+@dataclass
+class BuildReport:
+    """Construction-side metrics (Figure 5/6, Table 4 inputs)."""
+
+    build_time_s: float
+    build_ndc: int
+    index_size_bytes: int
+
+
+@dataclass
+class BatchStats:
+    """Aggregated search metrics over a query batch (§5.1).
+
+    Latency percentiles cover the tail behaviour a mean hides — the
+    production-side counterpart of the paper's QPS numbers.
+    """
+
+    recall: float
+    qps: float
+    mean_ndc: float
+    mean_hops: float
+    speedup: float
+    per_query_recall: np.ndarray = field(repr=False, default=None)
+    latency_p50_ms: float = 0.0
+    latency_p95_ms: float = 0.0
+    latency_p99_ms: float = 0.0
+
+
+class GraphANNS:
+    """Base class: one graph index + one seed provider + one router."""
+
+    name = "base"
+    default_ef = 40
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self.data: np.ndarray | None = None
+        self.graph: Graph | None = None
+        self.seed_provider: SeedProvider = RandomSeeds(seed=seed)
+        self.build_report: BuildReport | None = None
+        self._deleted: np.ndarray | None = None  # tombstones (S1 updates)
+
+    # -- construction ---------------------------------------------------
+
+    def build(self, data: np.ndarray) -> BuildReport:
+        """Construct the index; returns (and stores) the build report."""
+        if len(data) < 2:
+            raise ValueError(f"cannot index fewer than 2 points, got {len(data)}")
+        self.data = np.ascontiguousarray(data, dtype=np.float32)
+        counter = DistanceCounter()
+        started = time.perf_counter()
+        self._build(self.data, counter)
+        if self.graph is None:
+            raise RuntimeError(f"{self.name}._build did not produce a graph")
+        self.graph.finalize()
+        self.seed_provider.prepare(self.data, self.graph)
+        self._deleted = np.zeros(len(self.data), dtype=bool)
+        elapsed = time.perf_counter() - started
+        self.build_report = BuildReport(
+            build_time_s=elapsed,
+            build_ndc=counter.count,
+            index_size_bytes=self.index_size_bytes(),
+        )
+        return self.build_report
+
+    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+        raise NotImplementedError
+
+    def index_size_bytes(self) -> int:
+        """Graph storage plus any C4 auxiliary structure (Figure 6)."""
+        if self.graph is None:
+            return 0
+        return self.graph.index_size_bytes() + self.seed_provider.extra_bytes
+
+    def _require_built(self) -> None:
+        if self.graph is None or self.data is None:
+            raise RuntimeError(f"{self.name}: call build() before search()")
+
+    # -- updates (Table 7 scenario S1) -------------------------------------
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Insert one point into a built index; returns its vertex id.
+
+        Only the *increment*-strategy algorithms (NSW, HNSW, NGT) build
+        by insertion and therefore support this natively; refinement and
+        divide-and-conquer indexes must be rebuilt — exactly the update
+        asymmetry behind Table 7's S1 scenario.
+        """
+        raise NotImplementedError(
+            f"{self.name} uses a {type(self).__name__} construction that "
+            "does not support incremental insertion; rebuild instead"
+        )
+
+    def delete(self, vertex_id: int) -> None:
+        """Tombstone one vertex: routing may pass through it, but it can
+        no longer appear in results (the standard graph-ANNS deletion)."""
+        self._require_built()
+        if not 0 <= vertex_id < len(self.data):
+            raise IndexError(f"vertex {vertex_id} out of range")
+        self._deleted[vertex_id] = True
+
+    @property
+    def num_deleted(self) -> int:
+        """How many vertices are tombstoned."""
+        return 0 if self._deleted is None else int(self._deleted.sum())
+
+    def _grow_bookkeeping(self) -> None:
+        """Extend per-vertex state after an insertion."""
+        self._deleted = np.append(self._deleted, False)
+        self.seed_provider.prepare(self.data, self.graph)
+
+    # -- search -----------------------------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        ef: int | None = None,
+        counter: DistanceCounter | None = None,
+    ) -> SearchResult:
+        """Approximate k nearest neighbors for one query.
+
+        ``ef`` is the candidate-set size (CS); seed-acquisition distance
+        evaluations are included in the reported NDC.
+        """
+        self._require_built()
+        ef = max(k, ef if ef is not None else self.default_ef)
+        counter = counter if counter is not None else DistanceCounter()
+        start = counter.count
+        seeds = self.seed_provider.acquire(query, counter)
+        result = self._route(query, np.asarray(seeds, dtype=np.int64), ef, counter)
+        result.ndc = counter.count - start
+        if self.num_deleted and len(result.ids):
+            keep = ~self._deleted[result.ids]
+            result.ids = result.ids[keep]
+            result.dists = result.dists[keep]
+        result.ids = result.ids[:k]
+        result.dists = result.dists[:k]
+        return result
+
+    def _route(
+        self,
+        query: np.ndarray,
+        seeds: np.ndarray,
+        ef: int,
+        counter: DistanceCounter,
+    ) -> SearchResult:
+        """Default C7: best-first search; algorithms override as needed."""
+        return best_first_search(self.graph, self.data, query, seeds, ef, counter)
+
+    def batch_search(
+        self,
+        queries: np.ndarray,
+        ground_truth: np.ndarray,
+        k: int = 10,
+        ef: int | None = None,
+    ) -> BatchStats:
+        """Search a batch and aggregate recall/QPS/NDC/speedup."""
+        self._require_built()
+        n = len(self.data)
+        recalls = np.empty(len(queries))
+        ndcs = np.empty(len(queries))
+        hops = np.empty(len(queries))
+        latencies = np.empty(len(queries))
+        started = time.perf_counter()
+        for i, query in enumerate(queries):
+            query_started = time.perf_counter()
+            result = self.search(query, k=k, ef=ef)
+            latencies[i] = time.perf_counter() - query_started
+            truth = set(int(t) for t in ground_truth[i][:k])
+            recalls[i] = len(truth.intersection(int(r) for r in result.ids)) / k
+            ndcs[i] = result.ndc
+            hops[i] = result.hops
+        elapsed = max(time.perf_counter() - started, 1e-9)
+        mean_ndc = float(ndcs.mean())
+        return BatchStats(
+            recall=float(recalls.mean()),
+            qps=len(queries) / elapsed,
+            mean_ndc=mean_ndc,
+            mean_hops=float(hops.mean()),
+            speedup=n / max(mean_ndc, 1.0),
+            per_query_recall=recalls,
+            latency_p50_ms=float(np.percentile(latencies, 50) * 1000),
+            latency_p95_ms=float(np.percentile(latencies, 95) * 1000),
+            latency_p99_ms=float(np.percentile(latencies, 99) * 1000),
+        )

@@ -1,0 +1,58 @@
+"""EFANNA (A7) — KGraph with KD-tree initialization and KD-tree seeds.
+
+Identical refinement to KGraph except C1 (KD-tree ANNS instead of
+random lists) and C4/C6 (the same KD-trees provide query seeds).  The
+paper finds this changes only the constant factor of construction
+(Appendix D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import GraphANNS
+from repro.components.initialization import kdtree_neighbor_lists
+from repro.components.seeding import KDTreeSeeds
+from repro.distance import DistanceCounter
+from repro.graphs.graph import Graph
+from repro.nndescent import nn_descent
+
+__all__ = ["EFANNA"]
+
+
+class EFANNA(GraphANNS):
+    """NN-Descent over a KD-tree-initialized KNN graph."""
+
+    name = "efanna"
+
+    def __init__(
+        self,
+        k: int = 20,
+        iterations: int = 6,
+        num_trees: int = 4,
+        num_seeds: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.k = k
+        self.iterations = iterations
+        self.num_trees = num_trees
+        self.seed_provider = KDTreeSeeds(
+            num_trees=num_trees, count=num_seeds, seed=seed
+        )
+
+    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+        initial = kdtree_neighbor_lists(
+            data, self.k, num_trees=self.num_trees, counter=counter, seed=self.seed
+        )
+        result = nn_descent(
+            data,
+            self.k,
+            iterations=self.iterations,
+            counter=counter,
+            seed=self.seed,
+            initial_ids=initial,
+        )
+        self.graph = Graph(len(data), result.ids.tolist())
+        self.knn_ids = result.ids
+        self.knn_dists = result.dists

@@ -1,0 +1,60 @@
+"""FANNG (A3) — occlusion-rule RNG approximation over brute-force candidates.
+
+Unlike HNSW, FANNG applies the occlusion (RNG) rule to *all* other
+points sorted by distance, which is what makes its construction
+O(|S|²·log|S|) (Table 2).  The original paper itself proposes candidate
+truncation to keep this tractable; ``scan_limit`` reproduces that
+optimisation.  Search is best-first with backtracking (C7_FANNG).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import GraphANNS
+from repro.components.routing import backtracking_search
+from repro.components.selection import select_rng_heuristic
+from repro.components.seeding import RandomSeeds
+from repro.distance import DistanceCounter
+from repro.graphs.graph import Graph
+from repro.graphs.knng import exact_knn_lists
+
+__all__ = ["FANNG"]
+
+
+class FANNG(GraphANNS):
+    """Occlusion-pruned graph with backtracking search."""
+
+    name = "fanng"
+
+    def __init__(
+        self,
+        max_degree: int = 30,
+        scan_limit: int = 300,
+        backtracks: int = 10,
+        num_seeds: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.max_degree = max_degree
+        self.scan_limit = scan_limit
+        self.backtracks = backtracks
+        self.seed_provider = RandomSeeds(count=num_seeds, seed=seed)
+
+    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+        n = len(data)
+        scan = min(self.scan_limit, n - 1)
+        ids, dists = exact_knn_lists(data, scan, counter=counter)
+        graph = Graph(n)
+        for p in range(n):
+            selected = select_rng_heuristic(
+                data[p], ids[p], dists[p], data, self.max_degree, counter=counter
+            )
+            graph.set_neighbors(p, selected)
+        self.graph = graph
+
+    def _route(self, query, seeds, ef, counter):
+        return backtracking_search(
+            self.graph, self.data, query, seeds, ef, counter,
+            backtracks=self.backtracks,
+        )

@@ -1,0 +1,193 @@
+"""HNSW (A2) — Hierarchical Navigable Small World graphs.
+
+Each point draws a level from an exponential distribution; upper layers
+form a coarse-to-fine navigation hierarchy, and every layer's neighbors
+are chosen by the heuristic (RNG) rule of Appendix A.  Search descends
+greedily from the fixed top-layer entry to layer 1, then runs
+best-first search on the base layer.  The extra layers are the memory
+overhead the paper notes (§3.2 A2); base-layer statistics (GQ/AD/CC)
+are what Table 4 reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.algorithms.base import GraphANNS
+from repro.components.routing import SearchResult, best_first_search
+from repro.components.selection import select_rng_heuristic
+from repro.components.seeding import FixedSeeds
+from repro.distance import DistanceCounter
+from repro.graphs.graph import Graph
+
+__all__ = ["HNSW"]
+
+
+class HNSW(GraphANNS):
+    """Multi-layer graph with heuristic neighbor selection."""
+
+    name = "hnsw"
+
+    def __init__(
+        self,
+        m: int = 10,
+        ef_construction: int = 40,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.m = m
+        self.m0 = 2 * m           # base-layer degree bound, per the paper
+        self.ef_construction = ef_construction
+        self.level_mult = 1.0 / math.log(m)
+        self.layers: list[Graph] = []
+        self.entry_point = 0
+        self.max_level = 0
+
+    # -- construction ---------------------------------------------------
+
+    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+        n = len(data)
+        rng = np.random.default_rng(self.seed)
+        levels = np.minimum(
+            (-np.log(rng.random(n)) * self.level_mult).astype(np.int64), 12
+        )
+        self.max_level = int(levels.max())
+        self.layers = [Graph(n) for _ in range(self.max_level + 1)]
+        order = rng.permutation(n)
+        # start with the first point as the global entry
+        first = int(order[0])
+        self.entry_point = first
+        current_max = int(levels[first])
+        inserted_any = False
+        for p in order:
+            p = int(p)
+            if not inserted_any:
+                inserted_any = True
+                continue
+            self._insert(p, int(levels[p]), data, counter)
+            if levels[p] > current_max:
+                current_max = int(levels[p])
+                self.entry_point = p
+        self.graph = self.layers[0]
+        self.seed_provider = FixedSeeds(np.asarray([self.entry_point]))
+        self._rng = rng
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Incremental insertion — HNSW's native construction step."""
+        self._require_built()
+        vector = np.ascontiguousarray(vector, dtype=np.float32)
+        if vector.shape != (self.data.shape[1],):
+            raise ValueError(
+                f"expected a vector of dim {self.data.shape[1]}, "
+                f"got shape {vector.shape}"
+            )
+        level = min(int(-math.log(self._rng.random()) * self.level_mult), 12)
+        while level > self.max_level:
+            self.layers.append(Graph(self.graph.n))
+            self.max_level += 1
+        self.data = np.vstack([self.data, vector[None, :]])
+        new_id = None
+        for layer in self.layers:
+            new_id = layer.add_vertex()
+        counter = DistanceCounter()
+        self._insert(new_id, level, self.data, counter)
+        if level >= self._vertex_top_level(self.entry_point):
+            self.entry_point = new_id
+        for layer in self.layers:
+            layer.finalize()
+        self.seed_provider = FixedSeeds(np.asarray([self.entry_point]))
+        self._grow_bookkeeping()
+        return new_id
+
+    def _insert(
+        self, p: int, level: int, data: np.ndarray, counter: DistanceCounter
+    ) -> None:
+        entry = self.entry_point
+        entry_level = self._vertex_top_level(entry)
+        # greedy descent through layers above the insertion level
+        for layer in range(entry_level, level, -1):
+            entry = self._greedy_step(layer, entry, data[p], counter)
+        entries = np.asarray([entry], dtype=np.int64)
+        for layer in range(min(level, entry_level), -1, -1):
+            graph = self.layers[layer]
+            result = best_first_search(
+                graph, data, data[p], entries, ef=self.ef_construction,
+                counter=counter,
+            )
+            cap = self.m0 if layer == 0 else self.m
+            selected = select_rng_heuristic(
+                data[p], result.ids, result.dists, data, cap, counter=counter
+            )
+            for v in selected:
+                v = int(v)
+                graph.add_edge(p, v)
+                graph.add_edge(v, p)
+                nbrs = graph.neighbors(v)
+                if len(nbrs) > cap:
+                    arr = np.asarray(nbrs, dtype=np.int64)
+                    dists = counter.one_to_many(data[v], data[arr])
+                    srt = np.argsort(dists, kind="stable")
+                    pruned = select_rng_heuristic(
+                        data[v], arr[srt], dists[srt], data, cap, counter=counter
+                    )
+                    graph.set_neighbors(v, pruned)
+            entries = result.ids if len(result.ids) else entries
+
+    def _vertex_top_level(self, v: int) -> int:
+        top = 0
+        for layer in range(self.max_level, 0, -1):
+            if self.layers[layer].neighbors(v) or layer == 0:
+                top = layer
+                break
+        return top
+
+    def _greedy_step(
+        self, layer: int, entry: int, query: np.ndarray, counter: DistanceCounter
+    ) -> int:
+        graph = self.layers[layer]
+        current = entry
+        current_dist = counter.pair(query, self.data[current])
+        improved = True
+        while improved:
+            improved = False
+            nbrs = graph.neighbor_array(current)
+            if len(nbrs) == 0:
+                break
+            dists = counter.one_to_many(query, self.data[nbrs])
+            best = int(np.argmin(dists))
+            if dists[best] < current_dist:
+                current = int(nbrs[best])
+                current_dist = float(dists[best])
+                improved = True
+        return current
+
+    # -- search -----------------------------------------------------------
+
+    def _route(
+        self,
+        query: np.ndarray,
+        seeds: np.ndarray,
+        ef: int,
+        counter: DistanceCounter,
+    ) -> SearchResult:
+        entry = int(seeds[0])
+        hops = 0
+        for layer in range(self.max_level, 0, -1):
+            entry = self._greedy_step(layer, entry, query, counter)
+            hops += 1
+        result = best_first_search(
+            self.graph, self.data, query,
+            np.asarray([entry], dtype=np.int64), ef, counter,
+        )
+        result.hops += hops
+        return result
+
+    def index_size_bytes(self) -> int:
+        """Base layer plus the hierarchy's upper layers (the paper's
+        memory-usage caveat for HNSW)."""
+        if self.graph is None:
+            return 0
+        upper = sum(g.index_size_bytes() for g in self.layers[1:])
+        return self.graph.index_size_bytes() + upper

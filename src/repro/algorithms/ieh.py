@@ -1,0 +1,36 @@
+"""IEH (A8) — Iterative Expanding Hashing.
+
+The graph is an *exact* KNNG built by linear scan (hence GQ = 1.0 in
+Table 4 and the O(|S|²·log|S|) build of Table 2); hash buckets provide
+seeds close to the query (C4_IEH — the best seed strategy in the §5.4
+study), and best-first search expands from them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import GraphANNS
+from repro.components.seeding import LSHSeeds
+from repro.distance import DistanceCounter
+from repro.graphs.graph import Graph
+from repro.graphs.knng import exact_knn_lists
+
+__all__ = ["IEH"]
+
+
+class IEH(GraphANNS):
+    """Exact KNNG + LSH seed acquisition + BFS expansion."""
+
+    name = "ieh"
+
+    def __init__(self, k: int = 20, num_seeds: int = 10, seed: int = 0):
+        super().__init__(seed=seed)
+        self.k = k
+        self.seed_provider = LSHSeeds(count=num_seeds, seed=seed)
+
+    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+        ids, dists = exact_knn_lists(data, self.k, counter=counter)
+        self.graph = Graph(len(data), ids.tolist())
+        self.knn_ids = ids
+        self.knn_dists = dists

@@ -1,0 +1,50 @@
+"""KGraph (A6) — NN-Descent KNNG, the archetypal KNNG-based algorithm.
+
+C1 random, C2 expansion (inside NN-Descent), C3 distance only,
+C4/C6 random seeds, C5 none, C7 best-first search (Table 9 row 1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import GraphANNS
+from repro.components.seeding import RandomSeeds
+from repro.distance import DistanceCounter
+from repro.graphs.graph import Graph
+from repro.nndescent import nn_descent
+
+__all__ = ["KGraph"]
+
+
+class KGraph(GraphANNS):
+    """Directed approximate KNN graph built by NN-Descent."""
+
+    name = "kgraph"
+
+    def __init__(
+        self,
+        k: int = 20,
+        iterations: int = 8,
+        sample_rate: float = 1.0,
+        num_seeds: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.k = k
+        self.iterations = iterations
+        self.sample_rate = sample_rate
+        self.seed_provider = RandomSeeds(count=num_seeds, seed=seed)
+
+    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+        result = nn_descent(
+            data,
+            self.k,
+            iterations=self.iterations,
+            counter=counter,
+            seed=self.seed,
+            sample_rate=self.sample_rate,
+        )
+        self.graph = Graph(len(data), result.ids.tolist())
+        self.knn_ids = result.ids
+        self.knn_dists = result.dists

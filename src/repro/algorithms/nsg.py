@@ -1,0 +1,75 @@
+"""NSG (A10) — Navigating Spreading-out Graph.
+
+C1 NN-Descent, C2 ANNS on the initial graph (candidates = search
+results ∪ visited KNN list), C3 the MRNG rule (== HNSW's heuristic,
+Appendix A), C4 approximate centroid entry, C5 DFS-based reachability
+repair from the entry, C7 best-first search.  The resulting small
+out-degree / small index / strong search tradeoff is the paper's
+running example of a well-balanced design (Table 7: S1, S4, S5, S7).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import GraphANNS
+from repro.components.candidates import candidates_by_search
+from repro.components.connectivity import ensure_reachable_from
+from repro.components.selection import select_rng_heuristic
+from repro.components.seeding import CentroidSeeds
+from repro.distance import DistanceCounter, l2_batch
+from repro.graphs.graph import Graph
+from repro.nndescent import nn_descent
+
+__all__ = ["NSG"]
+
+
+class NSG(GraphANNS):
+    """MRNG-pruned graph navigated from the dataset medoid."""
+
+    name = "nsg"
+
+    def __init__(
+        self,
+        init_k: int = 20,
+        iterations: int = 8,
+        candidate_ef: int = 40,
+        max_degree: int = 20,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.init_k = init_k
+        self.iterations = iterations
+        self.candidate_ef = candidate_ef
+        self.max_degree = max_degree
+        self.seed_provider = CentroidSeeds()
+
+    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+        n = len(data)
+        init = nn_descent(
+            data, self.init_k, iterations=self.iterations, counter=counter,
+            seed=self.seed,
+        )
+        init_graph = Graph(n, init.ids.tolist()).finalize()
+        mean = data.mean(axis=0)
+        medoid = int(np.argmin(counter.one_to_many(mean, data)))
+
+        graph = Graph(n)
+        entry = np.asarray([medoid], dtype=np.int64)
+        for p in range(n):
+            found_ids, found_dists = candidates_by_search(
+                init_graph, data, p, self.candidate_ef, entry, counter=counter
+            )
+            # NSG pools the search results with the point's KNN list
+            pool = np.unique(np.concatenate([found_ids, init.ids[p]]))
+            pool = pool[pool != p]
+            pool_dists = counter.one_to_many(data[p], data[pool])
+            order = np.argsort(pool_dists, kind="stable")
+            selected = select_rng_heuristic(
+                data[p], pool[order], pool_dists[order], data,
+                self.max_degree, counter=counter,
+            )
+            graph.set_neighbors(p, selected)
+        ensure_reachable_from(graph, data, medoid, counter=counter)
+        self.graph = graph
+        self.medoid = medoid

@@ -1,0 +1,89 @@
+"""NSW (A1) — Navigable Small World graph.
+
+Points are inserted one by one; each new point is connected by
+*undirected* edges to its ``max_m`` nearest neighbors found by greedy
+search over the already-inserted subgraph.  Early insertions create the
+long "small-world" links, late insertions the short-range links; the
+undirected edges let dense-area vertices grow into high-degree hubs —
+both behaviours the paper calls out (§3.2 A1, Table 11 D_max).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import GraphANNS
+from repro.components.routing import best_first_search
+from repro.components.seeding import RandomSeeds
+from repro.distance import DistanceCounter
+from repro.graphs.graph import Graph
+
+__all__ = ["NSW"]
+
+
+class NSW(GraphANNS):
+    """Incremental undirected small-world graph."""
+
+    name = "nsw"
+
+    def __init__(
+        self,
+        max_m: int = 10,
+        ef_construction: int = 40,
+        num_seeds: int = 4,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.max_m = max_m
+        self.ef_construction = ef_construction
+        self.seed_provider = RandomSeeds(count=num_seeds, seed=seed)
+
+    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+        n = len(data)
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(n)
+        graph = Graph(n)
+        inserted: list[int] = []
+        for pos, p in enumerate(order):
+            p = int(p)
+            if pos == 0:
+                inserted.append(p)
+                continue
+            m = min(self.max_m, len(inserted))
+            entry = np.asarray(
+                [inserted[int(rng.integers(len(inserted)))]], dtype=np.int64
+            )
+            result = best_first_search(
+                graph, data, data[p], entry,
+                ef=max(self.ef_construction, m), counter=counter,
+            )
+            for neighbor in result.ids[:m]:
+                graph.add_undirected_edge(p, int(neighbor))
+            inserted.append(p)
+        self.graph = graph
+        self._rng = rng
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Incremental insertion — NSW's native construction step."""
+        self._require_built()
+        vector = np.ascontiguousarray(vector, dtype=np.float32)
+        if vector.shape != (self.data.shape[1],):
+            raise ValueError(
+                f"expected a vector of dim {self.data.shape[1]}, "
+                f"got shape {vector.shape}"
+            )
+        counter = DistanceCounter()
+        entry = np.asarray(
+            [int(self._rng.integers(self.graph.n))], dtype=np.int64
+        )
+        result = best_first_search(
+            self.graph, self.data, vector, entry,
+            ef=max(self.ef_construction, self.max_m), counter=counter,
+        )
+        self.data = np.vstack([self.data, vector[None, :]])
+        new_id = self.graph.add_vertex()
+        for neighbor in result.ids[: self.max_m]:
+            self.graph.add_undirected_edge(new_id, int(neighbor))
+        self.graph.finalize()
+        self._grow_bookkeeping()
+        return new_id

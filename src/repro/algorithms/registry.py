@@ -1,0 +1,87 @@
+"""String registry for all compared algorithms.
+
+``create("nsg", max_degree=20)`` instantiates by name; the benchmark
+suite iterates :data:`ALL_ALGORITHMS` to reproduce the paper's
+all-algorithms figures.  Table 2 metadata (base-graph category, edge
+type) is attached for the taxonomy-driven analyses (§3, Table 4
+groupings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import GraphANNS
+from repro.algorithms.dpg import DPG
+from repro.algorithms.efanna import EFANNA
+from repro.algorithms.fanng import FANNG
+from repro.algorithms.hcnng import HCNNG
+from repro.algorithms.hnsw import HNSW
+from repro.algorithms.ieh import IEH
+from repro.algorithms.kdr import KDR
+from repro.algorithms.kgraph import KGraph
+from repro.algorithms.ngt import NGTOnng, NGTPanng
+from repro.algorithms.nsg import NSG
+from repro.algorithms.nssg import NSSG
+from repro.algorithms.nsw import NSW
+from repro.algorithms.optimized import OptimizedAlgorithm
+from repro.algorithms.sptag import SPTAGBKT, SPTAGKDT
+from repro.algorithms.vamana import Vamana
+
+__all__ = ["AlgorithmInfo", "ALGORITHMS", "ALL_ALGORITHMS", "create", "info"]
+
+
+@dataclass(frozen=True)
+class AlgorithmInfo:
+    """Table 2 row: taxonomy metadata for one algorithm."""
+
+    name: str
+    cls: type[GraphANNS]
+    base_graph: str          # taxonomy of §3 (Figure 3 roadmap)
+    edge_type: str           # directed / undirected
+    construction: str        # refinement / increment / divide-and-conquer
+
+
+ALGORITHMS: dict[str, AlgorithmInfo] = {
+    item.name: item
+    for item in [
+        AlgorithmInfo("kgraph", KGraph, "KNNG", "directed", "refinement"),
+        AlgorithmInfo("ngt-panng", NGTPanng, "KNNG+DG+RNG", "directed", "increment"),
+        AlgorithmInfo("ngt-onng", NGTOnng, "KNNG+DG+RNG", "directed", "increment"),
+        AlgorithmInfo("sptag-kdt", SPTAGKDT, "KNNG", "directed", "divide-and-conquer"),
+        AlgorithmInfo("sptag-bkt", SPTAGBKT, "KNNG+RNG", "directed", "divide-and-conquer"),
+        AlgorithmInfo("nsw", NSW, "DG", "undirected", "increment"),
+        AlgorithmInfo("ieh", IEH, "KNNG", "directed", "refinement"),
+        AlgorithmInfo("fanng", FANNG, "RNG", "directed", "refinement"),
+        AlgorithmInfo("hnsw", HNSW, "DG+RNG", "directed", "increment"),
+        AlgorithmInfo("efanna", EFANNA, "KNNG", "directed", "refinement"),
+        AlgorithmInfo("dpg", DPG, "KNNG+RNG", "undirected", "refinement"),
+        AlgorithmInfo("nsg", NSG, "KNNG+RNG", "directed", "refinement"),
+        AlgorithmInfo("hcnng", HCNNG, "MST", "directed", "divide-and-conquer"),
+        AlgorithmInfo("vamana", Vamana, "RNG", "directed", "refinement"),
+        AlgorithmInfo("nssg", NSSG, "KNNG+RNG", "directed", "refinement"),
+        AlgorithmInfo("kdr", KDR, "KNNG+RNG", "undirected", "refinement"),
+        AlgorithmInfo("oa", OptimizedAlgorithm, "KNNG+RNG", "directed", "refinement"),
+    ]
+}
+
+#: the 13 survey algorithms in paper order (Table 2), without k-DR/OA
+ALL_ALGORITHMS: tuple[str, ...] = (
+    "kgraph", "ngt-panng", "ngt-onng", "sptag-kdt", "sptag-bkt", "nsw",
+    "ieh", "fanng", "hnsw", "efanna", "dpg", "nsg", "hcnng", "vamana",
+    "nssg",
+)
+
+
+def create(name: str, **params) -> GraphANNS:
+    """Instantiate an algorithm by registry name."""
+    if name not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}")
+    return ALGORITHMS[name].cls(**params)
+
+
+def info(name: str) -> AlgorithmInfo:
+    """Taxonomy metadata for one algorithm."""
+    if name not in ALGORITHMS:
+        raise KeyError(f"unknown algorithm {name!r}; known: {sorted(ALGORITHMS)}")
+    return ALGORITHMS[name]

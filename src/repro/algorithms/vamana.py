@@ -1,0 +1,83 @@
+"""Vamana (A12) — DiskANN's graph (random init + two α-pruned passes).
+
+C1 random neighbor lists, C2 ANNS on the evolving graph from the
+medoid, C3 the α-relaxed RNG heuristic run in two passes (α = 1 then
+α > 1, Appendix H), with reverse-edge insertion and re-pruning on
+overflow.  No connectivity guarantee (the C5 gap Figure 10(e)
+penalises).  Seeds: medoid; routing: best-first search.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import GraphANNS
+from repro.components.candidates import candidates_by_search
+from repro.components.selection import select_rng_heuristic
+from repro.components.seeding import CentroidSeeds
+from repro.distance import DistanceCounter
+from repro.graphs.graph import Graph
+
+__all__ = ["Vamana"]
+
+
+class Vamana(GraphANNS):
+    """Two-pass α-RNG graph built from a random start."""
+
+    name = "vamana"
+
+    def __init__(
+        self,
+        max_degree: int = 30,
+        candidate_ef: int = 40,
+        alpha: float = 2.0,
+        init_degree: int = 10,
+        seed: int = 0,
+    ):
+        super().__init__(seed=seed)
+        self.max_degree = max_degree
+        self.candidate_ef = candidate_ef
+        self.alpha = alpha
+        self.init_degree = init_degree
+        self.seed_provider = CentroidSeeds()
+
+    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+        from repro.components.initialization import random_neighbor_lists
+
+        n = len(data)
+        rng = np.random.default_rng(self.seed)
+        init = random_neighbor_lists(n, min(self.init_degree, n - 1), rng)
+        graph = Graph(n, init.tolist()).finalize()
+        mean = data.mean(axis=0)
+        medoid = int(np.argmin(counter.one_to_many(mean, data)))
+        entry = np.asarray([medoid], dtype=np.int64)
+
+        order = rng.permutation(n)
+        for alpha in (1.0, self.alpha):  # two passes, per the paper
+            for p in order:
+                p = int(p)
+                cand_ids, cand_dists = candidates_by_search(
+                    graph, data, p, self.candidate_ef, entry, counter=counter
+                )
+                selected = select_rng_heuristic(
+                    data[p], cand_ids, cand_dists, data,
+                    self.max_degree, counter=counter, alpha=alpha,
+                )
+                graph.set_neighbors(p, selected)
+                # reverse edges with overflow re-pruning (RobustPrune)
+                for v in selected:
+                    v = int(v)
+                    nbrs = graph.neighbors(v)
+                    if p not in nbrs:
+                        nbrs.append(p)
+                    if len(nbrs) > self.max_degree:
+                        arr = np.asarray(nbrs, dtype=np.int64)
+                        dists = counter.one_to_many(data[v], data[arr])
+                        srt = np.argsort(dists, kind="stable")
+                        pruned = select_rng_heuristic(
+                            data[v], arr[srt], dists[srt], data,
+                            self.max_degree, counter=counter, alpha=alpha,
+                        )
+                        graph.set_neighbors(v, pruned)
+        self.graph = graph
+        self.medoid = medoid

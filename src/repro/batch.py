@@ -1,0 +1,177 @@
+"""Lockstep batched search: answer many queries with shared kernels.
+
+The survey evaluates single-threaded, one-query-at-a-time search; a
+production service batches.  This module runs best-first search for a
+whole query batch in lockstep rounds: every round, each still-active
+query contributes one expansion, all their neighbor evaluations are
+concatenated, and a single vectorised distance kernel scores everything
+at once.  The visited/heap bookkeeping is identical to
+:func:`repro.components.routing.best_first_search`, so the results (and
+the NDC accounting) match the sequential search — only the wall-clock
+changes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.base import GraphANNS
+from repro.distance import DistanceCounter
+
+__all__ = ["BatchSearchResult", "batched_best_first_search", "batch_search"]
+
+
+@dataclass
+class BatchSearchResult:
+    """Per-batch output: one row of ids/dists per query, plus telemetry."""
+
+    ids: np.ndarray          # (Q, k), -1-padded when a query found < k
+    dists: np.ndarray        # (Q, k), inf-padded
+    total_ndc: int
+    mean_hops: float
+    elapsed_s: float
+
+    @property
+    def qps(self) -> float:
+        """Whole-batch throughput."""
+        return len(self.ids) / max(self.elapsed_s, 1e-9)
+
+
+class _QueryState:
+    """Heaps + bookkeeping for one query inside the lockstep loop."""
+
+    __slots__ = ("candidates", "results", "ef", "active", "hops")
+
+    def __init__(self, ef: int):
+        self.candidates: list[tuple[float, int]] = []
+        self.results: list[tuple[float, int]] = []
+        self.ef = ef
+        self.active = True
+        self.hops = 0
+
+    def worst(self) -> float:
+        return -self.results[0][0] if len(self.results) == self.ef else np.inf
+
+    def offer(self, idx: int, dist: float) -> None:
+        if len(self.results) < self.ef:
+            heapq.heappush(self.results, (-dist, idx))
+            heapq.heappush(self.candidates, (dist, idx))
+        elif dist < -self.results[0][0]:
+            heapq.heapreplace(self.results, (-dist, idx))
+            heapq.heappush(self.candidates, (dist, idx))
+
+    def pop_expansion(self) -> int | None:
+        """Next vertex to expand, or None (and deactivate) if finished."""
+        while self.candidates:
+            dist, u = heapq.heappop(self.candidates)
+            if dist > self.worst():
+                break
+            self.hops += 1
+            return u
+        self.active = False
+        return None
+
+    def top(self, k: int) -> list[tuple[float, int]]:
+        return sorted((-negd, idx) for negd, idx in self.results)[:k]
+
+
+def batched_best_first_search(
+    graph,
+    data: np.ndarray,
+    queries: np.ndarray,
+    seed_lists: list[np.ndarray],
+    ef: int,
+    k: int,
+    counter: DistanceCounter | None = None,
+) -> BatchSearchResult:
+    """Best-first search over a query batch, one distance kernel per round."""
+    counter = counter if counter is not None else DistanceCounter()
+    start_ndc = counter.count
+    started = time.perf_counter()
+    num_queries = len(queries)
+    n = graph.n
+    visited = np.zeros((num_queries, n), dtype=bool)
+    states = [_QueryState(ef) for _ in range(num_queries)]
+
+    # seed every query (batched over the concatenated seed lists)
+    seed_qidx, seed_vertices = [], []
+    for q, seeds in enumerate(seed_lists):
+        seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+        visited[q, seeds] = True
+        seed_qidx.extend([q] * len(seeds))
+        seed_vertices.extend(int(s) for s in seeds)
+    if seed_vertices:
+        diff = data[seed_vertices] - queries[seed_qidx]
+        dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+        counter.count += len(seed_vertices)
+        for q, vertex, dist in zip(seed_qidx, seed_vertices, dists):
+            states[q].offer(vertex, float(dist))
+
+    while True:
+        round_qidx: list[int] = []
+        round_vertices: list[int] = []
+        bounds: list[tuple[int, int, int]] = []  # (query, start, stop)
+        for q, state in enumerate(states):
+            if not state.active:
+                continue
+            u = state.pop_expansion()
+            if u is None:
+                continue
+            nbrs = graph.neighbor_array(u)
+            nbrs = nbrs[~visited[q, nbrs]]
+            if len(nbrs) == 0:
+                continue
+            visited[q, nbrs] = True
+            start = len(round_vertices)
+            round_vertices.extend(int(v) for v in nbrs)
+            round_qidx.extend([q] * len(nbrs))
+            bounds.append((q, start, len(round_vertices)))
+        if not round_vertices and not any(s.active for s in states):
+            break
+        if round_vertices:
+            diff = data[round_vertices] - queries[round_qidx]
+            dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
+            counter.count += len(round_vertices)
+            for q, start, stop in bounds:
+                state = states[q]
+                for pos in range(start, stop):
+                    state.offer(round_vertices[pos], float(dists[pos]))
+
+    ids = np.full((num_queries, k), -1, dtype=np.int64)
+    out_dists = np.full((num_queries, k), np.inf)
+    for q, state in enumerate(states):
+        for pos, (dist, idx) in enumerate(state.top(k)):
+            ids[q, pos] = idx
+            out_dists[q, pos] = dist
+    return BatchSearchResult(
+        ids=ids,
+        dists=out_dists,
+        total_ndc=counter.count - start_ndc,
+        mean_hops=float(np.mean([s.hops for s in states])),
+        elapsed_s=time.perf_counter() - started,
+    )
+
+
+def batch_search(
+    index: GraphANNS,
+    queries: np.ndarray,
+    k: int = 10,
+    ef: int | None = None,
+) -> BatchSearchResult:
+    """Lockstep-search a built index (seed acquisition per query)."""
+    if index.graph is None:
+        raise RuntimeError("build the index before batch searching")
+    ef = max(k, ef if ef is not None else index.default_ef)
+    counter = DistanceCounter()
+    seed_lists = [
+        np.asarray(index.seed_provider.acquire(query, counter), dtype=np.int64)
+        for query in queries
+    ]
+    return batched_best_first_search(
+        index.graph, index.data, np.asarray(queries, dtype=np.float32),
+        seed_lists, ef, k, counter=counter,
+    )

@@ -1,0 +1,49 @@
+"""Two-pivot random hierarchical clustering — HCNNG's dataset division.
+
+HCNNG (§3.2 A13, C1 *data division*) repeatedly splits the point set by
+drawing two random pivots and assigning every point to the closer one,
+recursing until clusters reach a minimum size.  Repeating the procedure
+``m`` times with different randomness yields overlapping clusterings
+whose per-cluster MSTs are unioned into the final graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance import DistanceCounter, l2_batch
+
+__all__ = ["hierarchical_two_pivot_clusters"]
+
+
+def hierarchical_two_pivot_clusters(
+    data: np.ndarray,
+    min_cluster_size: int = 64,
+    rng: np.random.Generator | None = None,
+    counter: DistanceCounter | None = None,
+) -> list[np.ndarray]:
+    """One full hierarchical clustering pass; returns leaf clusters."""
+    if rng is None:
+        rng = np.random.default_rng()
+    clusters: list[np.ndarray] = []
+    stack = [np.arange(len(data), dtype=np.int64)]
+    while stack:
+        ids = stack.pop()
+        if len(ids) <= min_cluster_size:
+            clusters.append(ids)
+            continue
+        pivots = rng.choice(len(ids), size=2, replace=False)
+        a, b = ids[pivots[0]], ids[pivots[1]]
+        d_a = l2_batch(data[a], data[ids])
+        d_b = l2_batch(data[b], data[ids])
+        if counter is not None:
+            counter.count += 2 * len(ids)
+        mask = d_a <= d_b
+        left, right = ids[mask], ids[~mask]
+        if len(left) == 0 or len(right) == 0:
+            # identical pivots (duplicates): split arbitrarily in half
+            half = len(ids) // 2
+            left, right = ids[:half], ids[half:]
+        stack.append(left)
+        stack.append(right)
+    return clusters

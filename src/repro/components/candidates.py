@@ -1,0 +1,89 @@
+"""C2 — candidate neighbor acquisition (Definition 4.4).
+
+Three families (besides divide-and-conquer subspaces, which live in the
+builders):
+
+* :func:`candidates_by_search` — treat the point as a query and run
+  ANNS on the current graph (NSW, HNSW, NGT, NSG, Vamana);
+* :func:`candidates_by_expansion` — the point's neighbors plus
+  neighbors' neighbors on the initial graph (KGraph, EFANNA, NSSG);
+* :func:`candidates_direct` — just the point's initial neighbors
+  (DPG, IEH, FANNG, k-DR).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.components.routing import best_first_search
+from repro.distance import DistanceCounter
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "candidates_by_search",
+    "candidates_by_expansion",
+    "candidates_direct",
+]
+
+
+def candidates_by_search(
+    graph: Graph,
+    data: np.ndarray,
+    point_id: int,
+    ef: int,
+    seeds: np.ndarray,
+    counter: DistanceCounter | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """ANNS on the (partial) graph with the point itself as the query.
+
+    Returns ``(ids, dists)`` ascending — the *entire visited set*, not
+    just the top-``ef`` results, with the point itself removed.  NSG and
+    Vamana pool every vertex the search touched; the far-away path
+    vertices near the entry are exactly where their long-range edges
+    come from, so truncating to the results would disconnect clusters.
+    The paper notes this is the highest-quality but most expensive C2
+    (Figure 10(b): C2_NSW best, at more construction time).
+    """
+    result = best_first_search(
+        graph, data, data[point_id], seeds, ef=ef, counter=counter,
+        record_visited=True,
+    )
+    mask = result.visited_ids != point_id
+    return result.visited_ids[mask], result.visited_dists[mask]
+
+
+def candidates_by_expansion(
+    neighbor_ids: np.ndarray,
+    data: np.ndarray,
+    point_id: int,
+    limit: int,
+    counter: DistanceCounter | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Neighbors + neighbors' neighbors on the initial KNN lists.
+
+    ``neighbor_ids`` is the ``(n, k)`` matrix from C1.  Distances to the
+    pooled candidates are evaluated once (charged to ``counter``) and
+    the closest ``limit`` are returned ascending.
+    """
+    own = neighbor_ids[point_id]
+    pool = np.unique(np.concatenate([own, neighbor_ids[own].reshape(-1)]))
+    pool = pool[pool != point_id]
+    dists = (
+        counter.one_to_many(data[point_id], data[pool])
+        if counter is not None
+        else np.linalg.norm(data[pool] - data[point_id], axis=1)
+    )
+    order = np.argsort(dists, kind="stable")[:limit]
+    return pool[order], dists[order]
+
+
+def candidates_direct(
+    neighbor_ids: np.ndarray,
+    neighbor_dists: np.ndarray,
+    point_id: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The initial neighbors themselves (requires a high-degree C1)."""
+    ids = neighbor_ids[point_id]
+    dists = neighbor_dists[point_id]
+    order = np.argsort(dists, kind="stable")
+    return np.asarray(ids[order], dtype=np.int64), dists[order]

@@ -1,0 +1,63 @@
+"""C5 — connectivity assurance.
+
+NSG/NSSG attach a depth-first spanning step after refinement: every
+vertex must be reachable *from the navigating entry point* or some
+queries can never be answered.  :func:`ensure_reachable_from`
+reproduces that repair: while unreachable vertices remain, link the
+nearest reachable vertex (found by ANNS from the root) to one of them
+and re-expand reachability.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.components.routing import best_first_search
+from repro.distance import DistanceCounter
+from repro.graphs.graph import Graph
+
+__all__ = ["ensure_reachable_from"]
+
+
+def _reachable_from(graph: Graph, roots: np.ndarray) -> np.ndarray:
+    seen = np.zeros(graph.n, dtype=bool)
+    queue = deque(int(r) for r in roots)
+    seen[list(queue)] = True
+    while queue:
+        u = queue.popleft()
+        for v in graph.neighbors(u):
+            if not seen[v]:
+                seen[v] = True
+                queue.append(v)
+    return seen
+
+
+def ensure_reachable_from(
+    graph: Graph,
+    data: np.ndarray,
+    root: int,
+    counter: DistanceCounter | None = None,
+    ef: int = 32,
+) -> Graph:
+    """Make every vertex reachable from ``root`` (directed), in place.
+
+    For each stranded vertex the nearest *reachable* vertex is located
+    by best-first search from the root (NSG's DFS-plus-search repair)
+    and a bridging edge is added from it.
+    """
+    counter = counter if counter is not None else DistanceCounter()
+    seen = _reachable_from(graph, np.asarray([root]))
+    while not seen.all():
+        graph.finalize()
+        stranded = int(np.flatnonzero(~seen)[0])
+        result = best_first_search(
+            graph, data, data[stranded], np.asarray([root]), ef=ef, counter=counter
+        )
+        attach = next((int(i) for i in result.ids if seen[i]), root)
+        graph.add_edge(attach, stranded)
+        newly = _reachable_from(graph, np.asarray([stranded]))
+        seen |= newly
+    graph.finalize()
+    return graph

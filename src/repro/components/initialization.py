@@ -1,0 +1,69 @@
+"""C1 — initialization (Definitions 4.1–4.3).
+
+Neighbor-initialization flavours for the *refinement* strategy:
+
+* :func:`random_neighbor_lists` — KGraph's and Vamana's random start;
+* :func:`kdtree_neighbor_lists` — EFANNA's KD-tree ANNS start;
+* NN-Descent refinement itself lives in :mod:`repro.nndescent`;
+* brute force uses :func:`repro.graphs.knng.exact_knn_lists`.
+
+Dataset division (divide-and-conquer) is in :mod:`repro.trees.tp_tree`
+and :mod:`repro.clustering`; incremental initialization is inside the
+incremental builders (NSW/HNSW/NGT).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance import DistanceCounter
+from repro.trees.kd_tree import KDTree
+
+__all__ = ["random_neighbor_lists", "kdtree_neighbor_lists"]
+
+
+def random_neighbor_lists(
+    n: int, k: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform random neighbors, no self-loops — the cheapest C1."""
+    if k > n - 1:
+        raise ValueError(f"k={k} too large for n={n}")
+    ids = np.empty((n, k), dtype=np.int64)
+    for v in range(n):
+        choice = rng.choice(n - 1, size=k, replace=False)
+        choice[choice >= v] += 1
+        ids[v] = choice
+    return ids
+
+
+def kdtree_neighbor_lists(
+    data: np.ndarray,
+    k: int,
+    num_trees: int = 4,
+    counter: DistanceCounter | None = None,
+    seed: int = 0,
+) -> np.ndarray:
+    """EFANNA-style initialization: ANNS over several randomized KD-trees.
+
+    Each point queries every tree; the union of leaf candidates is
+    re-ranked by true distance (charged to ``counter``).
+    """
+    n = len(data)
+    k = min(k, n - 1)
+    trees = [KDTree(data, seed=seed + t) for t in range(num_trees)]
+    ids = np.empty((n, k), dtype=np.int64)
+    for v in range(n):
+        buckets = [tree.descend(data[v]) for tree in trees]
+        pool = np.unique(np.concatenate(buckets))
+        pool = pool[pool != v]
+        if len(pool) < k:
+            extra = np.setdiff1d(np.arange(n), np.append(pool, v))
+            pool = np.concatenate([pool, extra[: k - len(pool)]])
+        dists = (
+            counter.one_to_many(data[v], data[pool])
+            if counter is not None
+            else np.linalg.norm(data[pool] - data[v], axis=1)
+        )
+        order = np.argsort(dists, kind="stable")[:k]
+        ids[v] = pool[order]
+    return ids

@@ -1,0 +1,340 @@
+"""C7 — routing strategies (§4.2, Definition 4.6/4.7, Appendix F).
+
+All strategies operate on a finalized :class:`~repro.graphs.graph.Graph`
+plus the raw vectors, count every distance evaluation through the
+supplied :class:`DistanceCounter`, and report the per-query search
+statistics the paper tracks: NDC, query path length (number of expanded
+vertices, the hop count that drives I/O on external storage — Table 5
+PL) and the number of visited vertices.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance import DistanceCounter
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "SearchResult",
+    "best_first_search",
+    "range_search",
+    "backtracking_search",
+    "guided_search",
+    "iterated_search",
+    "two_stage_search",
+]
+
+
+@dataclass
+class SearchResult:
+    """Ids/distances in ascending distance order, plus search telemetry."""
+
+    ids: np.ndarray
+    dists: np.ndarray
+    ndc: int = 0          # number of distance computations
+    hops: int = 0         # expanded vertices ~= query path length (PL)
+    visited: int = 0      # vertices whose distance was evaluated
+    visited_ids: np.ndarray | None = None    # set by record_visited=True
+    visited_dists: np.ndarray | None = None
+
+    def top(self, k: int) -> np.ndarray:
+        return self.ids[:k]
+
+
+class _Frontier:
+    """Shared candidate/result bookkeeping for the greedy searches.
+
+    ``candidates`` is a min-heap of vertices to expand; ``results`` a
+    max-heap (negated) capped at ``ef`` — the candidate set C of
+    Definition 4.7 whose size is the paper's "candidate set size (CS)"
+    knob.
+    """
+
+    __slots__ = ("ef", "candidates", "results", "visited_mask", "visited", "log")
+
+    def __init__(self, n: int, ef: int, record_visited: bool = False):
+        self.ef = ef
+        self.candidates: list[tuple[float, int]] = []
+        self.results: list[tuple[float, int]] = []
+        self.visited_mask = np.zeros(n, dtype=bool)
+        self.visited = 0
+        self.log: list[tuple[float, int]] | None = [] if record_visited else None
+
+    def worst(self) -> float:
+        return -self.results[0][0] if len(self.results) == self.ef else np.inf
+
+    def offer(self, idx: int, dist: float) -> None:
+        """Consider a newly evaluated vertex for expansion and results."""
+        self.visited += 1
+        if self.log is not None:
+            self.log.append((dist, idx))
+        if len(self.results) < self.ef:
+            heapq.heappush(self.results, (-dist, idx))
+            heapq.heappush(self.candidates, (dist, idx))
+        elif dist < -self.results[0][0]:
+            heapq.heapreplace(self.results, (-dist, idx))
+            heapq.heappush(self.candidates, (dist, idx))
+
+    def seed(
+        self,
+        seeds: np.ndarray,
+        data: np.ndarray,
+        query: np.ndarray,
+        counter: DistanceCounter,
+    ) -> None:
+        seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+        seeds = seeds[~self.visited_mask[seeds]]
+        if len(seeds) == 0:
+            return
+        self.visited_mask[seeds] = True
+        dists = counter.one_to_many(query, data[seeds])
+        for idx, dist in zip(seeds, dists):
+            self.offer(int(idx), float(dist))
+
+    def expand(
+        self,
+        u: int,
+        graph: Graph,
+        data: np.ndarray,
+        query: np.ndarray,
+        counter: DistanceCounter,
+        keep: np.ndarray | None = None,
+    ) -> None:
+        """Evaluate ``u``'s unvisited neighbors (optionally pre-filtered)."""
+        nbrs = graph.neighbor_array(u)
+        if keep is not None:
+            nbrs = nbrs[keep[: len(nbrs)]] if keep.dtype == bool else nbrs[keep]
+        if len(nbrs) == 0:
+            return
+        nbrs = nbrs[~self.visited_mask[nbrs]]
+        if len(nbrs) == 0:
+            return
+        self.visited_mask[nbrs] = True
+        dists = counter.one_to_many(query, data[nbrs])
+        for idx, dist in zip(nbrs, dists):
+            self.offer(int(idx), float(dist))
+
+    def finish(self, ndc: int, hops: int) -> SearchResult:
+        ordered = sorted((-negd, idx) for negd, idx in self.results)
+        ids = np.asarray([idx for _, idx in ordered], dtype=np.int64)
+        dists = np.asarray([d for d, _ in ordered], dtype=np.float64)
+        result = SearchResult(ids, dists, ndc=ndc, hops=hops, visited=self.visited)
+        if self.log is not None:
+            self.log.sort()
+            result.visited_dists = np.asarray([d for d, _ in self.log])
+            result.visited_ids = np.asarray(
+                [i for _, i in self.log], dtype=np.int64
+            )
+        return result
+
+
+def best_first_search(
+    graph: Graph,
+    data: np.ndarray,
+    query: np.ndarray,
+    seeds: np.ndarray,
+    ef: int,
+    counter: DistanceCounter | None = None,
+    record_visited: bool = False,
+) -> SearchResult:
+    """Best First Search (Algorithm 1 / Definition 4.7).
+
+    The routing of NSW, HNSW, KGraph, IEH, EFANNA, DPG, NSG, NSSG and
+    Vamana.  ``ef`` is the candidate-set size ``c``.  With
+    ``record_visited`` the full evaluated set is returned — builders use
+    it as the candidate pool (NSG/Vamana keep every vertex the search
+    touched, which is where their long-range edges come from).
+    """
+    counter = counter if counter is not None else DistanceCounter()
+    start_ndc = counter.count
+    frontier = _Frontier(graph.n, ef, record_visited=record_visited)
+    frontier.seed(seeds, data, query, counter)
+    hops = 0
+    while frontier.candidates:
+        dist, u = heapq.heappop(frontier.candidates)
+        if dist > frontier.worst():
+            break
+        hops += 1
+        frontier.expand(u, graph, data, query, counter)
+    return frontier.finish(counter.count - start_ndc, hops)
+
+
+def range_search(
+    graph: Graph,
+    data: np.ndarray,
+    query: np.ndarray,
+    seeds: np.ndarray,
+    ef: int,
+    counter: DistanceCounter | None = None,
+    epsilon: float = 0.1,
+) -> SearchResult:
+    """NGT's range search: BFS whose exploration radius is ``(1+ε)·r``.
+
+    ``r`` is the current worst result distance; raising ε trades time
+    for immunity to local optima (the C7_NGT "ceiling" of Figure 10(f)
+    appears when ε is small).
+    """
+    counter = counter if counter is not None else DistanceCounter()
+    start_ndc = counter.count
+    frontier = _Frontier(graph.n, ef)
+    frontier.seed(seeds, data, query, counter)
+    hops = 0
+    factor = 1.0 + epsilon
+    while frontier.candidates:
+        dist, u = heapq.heappop(frontier.candidates)
+        if dist > frontier.worst() * factor:
+            break
+        hops += 1
+        frontier.expand(u, graph, data, query, counter)
+    return frontier.finish(counter.count - start_ndc, hops)
+
+
+def backtracking_search(
+    graph: Graph,
+    data: np.ndarray,
+    query: np.ndarray,
+    seeds: np.ndarray,
+    ef: int,
+    counter: DistanceCounter | None = None,
+    backtracks: int = 10,
+) -> SearchResult:
+    """FANNG's BFS with backtracking.
+
+    After normal BFS termination the search pops up to ``backtracks``
+    further candidates (the "second-closest vertex with unexplored
+    edges") — slightly better accuracy, noticeably more time (§4.2 C7).
+    """
+    counter = counter if counter is not None else DistanceCounter()
+    start_ndc = counter.count
+    frontier = _Frontier(graph.n, ef)
+    frontier.seed(seeds, data, query, counter)
+    hops = 0
+    budget = backtracks
+    while frontier.candidates:
+        dist, u = heapq.heappop(frontier.candidates)
+        if dist > frontier.worst():
+            if budget == 0:
+                break
+            budget -= 1  # backtrack: expand a non-improving vertex anyway
+        hops += 1
+        frontier.expand(u, graph, data, query, counter)
+    return frontier.finish(counter.count - start_ndc, hops)
+
+
+def guided_search(
+    graph: Graph,
+    data: np.ndarray,
+    query: np.ndarray,
+    seeds: np.ndarray,
+    ef: int,
+    counter: DistanceCounter | None = None,
+    min_keep: int = 2,
+) -> SearchResult:
+    """HCNNG's guided search: skip neighbors pointing away from the query.
+
+    When expanding ``u``, only neighbors in the query's half-space
+    (``<q - u, x_n - u>  > 0``) are evaluated — a coordinate test that
+    costs no NDC, mirroring HCNNG's KD-direction test.  This "avoids
+    some redundant visits based on the query's location" at a small
+    accuracy cost (§4.2 C7, Figure 10(f)).
+    """
+    counter = counter if counter is not None else DistanceCounter()
+    start_ndc = counter.count
+    frontier = _Frontier(graph.n, ef)
+    frontier.seed(seeds, data, query, counter)
+    hops = 0
+    while frontier.candidates:
+        dist, u = heapq.heappop(frontier.candidates)
+        if dist > frontier.worst():
+            break
+        hops += 1
+        nbrs = graph.neighbor_array(u)
+        if len(nbrs) > min_keep:
+            direction = query - data[u]
+            toward = (data[nbrs] - data[u]) @ direction > 0.0
+            if toward.sum() >= min_keep:
+                frontier.expand(u, graph, data, query, counter, keep=toward)
+                continue
+        frontier.expand(u, graph, data, query, counter)
+    return frontier.finish(counter.count - start_ndc, hops)
+
+
+def iterated_search(
+    graph: Graph,
+    data: np.ndarray,
+    query: np.ndarray,
+    seed_batches,
+    ef: int,
+    counter: DistanceCounter | None = None,
+    max_restarts: int = 4,
+) -> SearchResult:
+    """SPTAG's iterated BFS: restart from fresh tree seeds when stuck.
+
+    ``seed_batches`` is a callable ``restart_index -> seed ids`` (the
+    KD-tree / BKT lookup); the visited set and result set persist across
+    restarts, so each restart explores new territory.
+    """
+    counter = counter if counter is not None else DistanceCounter()
+    start_ndc = counter.count
+    frontier = _Frontier(graph.n, ef)
+    hops = 0
+    for restart in range(max_restarts):
+        seeds = np.asarray(seed_batches(restart), dtype=np.int64)
+        before = -frontier.results[0][0] if len(frontier.results) == ef else np.inf
+        frontier.seed(seeds, data, query, counter)
+        while frontier.candidates:
+            dist, u = heapq.heappop(frontier.candidates)
+            if dist > frontier.worst():
+                break
+            hops += 1
+            frontier.expand(u, graph, data, query, counter)
+        after = -frontier.results[0][0] if len(frontier.results) == ef else np.inf
+        if after >= before:  # local optimum not escaped; stop restarting
+            break
+    return frontier.finish(counter.count - start_ndc, hops)
+
+
+def two_stage_search(
+    graph: Graph,
+    data: np.ndarray,
+    query: np.ndarray,
+    seeds: np.ndarray,
+    ef: int,
+    counter: DistanceCounter | None = None,
+    guided_hops: int | None = None,
+    min_keep: int = 2,
+) -> SearchResult:
+    """The optimized algorithm's routing (§6 Improvement).
+
+    One frontier, two phases: the first ``guided_hops`` expansions use
+    HCNNG-style guided filtering to approach the query cheaply, after
+    which plain best-first expansion takes over for accuracy.  Sharing
+    the frontier (rather than restarting) is what makes the combination
+    cheaper than BFS alone — no vertex is ever evaluated twice.
+    """
+    counter = counter if counter is not None else DistanceCounter()
+    start_ndc = counter.count
+    if guided_hops is None:
+        guided_hops = max(4, ef // 2)
+    frontier = _Frontier(graph.n, ef)
+    frontier.seed(seeds, data, query, counter)
+    hops = 0
+    while frontier.candidates:
+        dist, u = heapq.heappop(frontier.candidates)
+        if dist > frontier.worst():
+            break
+        hops += 1
+        if hops <= guided_hops:
+            nbrs = graph.neighbor_array(u)
+            if len(nbrs) > min_keep:
+                direction = query - data[u]
+                toward = (data[nbrs] - data[u]) @ direction > 0.0
+                if toward.sum() >= min_keep:
+                    frontier.expand(u, graph, data, query, counter, keep=toward)
+                    continue
+        frontier.expand(u, graph, data, query, counter)
+    return frontier.finish(counter.count - start_ndc, hops)

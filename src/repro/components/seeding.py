@@ -1,0 +1,190 @@
+"""C4/C6 — seed preprocessing and acquisition.
+
+C4 happens at build time (construct the auxiliary structure or fix the
+entry vertices); C6 happens per query (produce the seed set S-hat of
+Definition 4.3).  The two are interlocked — "after specifying C4, C6 is
+also determined" (§5.4) — so a single :class:`SeedProvider` object
+implements both: ``prepare`` is C4, ``acquire`` is C6.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance import DistanceCounter, l2_batch
+from repro.graphs.graph import Graph
+from repro.hashing.lsh import RandomHyperplaneLSH
+from repro.trees.kd_tree import KDTree
+from repro.trees.kmeans_tree import BalancedKMeansTree
+from repro.trees.vp_tree import VPTree
+
+__all__ = [
+    "SeedProvider",
+    "RandomSeeds",
+    "FixedSeeds",
+    "CentroidSeeds",
+    "KDTreeSeeds",
+    "KDTreeDescendSeeds",
+    "VPTreeSeeds",
+    "KMeansTreeSeeds",
+    "LSHSeeds",
+]
+
+
+class SeedProvider:
+    """Base class: C4 = :meth:`prepare`, C6 = :meth:`acquire`."""
+
+    #: preprocessing bytes beyond the graph itself (Table 5 MO driver)
+    extra_bytes: int = 0
+
+    def prepare(self, data: np.ndarray, graph: Graph) -> None:
+        """Build whatever auxiliary structure C4 requires."""
+
+    def acquire(
+        self, query: np.ndarray, counter: DistanceCounter | None = None
+    ) -> np.ndarray:
+        """Return the seed ids for one query."""
+        raise NotImplementedError
+
+
+class RandomSeeds(SeedProvider):
+    """KGraph/FANNG/NSW/DPG: random entries, no preprocessing."""
+
+    def __init__(self, count: int = 8, seed: int = 0):
+        self.count = count
+        self._rng = np.random.default_rng(seed)
+        self._n = 0
+
+    def prepare(self, data: np.ndarray, graph: Graph) -> None:
+        self._n = len(data)
+
+    def acquire(self, query, counter=None) -> np.ndarray:
+        return self._rng.integers(0, self._n, size=min(self.count, self._n))
+
+
+class FixedSeeds(SeedProvider):
+    """Entries fixed at build time (HNSW top layer is a special case)."""
+
+    def __init__(self, seed_ids: np.ndarray):
+        self._ids = np.asarray(seed_ids, dtype=np.int64)
+
+    def acquire(self, query, counter=None) -> np.ndarray:
+        return self._ids
+
+
+class CentroidSeeds(SeedProvider):
+    """NSG/Vamana: the approximate medoid of S as the single entry."""
+
+    def __init__(self) -> None:
+        self._medoid = 0
+
+    def prepare(self, data: np.ndarray, graph: Graph) -> None:
+        mean = data.mean(axis=0)
+        self._medoid = int(np.argmin(l2_batch(mean, data)))
+
+    @property
+    def medoid(self) -> int:
+        return self._medoid
+
+    def acquire(self, query, counter=None) -> np.ndarray:
+        return np.asarray([self._medoid], dtype=np.int64)
+
+
+class KDTreeSeeds(SeedProvider):
+    """EFANNA/SPTAG-KDT: ANNS over randomized KD-trees (pays NDC)."""
+
+    def __init__(self, num_trees: int = 4, count: int = 8, seed: int = 0):
+        self.num_trees = num_trees
+        self.count = count
+        self.seed = seed
+        self._trees: list[KDTree] = []
+
+    def prepare(self, data: np.ndarray, graph: Graph) -> None:
+        self._trees = [
+            KDTree(data, seed=self.seed + t) for t in range(self.num_trees)
+        ]
+        self.extra_bytes = len(data) * 8 * self.num_trees
+
+    def acquire(self, query, counter=None) -> np.ndarray:
+        per_tree = max(1, self.count // len(self._trees))
+        found = [
+            tree.search(query, per_tree, counter=counter, max_leaves=2)
+            for tree in self._trees
+        ]
+        return np.unique(np.concatenate(found))[: self.count]
+
+
+class KDTreeDescendSeeds(SeedProvider):
+    """HCNNG: descend KD-trees by value comparison only — zero NDC.
+
+    The §5.4 C4 discussion singles this out: better than NGT/BKT seeds
+    because locating the bucket costs no distance computations.
+    """
+
+    def __init__(self, num_trees: int = 3, count: int = 8, seed: int = 0):
+        self.num_trees = num_trees
+        self.count = count
+        self.seed = seed
+        self._trees: list[KDTree] = []
+        self._rng = np.random.default_rng(seed)
+
+    def prepare(self, data: np.ndarray, graph: Graph) -> None:
+        self._trees = [
+            KDTree(data, seed=self.seed + t) for t in range(self.num_trees)
+        ]
+        self.extra_bytes = len(data) * 8 * self.num_trees
+
+    def acquire(self, query, counter=None) -> np.ndarray:
+        buckets = [tree.descend(query) for tree in self._trees]
+        pool = np.unique(np.concatenate(buckets))
+        if len(pool) <= self.count:
+            return pool
+        return self._rng.choice(pool, size=self.count, replace=False)
+
+
+class VPTreeSeeds(SeedProvider):
+    """NGT: vantage-point-tree entry (distance computations charged)."""
+
+    def __init__(self, count: int = 4, seed: int = 0):
+        self.count = count
+        self.seed = seed
+        self._tree: VPTree | None = None
+
+    def prepare(self, data: np.ndarray, graph: Graph) -> None:
+        self._tree = VPTree(data, seed=self.seed)
+        self.extra_bytes = len(data) * 12
+
+    def acquire(self, query, counter=None) -> np.ndarray:
+        return self._tree.search(query, self.count, counter=counter, max_nodes=24)
+
+
+class KMeansTreeSeeds(SeedProvider):
+    """SPTAG-BKT: balanced k-means tree entry."""
+
+    def __init__(self, count: int = 8, seed: int = 0):
+        self.count = count
+        self.seed = seed
+        self._tree: BalancedKMeansTree | None = None
+
+    def prepare(self, data: np.ndarray, graph: Graph) -> None:
+        self._tree = BalancedKMeansTree(data, seed=self.seed)
+        self.extra_bytes = len(data) * 16
+
+    def acquire(self, query, counter=None) -> np.ndarray:
+        return self._tree.search(query, self.count, counter=counter)
+
+
+class LSHSeeds(SeedProvider):
+    """IEH: hash-bucket entries — the best C4 in the study (§5.4)."""
+
+    def __init__(self, count: int = 8, seed: int = 0):
+        self.count = count
+        self.seed = seed
+        self._lsh: RandomHyperplaneLSH | None = None
+
+    def prepare(self, data: np.ndarray, graph: Graph) -> None:
+        self._lsh = RandomHyperplaneLSH(data, seed=self.seed)
+        self.extra_bytes = len(data) * 8 * self._lsh.num_tables
+
+    def acquire(self, query, counter=None) -> np.ndarray:
+        return self._lsh.search(query, self.count, counter=counter)

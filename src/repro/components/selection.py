@@ -1,0 +1,243 @@
+"""C3 — neighbor selection strategies (§4.1, Definition 4.5).
+
+Two factors matter (the paper's framing): *distance* (keep the closest
+candidates) and *space distribution* (keep candidates spread in all
+directions).  Implemented rules:
+
+* :func:`select_closest` — distance only (KGraph, EFANNA, IEH, NSW);
+* :func:`select_rng_heuristic` — the RNG-style rule shared by HNSW,
+  NSG and FANNG (proved equivalent in Appendix A), generalised with
+  Vamana's ``alpha`` (``alpha = 1`` recovers HNSW/NSG exactly);
+* :func:`select_angle_sum` — DPG's angle-sum maximisation (an RNG
+  approximation, Appendix C);
+* :func:`select_angle_threshold` — NSSG's minimum-angle rule;
+* :func:`select_mst` — HCNNG's MST over ``{p} ∪ C``;
+* :func:`path_adjustment` — NGT's alternative-path edge pruning (an
+  RNG approximation, Appendix B), also used by k-DR in strict mode.
+
+All rules receive candidates **sorted by ascending distance to p** and
+return the selected candidate ids in selection order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance import DistanceCounter, l2_batch, pairwise_l2
+from repro.graphs.graph import Graph
+from repro.graphs.mst import euclidean_mst
+
+__all__ = [
+    "select_closest",
+    "select_rng_heuristic",
+    "select_angle_sum",
+    "select_angle_threshold",
+    "select_mst",
+    "path_adjustment",
+]
+
+
+def _check_sorted(dists: np.ndarray) -> None:
+    if len(dists) > 1 and np.any(np.diff(dists) < 0):
+        raise ValueError("candidates must be sorted by ascending distance")
+
+
+def select_closest(
+    candidate_ids: np.ndarray,
+    candidate_dists: np.ndarray,
+    max_degree: int,
+) -> np.ndarray:
+    """Distance factor only: the ``max_degree`` nearest candidates."""
+    _check_sorted(candidate_dists)
+    return np.asarray(candidate_ids[:max_degree], dtype=np.int64)
+
+
+def select_rng_heuristic(
+    point: np.ndarray,
+    candidate_ids: np.ndarray,
+    candidate_dists: np.ndarray,
+    data: np.ndarray,
+    max_degree: int,
+    counter: DistanceCounter | None = None,
+    alpha: float = 1.0,
+) -> np.ndarray:
+    """HNSW's heuristic selection == NSG's MRNG rule (Appendix A).
+
+    Scan candidates in ascending distance; accept ``m`` iff for every
+    already-selected ``n``: ``alpha * δ(m, n) > δ(m, p)``.  ``alpha=1``
+    is the HNSW/NSG rule; Vamana runs two passes with ``alpha`` 1 then
+    >1, which keeps more (longer) edges.
+    """
+    _check_sorted(candidate_dists)
+    if len(candidate_ids) == 0:
+        return np.asarray([], dtype=np.int64)
+    cand = np.asarray(candidate_ids, dtype=np.int64)
+    # eager cross-distance matrix: one vectorised call instead of the
+    # sequential per-pair evaluations of the scalar formulation
+    cross = pairwise_l2(data[cand], data[cand])
+    if counter is not None:
+        counter.count += len(cand) * (len(cand) - 1) // 2
+    selected: list[int] = []
+    for pos in range(len(cand)):
+        if len(selected) >= max_degree:
+            break
+        if not selected:
+            selected.append(pos)
+            continue
+        d_to_selected = cross[pos, selected]
+        # reject only when some selected n is *strictly* closer to m than
+        # p is (ties accepted, as in the HNSW reference implementation —
+        # strict rejection would let exact duplicates of p occlude
+        # every other candidate)
+        if not np.any(alpha * d_to_selected < candidate_dists[pos]):
+            selected.append(pos)
+    return cand[selected]
+
+
+def select_angle_sum(
+    point: np.ndarray,
+    candidate_ids: np.ndarray,
+    candidate_dists: np.ndarray,
+    data: np.ndarray,
+    max_degree: int,
+) -> np.ndarray:
+    """DPG's diversification: greedily maximise the angle sum.
+
+    Start from the closest candidate, then repeatedly add the candidate
+    whose summed angle (at ``p``) to all already-selected neighbors is
+    largest — spreading neighbors omnidirectionally (Appendix C shows
+    this approximates the RNG rule).
+    """
+    _check_sorted(candidate_dists)
+    if len(candidate_ids) == 0:
+        return np.asarray([], dtype=np.int64)
+    cand = np.asarray(candidate_ids, dtype=np.int64)
+    vectors = data[cand].astype(np.float64) - point
+    norms = np.linalg.norm(vectors, axis=1)
+    norms[norms == 0.0] = 1e-12
+    unit = vectors / norms[:, None]
+    cosines = np.clip(unit @ unit.T, -1.0, 1.0)
+    angles = np.arccos(cosines)
+    selected = [0]
+    score = angles[:, 0].copy()
+    score[0] = -np.inf
+    while len(selected) < min(max_degree, len(cand)):
+        best = int(np.argmax(score))
+        if not np.isfinite(score[best]):
+            break
+        selected.append(best)
+        score += angles[:, best]
+        score[best] = -np.inf
+    return cand[selected]
+
+
+def select_angle_threshold(
+    point: np.ndarray,
+    candidate_ids: np.ndarray,
+    candidate_dists: np.ndarray,
+    data: np.ndarray,
+    max_degree: int,
+    min_angle_deg: float = 60.0,
+) -> np.ndarray:
+    """NSSG's rule: accept iff every angle to selected is >= threshold.
+
+    A relaxation of MRNG (Lemma 7.1: the RNG rule guarantees pairwise
+    angles >= 60°), so smaller thresholds keep more neighbors — the
+    larger out-degree the paper observes for NSSG.
+    """
+    _check_sorted(candidate_dists)
+    if len(candidate_ids) == 0:
+        return np.asarray([], dtype=np.int64)
+    cand = np.asarray(candidate_ids, dtype=np.int64)
+    vectors = data[cand].astype(np.float64) - point
+    norms = np.linalg.norm(vectors, axis=1)
+    norms[norms == 0.0] = 1e-12
+    unit = vectors / norms[:, None]
+    cos_threshold = np.cos(np.radians(min_angle_deg))
+    selected: list[int] = []
+    for pos in range(len(cand)):
+        if len(selected) >= max_degree:
+            break
+        if not selected:
+            selected.append(pos)
+            continue
+        cos_to_selected = unit[selected] @ unit[pos]
+        if np.all(cos_to_selected <= cos_threshold + 1e-12):
+            selected.append(pos)
+    return cand[selected]
+
+
+def select_mst(
+    point_id: int,
+    point: np.ndarray,
+    candidate_ids: np.ndarray,
+    data: np.ndarray,
+    max_degree: int,
+    counter: DistanceCounter | None = None,
+) -> np.ndarray:
+    """HCNNG-style selection: p's neighbors in the MST of ``{p} ∪ C``."""
+    cand = np.asarray(candidate_ids, dtype=np.int64)
+    if len(cand) == 0:
+        return cand
+    local = np.vstack([point[None, :], data[cand]])
+    edges = euclidean_mst(local, counter=counter)
+    chosen = [
+        (cand[v - 1] if u == 0 else cand[u - 1])
+        for u, v, _ in edges
+        if u == 0 or v == 0
+    ]
+    return np.asarray(chosen[:max_degree], dtype=np.int64)
+
+
+def path_adjustment(
+    graph: Graph,
+    data: np.ndarray,
+    max_degree: int,
+    counter: DistanceCounter | None = None,
+    strict: bool = False,
+) -> Graph:
+    """NGT's degree-reduction by alternative paths (Appendix B).
+
+    For each vertex ``p`` with neighbors sorted ascending, cut neighbor
+    ``n`` when an already-kept neighbor ``x`` gives a two-edge path with
+    ``max(δ(p,x), δ(x,n)) < δ(p,n)``.  ``strict=True`` is k-DR's
+    variant: cut whenever *any* alternative path exists through a kept
+    neighbor, regardless of the max-edge condition.
+    """
+    adjusted = Graph(graph.n)
+    for p in range(graph.n):
+        nbrs = graph.neighbor_array(p)
+        if len(nbrs) == 0:
+            continue
+        dists = (
+            counter.one_to_many(data[p], data[nbrs])
+            if counter is not None
+            else l2_batch(data[p], data[nbrs])
+        )
+        order = np.argsort(dists, kind="stable")
+        nbrs, dists = nbrs[order], dists[order]
+        kept: list[int] = []
+        kept_pd: list[float] = []
+        for pos, n in enumerate(nbrs):
+            if len(kept) >= max_degree:
+                break
+            if not kept:
+                kept.append(int(n))
+                kept_pd.append(float(dists[pos]))
+                continue
+            d_xn = (
+                counter.one_to_many(data[n], data[kept])
+                if counter is not None
+                else l2_batch(data[n], data[kept])
+            )
+            if strict:
+                cut = bool(np.any(d_xn < dists[pos]))
+            else:
+                cut = bool(
+                    np.any(np.maximum(np.asarray(kept_pd), d_xn) < dists[pos])
+                )
+            if not cut:
+                kept.append(int(n))
+                kept_pd.append(float(dists[pos]))
+        adjusted.set_neighbors(p, kept)
+    return adjusted

@@ -1,0 +1,29 @@
+"""Dataset substrate: synthetic generators, real-world stand-ins, ground truth.
+
+The paper evaluates on eight real-world datasets (Table 3) and twelve
+synthetic datasets (Table 10).  Real-world data is not redistributable
+offline, so :mod:`repro.datasets.realworld` provides seeded synthetic
+stand-ins matching each dataset's dimension and relative difficulty
+(local intrinsic dimensionality); :mod:`repro.datasets.synthetic` is the
+paper's own clustered-Gaussian generator.
+"""
+
+from repro.datasets.dataset import Dataset
+from repro.datasets.synthetic import make_clustered, SyntheticSpec, SYNTHETIC_SPECS
+from repro.datasets.realworld import make_standin, REALWORLD_SPECS, RealWorldSpec
+from repro.datasets.ground_truth import brute_force_knn, estimate_lid
+from repro.datasets.registry import load_dataset, available_datasets
+
+__all__ = [
+    "Dataset",
+    "make_clustered",
+    "SyntheticSpec",
+    "SYNTHETIC_SPECS",
+    "make_standin",
+    "REALWORLD_SPECS",
+    "RealWorldSpec",
+    "brute_force_knn",
+    "estimate_lid",
+    "load_dataset",
+    "available_datasets",
+]

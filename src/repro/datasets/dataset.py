@@ -1,0 +1,103 @@
+"""The :class:`Dataset` container used throughout the library.
+
+A dataset bundles the base vectors, the query vectors and the exact
+ground-truth neighbors (computed by linear scan, as the paper does for
+its ground-truth files).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """Base vectors + queries + exact ground truth.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (e.g. ``"sift1m-standin"``).
+    base:
+        ``(n, d)`` float32 array of indexable points.
+    queries:
+        ``(q, d)`` float32 array of query points (disjoint from base).
+    ground_truth:
+        ``(q, k_gt)`` int array; row ``i`` holds the exact nearest
+        neighbors of query ``i`` in ascending distance order.
+    metadata:
+        Free-form provenance (generator parameters, measured LID, ...).
+    """
+
+    name: str
+    base: np.ndarray
+    queries: np.ndarray
+    ground_truth: np.ndarray
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.base.ndim != 2:
+            raise ValueError(f"base must be 2-D, got shape {self.base.shape}")
+        if self.queries.ndim != 2:
+            raise ValueError(f"queries must be 2-D, got shape {self.queries.shape}")
+        if self.base.shape[1] != self.queries.shape[1]:
+            raise ValueError(
+                "base and queries must share a dimension: "
+                f"{self.base.shape[1]} vs {self.queries.shape[1]}"
+            )
+        if len(self.ground_truth) != len(self.queries):
+            raise ValueError(
+                "one ground-truth row per query required: "
+                f"{len(self.ground_truth)} rows vs {len(self.queries)} queries"
+            )
+
+    @property
+    def n(self) -> int:
+        """Cardinality of the base set (|S| in the paper)."""
+        return len(self.base)
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality d."""
+        return self.base.shape[1]
+
+    @property
+    def num_queries(self) -> int:
+        """Number of query vectors."""
+        return len(self.queries)
+
+    @property
+    def gt_depth(self) -> int:
+        """How many exact neighbors are stored per query."""
+        return self.ground_truth.shape[1]
+
+    def subset(self, n: int, num_queries: int | None = None) -> "Dataset":
+        """First ``n`` base points with ground truth recomputed.
+
+        Useful for cardinality sweeps (Table 12, Figure 14) where the
+        same generated cloud is evaluated at several scales.
+        """
+        from repro.datasets.ground_truth import brute_force_knn
+
+        if n > self.n:
+            raise ValueError(f"cannot take {n} points from a base of {self.n}")
+        queries = self.queries if num_queries is None else self.queries[:num_queries]
+        base = self.base[:n]
+        gt, _ = brute_force_knn(base, queries, self.gt_depth)
+        return Dataset(
+            name=f"{self.name}[:{n}]",
+            base=base,
+            queries=queries,
+            ground_truth=gt,
+            metadata=dict(self.metadata, parent=self.name, subset_n=n),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Dataset({self.name!r}, n={self.n}, dim={self.dim}, "
+            f"queries={self.num_queries})"
+        )

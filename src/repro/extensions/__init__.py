@@ -1,0 +1,13 @@
+"""Extensions beyond the survey's core evaluation, from its §6 outlook:
+
+* :mod:`attribute_filter` — hybrid queries with structured attribute
+  constraints during graph routing ("the latest research adds
+  structured attribute constraints to the search process");
+* :mod:`io_model` — external-memory cost modelling, the rationale
+  behind Table 7's S3 recommendation (query path length ≈ I/O count).
+"""
+
+from repro.extensions.attribute_filter import AttributeFilteredIndex
+from repro.extensions.io_model import DiskIOModel
+
+__all__ = ["AttributeFilteredIndex", "DiskIOModel"]

@@ -1,0 +1,85 @@
+"""External-memory cost model for graph search.
+
+Table 7's S3 recommendation (DPG/HCNNG for data on SSD) rests on the
+observation that the *query path length* determines the number of I/O
+round trips when vectors live on external storage (§5.3, citing
+DiskANN [88]).  This model makes that argument executable: given a
+built index and a storage profile, it estimates per-query latency as
+
+    latency = hops * read_latency + ndc * compute_per_distance
+
+so the PL-vs-NDC tradeoff between algorithms can be compared under
+different storage speeds (the crossover moves as storage slows down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.base import BatchStats, GraphANNS
+from repro.datasets.dataset import Dataset
+
+__all__ = ["DiskIOModel", "StorageProfile"]
+
+
+@dataclass(frozen=True)
+class StorageProfile:
+    """Latency parameters of one storage tier."""
+
+    name: str
+    read_latency_s: float        # one vertex-block fetch
+    compute_per_distance_s: float
+
+    @classmethod
+    def ram(cls) -> "StorageProfile":
+        """In-memory serving: compute-only latency."""
+        return cls("ram", read_latency_s=0.0, compute_per_distance_s=5e-8)
+
+    @classmethod
+    def ssd(cls) -> "StorageProfile":
+        """NVMe-class storage (DiskANN's regime)."""
+        return cls("ssd", read_latency_s=1e-4, compute_per_distance_s=5e-8)
+
+    @classmethod
+    def hdd(cls) -> "StorageProfile":
+        """Spinning disk: I/O utterly dominates."""
+        return cls("hdd", read_latency_s=5e-3, compute_per_distance_s=5e-8)
+
+
+@dataclass(frozen=True)
+class IOEstimate:
+    """Modelled per-query cost for one (index, storage) pair."""
+
+    io_count: float
+    ndc: float
+    latency_s: float
+
+
+class DiskIOModel:
+    """Estimate external-memory query latency from measured search stats."""
+
+    def __init__(self, profile: StorageProfile):
+        self.profile = profile
+
+    def estimate(self, stats: BatchStats) -> IOEstimate:
+        """Cost model applied to measured batch statistics."""
+        latency = (
+            stats.mean_hops * self.profile.read_latency_s
+            + stats.mean_ndc * self.profile.compute_per_distance_s
+        )
+        return IOEstimate(
+            io_count=stats.mean_hops, ndc=stats.mean_ndc, latency_s=latency
+        )
+
+    def evaluate(
+        self,
+        index: GraphANNS,
+        dataset: Dataset,
+        k: int = 10,
+        ef: int | None = None,
+    ) -> IOEstimate:
+        """Measure a query batch and apply the cost model."""
+        stats = index.batch_search(
+            dataset.queries, dataset.ground_truth, k=k, ef=ef
+        )
+        return self.estimate(stats)

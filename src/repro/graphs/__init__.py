@@ -1,0 +1,17 @@
+"""Base proximity graphs (§3.1 of the paper) and the shared graph type."""
+
+from repro.graphs.graph import Graph
+from repro.graphs.knng import exact_knn_graph, exact_knn_lists
+from repro.graphs.rng import relative_neighborhood_graph
+from repro.graphs.delaunay import delaunay_graph
+from repro.graphs.mst import euclidean_mst, mst_over_candidates
+
+__all__ = [
+    "Graph",
+    "exact_knn_graph",
+    "exact_knn_lists",
+    "relative_neighborhood_graph",
+    "delaunay_graph",
+    "euclidean_mst",
+    "mst_over_candidates",
+]

@@ -1,0 +1,48 @@
+"""Delaunay Graph (DG, §3.1).
+
+For dimension 2 and 3 we build the exact Delaunay triangulation via
+Qhull (scipy).  In higher dimensions the exact DG degenerates towards
+the complete graph (the paper's stated drawback) and exact construction
+is impractical, which is precisely why ANNS algorithms only ever
+*approximate* it (NSW, NGT); ``delaunay_graph`` therefore refuses
+dimensions above ``max_exact_dim`` instead of silently approximating.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import Delaunay
+
+from repro.graphs.graph import Graph
+
+__all__ = ["delaunay_graph"]
+
+
+def delaunay_graph(data: np.ndarray, max_exact_dim: int = 4) -> Graph:
+    """Exact Delaunay graph of ``data`` (undirected).
+
+    Raises ``ValueError`` when ``data`` has more than ``max_exact_dim``
+    dimensions — approximations of DG live in the NSW/NGT algorithms,
+    not here.
+    """
+    n, dim = data.shape
+    if dim > max_exact_dim:
+        raise ValueError(
+            f"exact Delaunay graph is limited to dim <= {max_exact_dim}; "
+            f"got dim={dim}. Use NSW/NGT for approximate DG in high dimension."
+        )
+    if n <= dim + 1:
+        # Degenerate simplex count: fall back to the complete graph,
+        # which equals the DG for such tiny inputs.
+        graph = Graph(n)
+        for i in range(n):
+            for j in range(i + 1, n):
+                graph.add_undirected_edge(i, j)
+        return graph
+    tri = Delaunay(data)
+    graph = Graph(n)
+    for simplex in tri.simplices:
+        for a_pos, a in enumerate(simplex):
+            for b in simplex[a_pos + 1:]:
+                graph.add_undirected_edge(int(a), int(b))
+    return graph

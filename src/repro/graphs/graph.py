@@ -1,0 +1,188 @@
+"""Adjacency-list graph shared by every index in the library.
+
+Vertices are integers ``0..n-1`` that correspond one-to-one with rows of
+the dataset (Definition 2.3).  Edges are *directed*: ``v in
+graph.neighbors(u)`` means the search may hop ``u -> v``.  Undirected
+graphs (NSW, DPG, k-DR) simply store both directions.
+
+The class also exposes the index-characteristic statistics of §5.1:
+average/max/min out-degree (Table 4, Table 11), number of weakly
+connected components (Table 4), and an index-size estimate (Figure 6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+_EDGE_BYTES = 4  # int32 neighbor id, matching the paper's C++ layouts
+
+
+class Graph:
+    """A directed proximity graph over ``n`` vertices."""
+
+    def __init__(self, n: int, neighbor_lists: Sequence[Iterable[int]] | None = None):
+        if n < 0:
+            raise ValueError(f"vertex count must be non-negative, got {n}")
+        self.n = n
+        if neighbor_lists is None:
+            self._adj: list[list[int]] = [[] for _ in range(n)]
+        else:
+            if len(neighbor_lists) != n:
+                raise ValueError(
+                    f"expected {n} neighbor lists, got {len(neighbor_lists)}"
+                )
+            self._adj = [list(dict.fromkeys(int(v) for v in lst)) for lst in neighbor_lists]
+        self._arrays: list[np.ndarray] | None = None
+
+    # -- construction -------------------------------------------------
+
+    def add_vertex(self) -> int:
+        """Append an isolated vertex; returns its id (incremental inserts)."""
+        self._adj.append([])
+        self.n += 1
+        self._arrays = None
+        return self.n - 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the directed edge ``u -> v`` if absent."""
+        if u == v:
+            return
+        if v not in self._adj[u]:
+            self._adj[u].append(v)
+            self._arrays = None
+
+    def add_undirected_edge(self, u: int, v: int) -> None:
+        """Add both edge directions (NSW/DPG-style undirected graphs)."""
+        self.add_edge(u, v)
+        self.add_edge(v, u)
+
+    def set_neighbors(self, u: int, neighbors: Iterable[int]) -> None:
+        """Replace ``u``'s out-neighbors (deduplicated, self-loops dropped)."""
+        self._adj[u] = [int(v) for v in dict.fromkeys(neighbors) if int(v) != u]
+        self._arrays = None
+
+    def neighbors(self, u: int) -> list[int]:
+        """Mutable out-neighbor list of ``u``."""
+        return self._adj[u]
+
+    def neighbor_array(self, u: int) -> np.ndarray:
+        """Neighbors of ``u`` as an int array (cached after :meth:`finalize`)."""
+        if self._arrays is not None:
+            return self._arrays[u]
+        return np.asarray(self._adj[u], dtype=np.int64)
+
+    def finalize(self) -> "Graph":
+        """Freeze adjacency into int arrays for fast search-time access."""
+        self._arrays = [np.asarray(lst, dtype=np.int64) for lst in self._adj]
+        return self
+
+    def copy(self) -> "Graph":
+        """Deep copy of the adjacency (vertices share nothing)."""
+        return Graph(self.n, [list(lst) for lst in self._adj])
+
+    # -- iteration / comparison ----------------------------------------
+
+    def __iter__(self) -> Iterator[list[int]]:
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield every directed edge ``(u, v)``."""
+        for u, lst in enumerate(self._adj):
+            for v in lst:
+                yield u, v
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """All directed edges as a set (graph-equality comparisons)."""
+        return set(self.edges())
+
+    @property
+    def num_edges(self) -> int:
+        """Total directed edge count."""
+        return sum(len(lst) for lst in self._adj)
+
+    # -- statistics (§5.1 metrics) --------------------------------------
+
+    @property
+    def average_out_degree(self) -> float:
+        """Table 4's AD column."""
+        if self.n == 0:
+            return 0.0
+        return self.num_edges / self.n
+
+    @property
+    def max_out_degree(self) -> int:
+        """Table 11's D_max."""
+        return max((len(lst) for lst in self._adj), default=0)
+
+    @property
+    def min_out_degree(self) -> int:
+        """Table 11's D_min."""
+        return min((len(lst) for lst in self._adj), default=0)
+
+    def num_connected_components(self) -> int:
+        """Weakly connected components (edges treated as undirected).
+
+        This is the CC column of Table 4: it measures whether every
+        vertex is *reachable* when the search is allowed to enter from
+        any component, which is what connectivity guarantees (C5) aim
+        to maximise (CC == 1).
+        """
+        if self.n == 0:
+            return 0
+        undirected: list[list[int]] = [[] for _ in range(self.n)]
+        for u, v in self.edges():
+            undirected[u].append(v)
+            undirected[v].append(u)
+        seen = np.zeros(self.n, dtype=bool)
+        components = 0
+        for start in range(self.n):
+            if seen[start]:
+                continue
+            components += 1
+            queue = deque([start])
+            seen[start] = True
+            while queue:
+                u = queue.popleft()
+                for v in undirected[u]:
+                    if not seen[v]:
+                        seen[v] = True
+                        queue.append(v)
+        return components
+
+    def index_size_bytes(self) -> int:
+        """Approximate serialized size: one int32 per edge + per-vertex length."""
+        return self.num_edges * _EDGE_BYTES + self.n * _EDGE_BYTES
+
+    def to_padded_matrix(self, pad: int = -1) -> np.ndarray:
+        """Adjacency as an ``(n, D_max)`` int matrix, ``pad``-filled.
+
+        Appendix I's memory-alignment trick: aligning every neighbor
+        list to the maximum out-degree allows contiguous access — and
+        lets NumPy fetch whole neighbor rows in one slice.  Algorithms
+        whose D_max dwarfs their average degree (NSW, DPG, k-DR) pay a
+        correspondingly large padding bill, which is exactly the
+        paper's caveat about this optimisation.
+        """
+        width = self.max_out_degree
+        matrix = np.full((self.n, width), pad, dtype=np.int64)
+        for v, lst in enumerate(self._adj):
+            matrix[v, : len(lst)] = lst
+        return matrix
+
+    def reverse(self) -> "Graph":
+        """Graph with every edge direction flipped."""
+        rev = Graph(self.n)
+        for u, v in self.edges():
+            rev.add_edge(v, u)
+        return rev
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph(n={self.n}, edges={self.num_edges}, "
+            f"avg_deg={self.average_out_degree:.1f})"
+        )

@@ -1,0 +1,57 @@
+"""Exact K-Nearest Neighbor Graph (KNNG, §3.1).
+
+Each point is connected to its ``K`` exact nearest neighbors, producing a
+directed graph.  Built by (chunked) brute force, this is the reference
+graph for the *graph quality* metric GQ = |E' ∩ E| / |E| (§5.1) and the
+initial graph of IEH, FANNG and k-DR (their papers build it by linear
+scan).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance import DistanceCounter, pairwise_l2
+from repro.graphs.graph import Graph
+
+__all__ = ["exact_knn_lists", "exact_knn_graph"]
+
+
+def exact_knn_lists(
+    data: np.ndarray,
+    k: int,
+    counter: DistanceCounter | None = None,
+    chunk_size: int = 512,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact ``k`` nearest neighbors of every point among the others.
+
+    Returns ``(ids, dists)`` with shape ``(n, k)`` each, rows sorted by
+    ascending distance, the point itself excluded.
+    """
+    n = len(data)
+    if n < 2:
+        raise ValueError(f"need at least 2 points for a KNN graph, got {n}")
+    k = min(k, n - 1)
+    ids = np.empty((n, k), dtype=np.int64)
+    dists = np.empty((n, k), dtype=np.float64)
+    for start in range(0, n, chunk_size):
+        stop = min(start + chunk_size, n)
+        block = pairwise_l2(data[start:stop], data)
+        if counter is not None:
+            counter.count += (stop - start) * n
+        rows = np.arange(start, stop)
+        block[rows - start, rows] = np.inf  # exclude self
+        part = np.argpartition(block, k - 1, axis=1)[:, :k]
+        part_d = np.take_along_axis(block, part, axis=1)
+        order = np.argsort(part_d, axis=1, kind="stable")
+        ids[start:stop] = np.take_along_axis(part, order, axis=1)
+        dists[start:stop] = np.take_along_axis(part_d, order, axis=1)
+    return ids, dists
+
+
+def exact_knn_graph(
+    data: np.ndarray, k: int, counter: DistanceCounter | None = None
+) -> Graph:
+    """The exact KNNG as a directed :class:`Graph`."""
+    ids, _ = exact_knn_lists(data, k, counter=counter)
+    return Graph(len(data), ids.tolist())

@@ -1,0 +1,85 @@
+"""Euclidean Minimum Spanning Tree (MST, §3.1).
+
+The MST connects all points with minimum total edge weight, guaranteeing
+global connectivity with the fewest edges — the property HCNNG exploits
+as its neighbor-selection rule.  Two entry points:
+
+* :func:`euclidean_mst` — exact MST of a point set (dense Prim), used
+  for base-graph analysis and inside HCNNG clusters (cluster sizes are
+  small, so the O(m²) dense Prim is the right tool);
+* :func:`mst_over_candidates` — Kruskal over an explicit candidate edge
+  list, used when only a sparse set of edges is allowed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance import DistanceCounter, pairwise_l2
+
+__all__ = ["euclidean_mst", "mst_over_candidates"]
+
+
+def euclidean_mst(
+    data: np.ndarray, counter: DistanceCounter | None = None
+) -> list[tuple[int, int, float]]:
+    """Exact Euclidean MST edges ``(u, v, weight)`` via dense Prim."""
+    n = len(data)
+    if n <= 1:
+        return []
+    # float64: edge weights feed weight-sum comparisons and tests, where
+    # float32 expanded-form rounding (~1e-6 relative) is visible
+    dmat = pairwise_l2(data.astype(np.float64), data.astype(np.float64))
+    if counter is not None:
+        counter.count += n * n
+    in_tree = np.zeros(n, dtype=bool)
+    best_dist = dmat[0].copy()
+    best_from = np.zeros(n, dtype=np.int64)
+    in_tree[0] = True
+    best_dist[0] = np.inf
+    edges: list[tuple[int, int, float]] = []
+    for _ in range(n - 1):
+        v = int(np.argmin(best_dist))
+        edges.append((int(best_from[v]), v, float(best_dist[v])))
+        in_tree[v] = True
+        best_dist[v] = np.inf
+        closer = dmat[v] < best_dist
+        closer &= ~in_tree
+        best_dist[closer] = dmat[v][closer]
+        best_from[closer] = v
+    return edges
+
+
+class _UnionFind:
+    """Union-find with path halving, for Kruskal."""
+
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        parent = self.parent
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self.parent[rb] = ra
+        return True
+
+
+def mst_over_candidates(
+    n: int, edges: list[tuple[int, int, float]]
+) -> list[tuple[int, int, float]]:
+    """Kruskal MST (or minimum spanning forest) over candidate edges."""
+    uf = _UnionFind(n)
+    chosen: list[tuple[int, int, float]] = []
+    for u, v, w in sorted(edges, key=lambda e: e[2]):
+        if uf.union(u, v):
+            chosen.append((u, v, w))
+            if len(chosen) == n - 1:
+                break
+    return chosen

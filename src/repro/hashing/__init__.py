@@ -1,0 +1,5 @@
+"""Hash-based seed structures (IEH, C4_IEH)."""
+
+from repro.hashing.lsh import RandomHyperplaneLSH
+
+__all__ = ["RandomHyperplaneLSH"]

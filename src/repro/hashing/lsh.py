@@ -1,0 +1,89 @@
+"""Random-hyperplane LSH buckets.
+
+IEH's original seed structure is a hash table built in MATLAB; the
+survey's C4 study finds hash-based entry acquisition the *best* seed
+strategy because a bucket lookup needs no distance computations to
+locate candidates (§5.4).  This module reproduces that behaviour with
+sign-of-projection (SimHash) codes over several independent tables.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.distance import DistanceCounter, l2_batch
+
+__all__ = ["RandomHyperplaneLSH"]
+
+
+class RandomHyperplaneLSH:
+    """Multi-table sign-projection LSH over a point set."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        num_bits: int | None = None,
+        num_tables: int = 4,
+        seed: int = 0,
+    ):
+        self.data = data
+        if num_bits is None:
+            # target ~8 points per bucket so buckets are neither empty
+            # (useless seeds) nor huge (expensive re-ranking)
+            num_bits = max(4, int(np.log2(max(len(data), 16) / 8.0)))
+        self.num_bits = num_bits
+        self.num_tables = num_tables
+        rng = np.random.default_rng(seed)
+        dim = data.shape[1]
+        center = data.mean(axis=0)
+        self._center = center
+        self._planes = rng.normal(size=(num_tables, num_bits, dim))
+        self._tables: list[dict[int, list[int]]] = []
+        shifted = data - center
+        for t in range(num_tables):
+            codes = self._codes(shifted, t)
+            table: dict[int, list[int]] = defaultdict(list)
+            for idx, code in enumerate(codes):
+                table[int(code)].append(idx)
+            self._tables.append(dict(table))
+
+    def _codes(self, shifted: np.ndarray, table: int) -> np.ndarray:
+        bits = (shifted @ self._planes[table].T) > 0
+        weights = 1 << np.arange(self.num_bits)
+        return bits @ weights
+
+    def candidates(self, query: np.ndarray) -> np.ndarray:
+        """Union of the query's buckets across tables (zero NDC)."""
+        shifted = (query - self._center)[None, :]
+        found: list[int] = []
+        for t, table in enumerate(self._tables):
+            code = int(self._codes(shifted, t)[0])
+            found.extend(table.get(code, ()))
+        if not found:
+            # empty buckets: fall back to one arbitrary bucket per table
+            for table in self._tables:
+                first = next(iter(table.values()))
+                found.extend(first)
+        return np.unique(np.asarray(found, dtype=np.int64))
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        counter: DistanceCounter | None = None,
+        max_candidates: int = 256,
+    ) -> np.ndarray:
+        """k best bucket members by true distance (charged to counter)."""
+        ids = self.candidates(query)
+        if len(ids) > max_candidates:
+            ids = ids[:max_candidates]
+        pts = self.data[ids]
+        dists = (
+            counter.one_to_many(query, pts)
+            if counter is not None
+            else l2_batch(query, pts)
+        )
+        order = np.argsort(dists, kind="stable")[:k]
+        return ids[order]

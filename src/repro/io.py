@@ -1,0 +1,124 @@
+"""Index persistence: save a built index, reload it for search-only use.
+
+Production deployments build once and serve many times (the paper's S1
+discussion of update/construction cost).  ``save_index`` persists the
+vectors, the adjacency lists (CSR-style: one offsets array + one
+neighbor array) and the entry points to a single ``.npz``;
+``load_index`` restores a :class:`StaticGraphIndex` that answers
+queries with best-first search from the stored entries.
+
+Auxiliary seed structures (KD-trees, LSH tables, ...) are *not*
+serialized — the stored entry points are the seeds that were fixed at
+save time — so the loaded index is search-equivalent for fixed-seed
+algorithms (HNSW entry, NSG medoid, OA entries) and uses the saved
+random seeds otherwise.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.algorithms.base import GraphANNS
+from repro.components.seeding import FixedSeeds
+from repro.distance import DistanceCounter
+from repro.graphs.graph import Graph
+
+__all__ = ["save_index", "load_index", "StaticGraphIndex"]
+
+_FORMAT_VERSION = 1
+
+
+def save_index(
+    index: GraphANNS,
+    path: str | Path,
+    num_seed_samples: int = 8,
+) -> None:
+    """Persist a built index to ``path`` (``.npz``)."""
+    if index.graph is None or index.data is None:
+        raise RuntimeError("build the index before saving it")
+    graph = index.graph
+    offsets = np.zeros(graph.n + 1, dtype=np.int64)
+    chunks = []
+    for v in range(graph.n):
+        nbrs = graph.neighbors(v)
+        offsets[v + 1] = offsets[v] + len(nbrs)
+        chunks.append(np.asarray(nbrs, dtype=np.int64))
+    neighbors = (
+        np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
+    )
+    # snapshot the seeds this index would use for a generic query
+    seeds = np.unique(
+        np.asarray(
+            index.seed_provider.acquire(index.data.mean(axis=0)),
+            dtype=np.int64,
+        )
+    )[:num_seed_samples]
+    deleted = (
+        index._deleted
+        if index._deleted is not None
+        else np.zeros(graph.n, dtype=bool)
+    )
+    np.savez_compressed(
+        Path(path),
+        format_version=np.asarray(_FORMAT_VERSION),
+        algorithm=np.asarray(index.name),
+        data=index.data,
+        offsets=offsets,
+        neighbors=neighbors,
+        seeds=seeds,
+        deleted=deleted,
+    )
+
+
+class StaticGraphIndex(GraphANNS):
+    """Search-only index restored from disk (fixed seeds, BFS routing)."""
+
+    name = "static"
+
+    def __init__(self, data: np.ndarray, graph: Graph, seeds: np.ndarray,
+                 source: str = "?", deleted: np.ndarray | None = None):
+        super().__init__()
+        self.data = np.ascontiguousarray(data, dtype=np.float32)
+        self.graph = graph.finalize()
+        self.seed_provider = FixedSeeds(seeds)
+        self.source_algorithm = source
+        self._deleted = (
+            deleted.astype(bool)
+            if deleted is not None
+            else np.zeros(graph.n, dtype=bool)
+        )
+
+    def build(self, data):  # pragma: no cover - explicit API misuse
+        """Loaded indexes are immutable; always raises."""
+        raise RuntimeError(
+            "StaticGraphIndex is loaded, not built; use load_index()"
+        )
+
+    def _build(self, data, counter: DistanceCounter) -> None:
+        raise NotImplementedError
+
+
+def load_index(path: str | Path) -> StaticGraphIndex:
+    """Restore a :class:`StaticGraphIndex` saved by :func:`save_index`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        version = int(archive["format_version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported index format {version}; "
+                f"this build reads version {_FORMAT_VERSION}"
+            )
+        data = archive["data"]
+        offsets = archive["offsets"]
+        neighbors = archive["neighbors"]
+        seeds = archive["seeds"]
+        source = str(archive["algorithm"])
+        deleted = archive["deleted"] if "deleted" in archive.files else None
+    n = len(offsets) - 1
+    lists = [
+        neighbors[offsets[v]:offsets[v + 1]].tolist() for v in range(n)
+    ]
+    return StaticGraphIndex(
+        data, Graph(n, lists), seeds, source=source, deleted=deleted
+    )

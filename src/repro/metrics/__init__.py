@@ -1,0 +1,21 @@
+"""Evaluation metrics of §5.1: construction-side and search-side."""
+
+from repro.metrics.graph_quality import (
+    graph_quality,
+    degree_stats,
+    DegreeStats,
+    graph_index_stats,
+    GraphIndexStats,
+)
+from repro.metrics.recall import recall_at_k
+from repro.metrics.memory import search_memory_bytes
+
+__all__ = [
+    "graph_quality",
+    "degree_stats",
+    "DegreeStats",
+    "graph_index_stats",
+    "GraphIndexStats",
+    "recall_at_k",
+    "search_memory_bytes",
+]

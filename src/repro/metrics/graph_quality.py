@@ -1,0 +1,95 @@
+"""Index-characteristic metrics: GQ, out-degree stats, components (Table 4/11).
+
+*Graph quality* is the fraction of exact-KNNG edges present in the
+index: ``GQ = |E' ∩ E| / |E|`` where ``E`` is the exact KNNG's edge set
+on the same data [21, 26, 97].  A central finding of the survey is that
+maximal GQ is *not* necessary for maximal search performance (I3 /
+Appendix L) — the Table 4 bench reproduces that comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.graphs.knng import exact_knn_lists
+
+__all__ = [
+    "graph_quality",
+    "degree_stats",
+    "DegreeStats",
+    "graph_index_stats",
+    "GraphIndexStats",
+]
+
+
+@dataclass(frozen=True)
+class DegreeStats:
+    """Out-degree summary (Table 4 AD, Table 11 D_max/D_min)."""
+
+    average: float
+    maximum: int
+    minimum: int
+
+
+@dataclass(frozen=True)
+class GraphIndexStats:
+    """One Table 4 row: GQ / AD / CC plus the Table 11 extremes."""
+
+    graph_quality: float
+    average_out_degree: float
+    max_out_degree: int
+    min_out_degree: int
+    connected_components: int
+    index_size_bytes: int
+
+
+def graph_quality(
+    graph: Graph,
+    data: np.ndarray,
+    k: int = 10,
+    exact_ids: np.ndarray | None = None,
+) -> float:
+    """Fraction of exact k-NN edges the index contains.
+
+    ``exact_ids`` (from :func:`exact_knn_lists`) can be supplied to
+    amortise the brute-force scan across algorithms on one dataset.
+    """
+    if exact_ids is None:
+        exact_ids, _ = exact_knn_lists(data, k)
+    hits = 0
+    total = 0
+    for u in range(graph.n):
+        nbrs = set(graph.neighbors(u))
+        row = exact_ids[u]
+        total += len(row)
+        hits += sum(1 for v in row if int(v) in nbrs)
+    return hits / max(total, 1)
+
+
+def degree_stats(graph: Graph) -> DegreeStats:
+    """Out-degree summary of one graph index."""
+    return DegreeStats(
+        average=graph.average_out_degree,
+        maximum=graph.max_out_degree,
+        minimum=graph.min_out_degree,
+    )
+
+
+def graph_index_stats(
+    graph: Graph,
+    data: np.ndarray,
+    k: int = 10,
+    exact_ids: np.ndarray | None = None,
+) -> GraphIndexStats:
+    """All Table 4 / Table 11 statistics in one pass."""
+    return GraphIndexStats(
+        graph_quality=graph_quality(graph, data, k=k, exact_ids=exact_ids),
+        average_out_degree=graph.average_out_degree,
+        max_out_degree=graph.max_out_degree,
+        min_out_degree=graph.min_out_degree,
+        connected_components=graph.num_connected_components(),
+        index_size_bytes=graph.index_size_bytes(),
+    )

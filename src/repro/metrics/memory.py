@@ -1,0 +1,27 @@
+"""Peak search memory estimate — Table 5's MO column.
+
+The paper measures peak RSS during search; in-process that decomposes
+into (i) the raw vectors, (ii) the graph index, (iii) any C4 auxiliary
+structure, and (iv) the per-query candidate set.  The estimate below
+reproduces the *ordering* drivers the paper discusses: bigger AD and CS
+and attached trees raise MO, RNG-pruned graphs lower it.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import GraphANNS
+
+__all__ = ["search_memory_bytes"]
+
+_CANDIDATE_ENTRY_BYTES = 16  # (distance float64, id int64) per heap slot
+
+
+def search_memory_bytes(algorithm: GraphANNS, ef: int) -> int:
+    """Estimated peak bytes while answering queries at candidate size ``ef``."""
+    if algorithm.data is None or algorithm.graph is None:
+        raise RuntimeError("build the index before estimating search memory")
+    vectors = algorithm.data.nbytes
+    index = algorithm.index_size_bytes()
+    visited_bitmap = algorithm.graph.n  # one byte per vertex
+    candidate_set = ef * _CANDIDATE_ENTRY_BYTES * 2  # candidates + results
+    return vectors + index + visited_bitmap + candidate_set

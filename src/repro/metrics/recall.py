@@ -1,0 +1,20 @@
+"""Recall@k — the paper's accuracy metric (§2.1, §5.1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_at_k"]
+
+
+def recall_at_k(result_ids: np.ndarray, truth_ids: np.ndarray, k: int) -> float:
+    """``|R ∩ T| / |T|`` with ``|T| = k`` (ties broken by the ground truth).
+
+    ``result_ids`` may be shorter than ``k`` (a search that could not
+    fill its result set scores what it found).
+    """
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    truth = set(int(t) for t in np.asarray(truth_ids).ravel()[:k])
+    found = set(int(r) for r in np.asarray(result_ids).ravel()[:k])
+    return len(truth & found) / k

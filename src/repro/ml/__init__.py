@@ -1,0 +1,22 @@
+"""Machine-learning-based optimizations of graph search (§5.5).
+
+Three optimizations evaluated by the paper, rebuilt from scratch on
+NumPy (DESIGN.md documents the substitutions):
+
+* :class:`ML1LearnedRouting` — learned vertex representations guide
+  routing ([14], Baranchuk et al.), at enormous preprocessing cost;
+* :class:`ML2EarlyTermination` — a learned predictor decides when to
+  stop searching ([59], Li et al.);
+* :class:`ML3DimensionReduction` — search in a learned low-dimensional
+  space with exact re-ranking ([78], Prokhorenkova & Shekhovtsov).
+
+The paper's conclusion — better speedup-recall tradeoffs bought with
+orders-of-magnitude more preprocessing time and memory — is what the
+Figure 9 / Table 6 / Table 24 bench reproduces.
+"""
+
+from repro.ml.ml1_routing import ML1LearnedRouting
+from repro.ml.ml2_early_term import ML2EarlyTermination
+from repro.ml.ml3_dim_reduce import ML3DimensionReduction
+
+__all__ = ["ML1LearnedRouting", "ML2EarlyTermination", "ML3DimensionReduction"]

@@ -1,0 +1,184 @@
+"""ML2 — learned adaptive early termination ([59], §5.5).
+
+Li et al. train gradient-boosting models to predict, per query, when
+the search can stop.  Our from-scratch equivalent fits a least-squares
+predictor of the *expansion budget* from cheap search-state features
+observed after a short warm-up:
+
+* distance of the best seed to the query,
+* best distance after the warm-up expansions,
+* relative improvement during warm-up.
+
+Training runs full searches on held-out queries and records how many
+expansions each actually needed before its top-k stopped changing.  At
+query time the budgeted search stops at the predicted expansion count —
+latency drops mostly in the easy-query tail, the modest high-recall
+gain the paper reports.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+import numpy as np
+
+from repro.algorithms.base import GraphANNS
+from repro.components.routing import SearchResult
+from repro.distance import DistanceCounter
+
+__all__ = ["ML2EarlyTermination"]
+
+
+def _instrumented_search(
+    base: GraphANNS,
+    query: np.ndarray,
+    ef: int,
+    k: int,
+    counter: DistanceCounter,
+    warmup: int,
+    max_hops: int | None,
+    budget_from_features=None,
+) -> tuple[SearchResult, np.ndarray, int]:
+    """BFS that reports warm-up features and the stabilisation hop.
+
+    ``budget_from_features`` (if given) is called once with the warm-up
+    feature vector and returns the expansion budget for the remainder of
+    the same pass — the learned early termination itself.
+    """
+    graph, data = base.graph, base.data
+    seeds = np.unique(
+        np.asarray(base.seed_provider.acquire(query, counter), dtype=np.int64)
+    )
+    visited = np.zeros(graph.n, dtype=bool)
+    visited[seeds] = True
+    dists = counter.one_to_many(query, data[seeds])
+    candidates = [(float(d), int(s)) for d, s in zip(dists, seeds)]
+    heapq.heapify(candidates)
+    results = [(-float(d), int(s)) for d, s in zip(dists, seeds)]
+    heapq.heapify(results)
+    while len(results) > ef:
+        heapq.heappop(results)
+
+    seed_best = float(min(dists))
+    warmup_best = seed_best
+    hops = 0
+    last_update_hop = 0  # last hop at which the top-ef result set changed
+    best_so_far = seed_best
+    while candidates:
+        if max_hops is not None and hops >= max_hops:
+            break
+        dist, u = heapq.heappop(candidates)
+        worst = -results[0][0] if len(results) == ef else np.inf
+        if dist > worst:
+            break
+        hops += 1
+        nbrs = graph.neighbor_array(u)
+        nbrs = nbrs[~visited[nbrs]]
+        if len(nbrs) == 0:
+            continue
+        visited[nbrs] = True
+        true_d = counter.one_to_many(query, data[nbrs])
+        for idx, d in zip(nbrs, true_d):
+            d = float(d)
+            if d < best_so_far:
+                best_so_far = d
+            if len(results) < ef:
+                heapq.heappush(results, (-d, int(idx)))
+                heapq.heappush(candidates, (d, int(idx)))
+                last_update_hop = hops
+            elif d < -results[0][0]:
+                heapq.heapreplace(results, (-d, int(idx)))
+                heapq.heappush(candidates, (d, int(idx)))
+                last_update_hop = hops
+        if hops == warmup:
+            warmup_best = best_so_far
+            if budget_from_features is not None:
+                features = np.asarray(
+                    [
+                        1.0,
+                        seed_best,
+                        warmup_best,
+                        (seed_best - warmup_best) / max(seed_best, 1e-12),
+                    ]
+                )
+                max_hops = max(warmup + 1, int(budget_from_features(features)))
+    ordered = sorted((-negd, idx) for negd, idx in results)[:k]
+    result = SearchResult(
+        ids=np.asarray([i for _, i in ordered], dtype=np.int64),
+        dists=np.asarray([d for d, _ in ordered]),
+        hops=hops,
+        visited=int(visited.sum()),
+    )
+    features = np.asarray(
+        [
+            1.0,
+            seed_best,
+            warmup_best,
+            (seed_best - warmup_best) / max(seed_best, 1e-12),
+        ]
+    )
+    return result, features, last_update_hop
+
+
+class ML2EarlyTermination:
+    """Wraps a built index with a learned stop-hop predictor."""
+
+    def __init__(self, base: GraphANNS, warmup_hops: int = 5, seed: int = 0):
+        if base.graph is None:
+            raise RuntimeError("base index must be built before wrapping")
+        self.base = base
+        self.warmup_hops = warmup_hops
+        self.seed = seed
+        self.coefficients: np.ndarray | None = None
+        self.safety_margin = 1.5
+        self.preprocessing_time_s = 0.0
+
+    def fit(
+        self, train_queries: np.ndarray, ef: int = 80, k: int = 10
+    ) -> "ML2EarlyTermination":
+        """Learn the hop predictor from full searches on ``train_queries``."""
+        started = time.perf_counter()
+        rows, targets = [], []
+        for query in train_queries:
+            counter = DistanceCounter()
+            _, features, stop_hop = _instrumented_search(
+                self.base, query, ef, k, counter, self.warmup_hops, None
+            )
+            rows.append(features)
+            targets.append(stop_hop)
+        design = np.asarray(rows)
+        target = np.asarray(targets, dtype=np.float64)
+        self.coefficients, *_ = np.linalg.lstsq(design, target, rcond=None)
+        self.preprocessing_time_s = time.perf_counter() - started
+        return self
+
+    @property
+    def memory_bytes(self) -> int:
+        """Model size — negligible, unlike ML1/ML3 (Table 24)."""
+        return 0 if self.coefficients is None else self.coefficients.nbytes
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        ef: int | None = None,
+        counter: DistanceCounter | None = None,
+    ) -> SearchResult:
+        """Budgeted search: stop at the predicted expansion count."""
+        if self.coefficients is None:
+            raise RuntimeError("call fit() before searching with ML2")
+        ef = max(k, ef if ef is not None else self.base.default_ef)
+        counter = counter if counter is not None else DistanceCounter()
+        start_ndc = counter.count
+
+        def budget(features: np.ndarray) -> float:
+            predicted = float(features @ self.coefficients)
+            return np.ceil(predicted * self.safety_margin)
+
+        result, _, _ = _instrumented_search(
+            self.base, query, ef, k, counter, self.warmup_hops, None,
+            budget_from_features=budget,
+        )
+        result.ndc = counter.count - start_ndc
+        return result

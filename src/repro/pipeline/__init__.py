@@ -1,0 +1,31 @@
+"""Evaluation harness: recall sweeps, the §5.4 component framework,
+and the Appendix D complexity-fitting utilities."""
+
+from repro.pipeline.evaluation import (
+    SweepPoint,
+    sweep_recall_curve,
+    candidate_size_for_recall,
+    CandidateSizeResult,
+)
+from repro.pipeline.framework import BenchmarkAlgorithm, BENCHMARK_DEFAULTS
+from repro.pipeline.complexity import fit_power_law
+from repro.pipeline.tuning import (
+    TuningResult,
+    TrialResult,
+    grid_search,
+    make_validation_set,
+)
+
+__all__ = [
+    "SweepPoint",
+    "sweep_recall_curve",
+    "candidate_size_for_recall",
+    "CandidateSizeResult",
+    "BenchmarkAlgorithm",
+    "BENCHMARK_DEFAULTS",
+    "fit_power_law",
+    "TuningResult",
+    "TrialResult",
+    "grid_search",
+    "make_validation_set",
+]

@@ -1,0 +1,32 @@
+"""Power-law fitting for the Appendix D complexity estimates.
+
+The paper derives empirical exponents — e.g. KGraph search is
+O(|S|^0.54) — by measuring construction time / distance evaluations at
+several dataset sizes and fitting ``y = a * n^b`` in log-log space.
+:func:`fit_power_law` is that fit; the Figure 14 bench uses it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["fit_power_law"]
+
+
+def fit_power_law(sizes, values) -> tuple[float, float]:
+    """Least-squares fit of ``values ~ coeff * sizes**exponent``.
+
+    Returns ``(exponent, coeff)``.  Requires at least two strictly
+    positive points.
+    """
+    sizes = np.asarray(sizes, dtype=np.float64)
+    values = np.asarray(values, dtype=np.float64)
+    if len(sizes) != len(values):
+        raise ValueError("sizes and values must have equal length")
+    mask = (sizes > 0) & (values > 0)
+    if mask.sum() < 2:
+        raise ValueError("need at least two positive points for a power fit")
+    log_n = np.log(sizes[mask])
+    log_y = np.log(values[mask])
+    exponent, intercept = np.polyfit(log_n, log_y, 1)
+    return float(exponent), float(np.exp(intercept))

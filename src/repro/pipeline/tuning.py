@@ -1,0 +1,121 @@
+"""Parameter search on a validation sample — the paper's §5.1 protocol.
+
+"Because parameters' adjustment in the entire base dataset may cause
+overfitting, we randomly sample a certain percentage of data points
+from the base dataset to form a validation dataset.  We search for the
+optimal value of all the adjustable parameters of each algorithm on
+each validation dataset."  :func:`grid_search` is that procedure: build
+each parameter combination on a validation subset, score it by speedup
+at a target recall, and return the winner.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.registry import create
+from repro.datasets.dataset import Dataset
+from repro.datasets.ground_truth import brute_force_knn
+from repro.pipeline.evaluation import candidate_size_for_recall
+
+__all__ = ["TuningResult", "TrialResult", "grid_search", "make_validation_set"]
+
+
+def make_validation_set(
+    dataset: Dataset,
+    fraction: float = 0.25,
+    num_queries: int | None = None,
+    gt_depth: int = 20,
+    seed: int = 0,
+) -> Dataset:
+    """Random base subsample with recomputed ground truth (no overfitting
+    to the full base set, per §5.1)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = np.random.default_rng(seed)
+    size = max(2, int(dataset.n * fraction))
+    keep = rng.choice(dataset.n, size=size, replace=False)
+    base = dataset.base[keep]
+    queries = (
+        dataset.queries if num_queries is None else dataset.queries[:num_queries]
+    )
+    gt, _ = brute_force_knn(base, queries, min(gt_depth, size))
+    return Dataset(
+        name=f"{dataset.name}[validation]",
+        base=base,
+        queries=queries,
+        ground_truth=gt,
+        metadata=dict(dataset.metadata, validation_fraction=fraction),
+    )
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One parameter combination's validation score."""
+
+    params: dict
+    recall: float
+    speedup: float
+    candidate_size: int
+    hit_ceiling: bool
+    build_time_s: float
+
+
+@dataclass
+class TuningResult:
+    """Winner plus the full trial history."""
+
+    best_params: dict
+    trials: list[TrialResult] = field(default_factory=list)
+
+
+def grid_search(
+    algorithm_name: str,
+    dataset: Dataset,
+    param_grid: dict[str, list],
+    target_recall: float = 0.9,
+    k: int = 10,
+    validation_fraction: float = 0.25,
+    seed: int = 0,
+) -> TuningResult:
+    """Exhaustive grid search scored by speedup at ``target_recall``.
+
+    Combinations that cannot reach the target at any candidate size are
+    ranked below every combination that can (by recall, then speedup).
+    """
+    if not param_grid:
+        raise ValueError("param_grid must name at least one parameter")
+    validation = make_validation_set(
+        dataset, fraction=validation_fraction, seed=seed
+    )
+    keys = sorted(param_grid)
+    trials: list[TrialResult] = []
+    for values in itertools.product(*(param_grid[key] for key in keys)):
+        params = dict(zip(keys, values))
+        index = create(algorithm_name, seed=seed, **params)
+        started = time.perf_counter()
+        index.build(validation.base)
+        build_time = time.perf_counter() - started
+        result = candidate_size_for_recall(index, validation, target_recall, k=k)
+        speedup = validation.n / max(result.mean_ndc, 1.0)
+        trials.append(
+            TrialResult(
+                params=params,
+                recall=result.recall,
+                speedup=speedup,
+                candidate_size=result.candidate_size,
+                hit_ceiling=result.hit_ceiling,
+                build_time_s=build_time,
+            )
+        )
+
+    def score(trial: TrialResult):
+        reached = not trial.hit_ceiling
+        return (reached, trial.speedup if reached else trial.recall)
+
+    best = max(trials, key=score)
+    return TuningResult(best_params=best.params, trials=trials)

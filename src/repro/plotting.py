@@ -1,0 +1,86 @@
+"""Dependency-free ASCII plots for tradeoff curves.
+
+The survey's headline artifacts are QPS/Speedup-vs-Recall curves
+(Figures 7/8/20/21).  This module renders such curves directly in the
+terminal so examples and benchmark reports can *show* the tradeoff
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["ascii_plot", "plot_tradeoff_curves"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: dict[str, list[tuple[float, float]]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "x",
+    y_label: str = "y",
+    log_y: bool = False,
+) -> str:
+    """Render named (x, y) series into an ASCII grid.
+
+    Returns the plot as a string (print it yourself); one marker letter
+    per series, legend appended.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [math.log10(max(p[1], 1e-12)) if log_y else p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for (name, pts), marker in zip(series.items(), _MARKERS):
+        for x, y in pts:
+            y_val = math.log10(max(y, 1e-12)) if log_y else y
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = (height - 1) - int((y_val - y_lo) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    y_hi_label = f"10^{y_hi:.1f}" if log_y else f"{y_hi:.3g}"
+    y_lo_label = f"10^{y_lo:.1f}" if log_y else f"{y_lo:.3g}"
+    lines = [f"{y_label} (top={y_hi_label}, bottom={y_lo_label})"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" {x_label}: {x_lo:.3g} .. {x_hi:.3g}")
+    legend = "  ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), _MARKERS)
+    )
+    lines.append(f" legend: {legend}")
+    return "\n".join(lines)
+
+
+def plot_tradeoff_curves(
+    curves: dict[str, list],
+    metric: str = "speedup",
+    width: int = 64,
+    height: int = 18,
+) -> str:
+    """Plot SweepPoint curves (from :func:`sweep_recall_curve`).
+
+    ``metric`` is ``"speedup"`` or ``"qps"`` — the y-axis of Figure 8 or
+    Figure 7 respectively; x is always Recall@k.
+    """
+    if metric not in ("speedup", "qps"):
+        raise ValueError(f"metric must be 'speedup' or 'qps', got {metric!r}")
+    series = {
+        name: [(point.recall, getattr(point, metric)) for point in points]
+        for name, points in curves.items()
+    }
+    return ascii_plot(
+        series,
+        width=width,
+        height=height,
+        x_label="Recall@10",
+        y_label=metric,
+        log_y=True,
+    )

@@ -1,0 +1,66 @@
+"""Tuned parameter presets per (algorithm, dataset) — the §5.1 protocol.
+
+The authors grid-search every algorithm's parameters on a validation
+sample per dataset and publish the winners in their repository; this
+module plays the same role.  The shipped presets were produced by
+``repro.pipeline.tuning.grid_search`` (target Recall@10 ≥ 0.95 on a 50%
+validation sample of each stand-in); re-run the tuner to regenerate
+them for other data or scales.
+
+``create_tuned`` falls back to the library defaults when no preset is
+recorded, so it is always safe to call.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import GraphANNS
+from repro.algorithms.registry import create
+
+__all__ = ["PRESETS", "tuned_params", "create_tuned"]
+
+#: grid-search winners (see module docstring for provenance); keys are
+#: (algorithm, dataset) registry names
+PRESETS: dict[tuple[str, str], dict] = {
+    # grid-search winners on 50% validation samples of the 2k-point
+    # stand-ins, target Recall@10 >= 0.95 (regenerate with
+    # repro.pipeline.tuning.grid_search; see module docstring)
+    ("dpg", "audio"): {"k": 30},
+    ("dpg", "gist1m"): {"k": 30},
+    ("dpg", "glove"): {"k": 30},
+    ("dpg", "sift1m"): {"k": 30},
+    ("hcnng", "audio"): {"min_cluster_size": 40, "num_clusterings": 6},
+    ("hcnng", "gist1m"): {"min_cluster_size": 80, "num_clusterings": 12},
+    ("hcnng", "glove"): {"min_cluster_size": 80, "num_clusterings": 12},
+    ("hcnng", "sift1m"): {"min_cluster_size": 80, "num_clusterings": 12},
+    ("hnsw", "audio"): {"ef_construction": 40, "m": 12},
+    ("hnsw", "gist1m"): {"ef_construction": 40, "m": 16},
+    ("hnsw", "glove"): {"ef_construction": 40, "m": 16},
+    ("hnsw", "sift1m"): {"ef_construction": 40, "m": 16},
+    ("kgraph", "audio"): {"k": 40},
+    ("kgraph", "gist1m"): {"k": 40},
+    ("kgraph", "glove"): {"k": 40},
+    ("kgraph", "sift1m"): {"k": 25},
+    ("nsg", "audio"): {"candidate_ef": 60, "max_degree": 25},
+    ("nsg", "gist1m"): {"candidate_ef": 30, "max_degree": 25},
+    ("nsg", "glove"): {"candidate_ef": 30, "max_degree": 25},
+    ("nsg", "sift1m"): {"candidate_ef": 60, "max_degree": 25},
+    ("nssg", "audio"): {"max_degree": 35, "min_angle_deg": 60.0},
+    ("nssg", "gist1m"): {"max_degree": 20, "min_angle_deg": 50.0},
+    ("nssg", "glove"): {"max_degree": 35, "min_angle_deg": 50.0},
+    ("nssg", "sift1m"): {"max_degree": 20, "min_angle_deg": 60.0},
+}
+
+
+def tuned_params(algorithm: str, dataset: str) -> dict:
+    """Preset parameters, or {} when none are recorded."""
+    return dict(PRESETS.get((algorithm, dataset), {}))
+
+
+def create_tuned(algorithm: str, dataset: str, **overrides) -> GraphANNS:
+    """Instantiate ``algorithm`` with the tuned preset for ``dataset``.
+
+    Explicit ``overrides`` win over preset values.
+    """
+    params = tuned_params(algorithm, dataset)
+    params.update(overrides)
+    return create(algorithm, **params)

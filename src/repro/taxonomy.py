@@ -1,0 +1,188 @@
+"""The survey's taxonomy as data: Figure 3's roadmap and Table 9's
+per-algorithm component characterization.
+
+Figure 3 draws dependence/development arrows from the four base graphs
+to algorithms and between algorithms; Table 9 classifies every
+algorithm by its C1–C7 choices.  Exposing both as structures lets users
+(and tests) query questions like "which algorithms derive from KGraph?"
+or "which algorithms consider neighbor distribution in C3?".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "BASE_GRAPHS",
+    "ROADMAP_EDGES",
+    "derives_from",
+    "descendants_of",
+    "ComponentProfile",
+    "COMPONENT_PROFILES",
+    "algorithms_where",
+]
+
+#: the four base graphs of §3.1
+BASE_GRAPHS = ("DG", "RNG", "KNNG", "MST")
+
+#: Figure 3: (from, to) development/dependence arrows.  Base graphs are
+#: upper-case; algorithms use their registry names.
+ROADMAP_EDGES: tuple[tuple[str, str], ...] = (
+    ("DG", "nsw"),
+    ("DG", "ngt-panng"),
+    ("RNG", "fanng"),
+    ("RNG", "hnsw"),
+    ("RNG", "ngt-panng"),
+    ("RNG", "dpg"),
+    ("RNG", "nsg"),
+    ("RNG", "nssg"),
+    ("RNG", "vamana"),
+    ("RNG", "sptag-bkt"),
+    ("KNNG", "kgraph"),
+    ("KNNG", "ieh"),
+    ("KNNG", "efanna"),
+    ("KNNG", "sptag-kdt"),
+    ("KNNG", "ngt-panng"),
+    ("MST", "hcnng"),
+    ("nsw", "hnsw"),
+    ("kgraph", "efanna"),
+    ("kgraph", "dpg"),
+    ("kgraph", "nsg"),
+    ("dpg", "nsg"),
+    ("nsg", "nssg"),
+    ("nsg", "vamana"),
+    ("hnsw", "vamana"),
+    ("sptag-kdt", "sptag-bkt"),
+    ("ngt-panng", "ngt-onng"),
+)
+
+
+def derives_from(algorithm: str, ancestor: str) -> bool:
+    """Does ``algorithm`` (transitively) derive from ``ancestor``?"""
+    frontier = [algorithm]
+    seen = set()
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        for parent, child in ROADMAP_EDGES:
+            if child == node:
+                if parent == ancestor:
+                    return True
+                frontier.append(parent)
+    return False
+
+
+def descendants_of(ancestor: str) -> set[str]:
+    """All algorithms transitively derived from ``ancestor``."""
+    result: set[str] = set()
+    frontier = [ancestor]
+    while frontier:
+        node = frontier.pop()
+        for parent, child in ROADMAP_EDGES:
+            if parent == node and child not in result:
+                result.add(child)
+                frontier.append(child)
+    return result
+
+
+@dataclass(frozen=True)
+class ComponentProfile:
+    """One Table 9 row."""
+
+    construction: str          # refinement / increment / divide-and-conquer
+    initialization: str        # C1
+    candidate: str             # C2: search / expansion / neighbors / subspace
+    selection: str             # C3: distance / distance & distribution
+    connectivity: bool         # C5 guarantee
+    preprocessing: bool        # C4 auxiliary structure
+    seed: str                  # C6
+    routing: str               # C7: BFS / GS / RS
+
+
+#: Table 9, verbatim (the paper's own characterization)
+COMPONENT_PROFILES: dict[str, ComponentProfile] = {
+    "kgraph": ComponentProfile(
+        "refinement", "random", "expansion", "distance", False, False,
+        "random", "BFS",
+    ),
+    "ngt-panng": ComponentProfile(
+        "increment", "vp-tree", "search", "distance & distribution", False,
+        True, "vp-tree", "RS",
+    ),
+    "ngt-onng": ComponentProfile(
+        "increment", "vp-tree", "search", "distance & distribution", False,
+        True, "vp-tree", "RS",
+    ),
+    "sptag-kdt": ComponentProfile(
+        "divide-and-conquer", "tp-tree", "subspace",
+        "distance & distribution", False, True, "kd-tree", "BFS",
+    ),
+    "sptag-bkt": ComponentProfile(
+        "divide-and-conquer", "tp-tree", "subspace",
+        "distance & distribution", False, True, "k-means tree", "BFS",
+    ),
+    "nsw": ComponentProfile(
+        "increment", "random", "search", "distance", True, False, "random",
+        "BFS",
+    ),
+    "ieh": ComponentProfile(
+        "refinement", "brute force", "neighbors", "distance", False, True,
+        "hashing", "BFS",
+    ),
+    "fanng": ComponentProfile(
+        "refinement", "brute force", "neighbors",
+        "distance & distribution", False, False, "random", "BFS",
+    ),
+    "hnsw": ComponentProfile(
+        "increment", "top layer", "search", "distance & distribution",
+        False, False, "top layer", "BFS",
+    ),
+    "efanna": ComponentProfile(
+        "refinement", "kd-tree", "expansion", "distance", False, True,
+        "kd-tree", "BFS",
+    ),
+    "dpg": ComponentProfile(
+        "refinement", "nn-descent", "neighbors",
+        "distance & distribution", False, False, "random", "BFS",
+    ),
+    "nsg": ComponentProfile(
+        "refinement", "nn-descent", "search", "distance & distribution",
+        True, True, "centroid", "BFS",
+    ),
+    "hcnng": ComponentProfile(
+        "divide-and-conquer", "clustering", "subspace", "distance", False,
+        True, "kd-tree", "GS",
+    ),
+    "vamana": ComponentProfile(
+        "refinement", "random", "search", "distance & distribution",
+        False, True, "centroid", "BFS",
+    ),
+    "nssg": ComponentProfile(
+        "refinement", "nn-descent", "expansion",
+        "distance & distribution", True, True, "random", "BFS",
+    ),
+    "kdr": ComponentProfile(
+        "refinement", "brute force", "neighbors",
+        "distance & distribution", False, False, "random", "BFS",
+    ),
+}
+
+
+def algorithms_where(**criteria) -> list[str]:
+    """Names of algorithms whose Table 9 profile matches all criteria.
+
+    Example::
+
+        algorithms_where(selection="distance & distribution", routing="BFS")
+    """
+    valid = set(ComponentProfile.__dataclass_fields__)
+    unknown = set(criteria) - valid
+    if unknown:
+        raise KeyError(f"unknown profile fields: {sorted(unknown)}")
+    return [
+        name
+        for name, profile in COMPONENT_PROFILES.items()
+        if all(getattr(profile, key) == value for key, value in criteria.items())
+    ]

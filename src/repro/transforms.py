@@ -1,0 +1,123 @@
+"""Metric reductions: cosine and maximum-inner-product search on L2 indexes.
+
+The survey fixes Euclidean distance (§2), but notes NSW's strong
+maximum-inner-product results [63, 71].  Both cosine similarity and MIPS
+reduce *exactly* to L2 nearest-neighbor search, so every index in this
+library serves them through a data transform:
+
+* **cosine** — on unit vectors, ``|x - y|² = 2 - 2·cos(x, y)``: L2 order
+  equals descending-cosine order.  Normalise base and queries.
+* **MIPS** — Bachrach et al.'s augmentation: append
+  ``sqrt(M² - |x|²)`` to each base vector (``M = max |x|``) and ``0`` to
+  each query; then L2 order on the augmented vectors equals
+  descending-inner-product order.
+
+:class:`MetricIndex` packages the transform + an inner L2 index behind
+the familiar ``build``/``search`` interface.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.algorithms.base import GraphANNS
+from repro.components.routing import SearchResult
+from repro.distance import DistanceCounter
+
+__all__ = [
+    "normalize_for_cosine",
+    "augment_base_for_mips",
+    "augment_query_for_mips",
+    "MetricIndex",
+]
+
+
+def normalize_for_cosine(vectors: np.ndarray) -> np.ndarray:
+    """Unit-normalised copy; zero vectors are left untouched."""
+    vectors = np.asarray(vectors, dtype=np.float32)
+    norms = np.linalg.norm(vectors, axis=-1, keepdims=True)
+    safe = np.where(norms == 0.0, 1.0, norms)
+    return (vectors / safe).astype(np.float32)
+
+
+def augment_base_for_mips(base: np.ndarray) -> tuple[np.ndarray, float]:
+    """Append ``sqrt(M² - |x|²)``; returns (augmented base, M)."""
+    base = np.asarray(base, dtype=np.float64)
+    norms_sq = np.einsum("ij,ij->i", base, base)
+    max_norm = float(np.sqrt(norms_sq.max())) if len(base) else 0.0
+    extra = np.sqrt(np.maximum(max_norm**2 - norms_sq, 0.0))
+    return (
+        np.hstack([base, extra[:, None]]).astype(np.float32),
+        max_norm,
+    )
+
+
+def augment_query_for_mips(query: np.ndarray) -> np.ndarray:
+    """Append a zero coordinate to one query vector."""
+    query = np.asarray(query, dtype=np.float32)
+    return np.append(query, np.float32(0.0))
+
+
+class MetricIndex:
+    """Cosine / inner-product ANNS over any L2 graph index.
+
+    ``metric`` is ``"cosine"`` or ``"ip"``.  The inner index is created
+    by ``index_factory`` and built on the transformed vectors; searches
+    transform the query the same way, so the L2 ranking the graph
+    produces *is* the requested metric's ranking.
+    """
+
+    def __init__(self, index_factory: Callable[[], GraphANNS], metric: str):
+        if metric not in ("cosine", "ip"):
+            raise ValueError(f"metric must be 'cosine' or 'ip', got {metric!r}")
+        self.metric = metric
+        self.index_factory = index_factory
+        self.inner: GraphANNS | None = None
+        self.original: np.ndarray | None = None
+
+    def build(self, base: np.ndarray) -> "MetricIndex":
+        """Transform the base vectors and build the inner L2 index."""
+        self.original = np.asarray(base, dtype=np.float32)
+        if self.metric == "cosine":
+            transformed = normalize_for_cosine(base)
+        else:
+            transformed, _ = augment_base_for_mips(base)
+        self.inner = self.index_factory()
+        self.inner.build(transformed)
+        return self
+
+    def _transform_query(self, query: np.ndarray) -> np.ndarray:
+        if self.metric == "cosine":
+            return normalize_for_cosine(query[None, :])[0]
+        return augment_query_for_mips(query)
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        ef: int | None = None,
+        counter: DistanceCounter | None = None,
+    ) -> SearchResult:
+        """Top-k by the chosen similarity (descending)."""
+        if self.inner is None:
+            raise RuntimeError("call build() before search()")
+        result = self.inner.search(
+            self._transform_query(query), k=k, ef=ef, counter=counter
+        )
+        # report true similarity scores instead of transformed distances
+        if len(result.ids):
+            candidates = self.original[result.ids].astype(np.float64)
+            if self.metric == "cosine":
+                denom = np.linalg.norm(candidates, axis=1) * max(
+                    float(np.linalg.norm(query)), 1e-12
+                )
+                denom[denom == 0.0] = 1e-12
+                scores = (candidates @ query.astype(np.float64)) / denom
+            else:
+                scores = candidates @ query.astype(np.float64)
+            order = np.argsort(-scores, kind="stable")
+            result.ids = result.ids[order]
+            result.dists = scores[order]
+        return result

@@ -1,0 +1,13 @@
+"""Auxiliary tree indexes used for seed preprocessing / acquisition (C4/C6).
+
+These are the "additional structures" the survey repeatedly shows are a
+mixed blessing: they improve seeds but pay distance calculations and
+memory (§5.4, C4 discussion).
+"""
+
+from repro.trees.kd_tree import KDTree
+from repro.trees.vp_tree import VPTree
+from repro.trees.kmeans_tree import BalancedKMeansTree
+from repro.trees.tp_tree import TPTree
+
+__all__ = ["KDTree", "VPTree", "BalancedKMeansTree", "TPTree"]

@@ -1,0 +1,127 @@
+"""Randomized KD-tree over a point set.
+
+Used three ways in the survey:
+
+* EFANNA builds several randomized KD-trees to *initialize* the KNN
+  graph (C1) and to fetch good seeds at search time (C6);
+* SPTAG-KDT fetches seeds from KD-trees;
+* HCNNG descends KD-trees by pure value comparison — no distance
+  computations — to pick seeds cheaply (the §5.4 C4 discussion).
+
+Splits choose a random dimension among the few with the largest spread
+(the classic randomized-KD-forest trick), so independently seeded trees
+are diverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance import DistanceCounter
+
+__all__ = ["KDTree"]
+
+
+@dataclass
+class _Node:
+    # leaf: ids is not None; internal: dim/threshold/left/right set
+    ids: np.ndarray | None = None
+    dim: int = -1
+    threshold: float = 0.0
+    left: "_Node | None" = None
+    right: "_Node | None" = None
+
+
+class KDTree:
+    """A single randomized KD-tree with leaf buckets."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        leaf_size: int = 16,
+        seed: int = 0,
+        top_spread_dims: int = 5,
+    ):
+        self.data = data
+        self.leaf_size = max(1, leaf_size)
+        self._rng = np.random.default_rng(seed)
+        self._top = top_spread_dims
+        self.root = self._build(np.arange(len(data), dtype=np.int64))
+
+    def _build(self, ids: np.ndarray) -> _Node:
+        if len(ids) <= self.leaf_size:
+            return _Node(ids=ids)
+        block = self.data[ids]
+        spread = block.max(axis=0) - block.min(axis=0)
+        top = np.argsort(spread)[-self._top:]
+        dim = int(self._rng.choice(top))
+        values = block[:, dim]
+        threshold = float(np.median(values))
+        mask = values < threshold
+        # a constant column can make one side empty; fall back to a split in half
+        if not mask.any() or mask.all():
+            order = np.argsort(values, kind="stable")
+            half = len(ids) // 2
+            left_ids, right_ids = ids[order[:half]], ids[order[half:]]
+            threshold = float(values[order[half]])
+        else:
+            left_ids, right_ids = ids[mask], ids[~mask]
+        return _Node(
+            dim=dim,
+            threshold=threshold,
+            left=self._build(left_ids),
+            right=self._build(right_ids),
+        )
+
+    # -- queries -------------------------------------------------------
+
+    def descend(self, query: np.ndarray) -> np.ndarray:
+        """Leaf bucket reached by value comparisons only (zero NDC)."""
+        node = self.root
+        while node.ids is None:
+            node = node.left if query[node.dim] < node.threshold else node.right
+        return node.ids
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        counter: DistanceCounter | None = None,
+        max_leaves: int = 8,
+    ) -> np.ndarray:
+        """Approximate kNN by bounded best-bin-first traversal.
+
+        Visits up to ``max_leaves`` leaf buckets ordered by splitting-
+        plane distance; distance evaluations are charged to ``counter``.
+        """
+        import heapq
+
+        heap: list[tuple[float, int, _Node]] = [(0.0, 0, self.root)]
+        tick = 1
+        candidate_ids: list[np.ndarray] = []
+        leaves = 0
+        while heap and leaves < max_leaves:
+            bound, _, node = heapq.heappop(heap)
+            while node.ids is None:
+                margin = float(query[node.dim] - node.threshold)
+                if margin < 0:
+                    near, far = node.left, node.right
+                else:
+                    near, far = node.right, node.left
+                heapq.heappush(heap, (bound + abs(margin), tick, far))
+                tick += 1
+                node = near
+            candidate_ids.append(node.ids)
+            leaves += 1
+        ids = np.unique(np.concatenate(candidate_ids))
+        points = self.data[ids]
+        if counter is not None:
+            dists = counter.one_to_many(query, points)
+        else:
+            from repro.distance import l2_batch
+
+            dists = l2_batch(query, points)
+        order = np.argsort(dists, kind="stable")[:k]
+        return ids[order]

@@ -1,0 +1,106 @@
+"""Balanced k-means tree — SPTAG-BKT's seed structure (C4/C6).
+
+Each internal node clusters its points into ``branching`` groups with a
+few Lloyd iterations, rebalancing by capping group sizes.  Seed lookup
+descends greedily by centroid distance (each comparison is a charged
+distance computation) and returns the closest leaf bucket(s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance import DistanceCounter, l2_batch, pairwise_l2
+
+__all__ = ["BalancedKMeansTree"]
+
+
+@dataclass
+class _Node:
+    centroids: np.ndarray | None
+    children: list["_Node"] | None
+    bucket: np.ndarray | None
+
+
+class BalancedKMeansTree:
+    """Hierarchical balanced k-means partition tree."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        branching: int = 8,
+        leaf_size: int = 32,
+        lloyd_iterations: int = 4,
+        seed: int = 0,
+    ):
+        self.data = data
+        self.branching = max(2, branching)
+        self.leaf_size = max(1, leaf_size)
+        self.lloyd_iterations = lloyd_iterations
+        self._rng = np.random.default_rng(seed)
+        self.root = self._build(np.arange(len(data), dtype=np.int64))
+
+    def _build(self, ids: np.ndarray) -> _Node:
+        if len(ids) <= max(self.leaf_size, self.branching):
+            return _Node(centroids=None, children=None, bucket=ids)
+        points = self.data[ids].astype(np.float64)
+        k = self.branching
+        centroids = points[self._rng.choice(len(points), size=k, replace=False)]
+        cap = int(np.ceil(len(ids) / k)) + 1  # balance constraint
+        assign = np.zeros(len(ids), dtype=np.int64)
+        for _ in range(self.lloyd_iterations):
+            dists = pairwise_l2(points, centroids)
+            # balanced greedy assignment: points in order of confidence
+            pref = np.argsort(dists, axis=1)
+            counts = np.zeros(k, dtype=np.int64)
+            order = np.argsort(dists[np.arange(len(ids)), pref[:, 0]])
+            for row in order:
+                for choice in pref[row]:
+                    if counts[choice] < cap:
+                        assign[row] = choice
+                        counts[choice] += 1
+                        break
+            for c in range(k):
+                members = points[assign == c]
+                if len(members):
+                    centroids[c] = members.mean(axis=0)
+        children = []
+        kept_centroids = []
+        for c in range(k):
+            mask = assign == c
+            if not np.any(mask):
+                continue
+            kept_centroids.append(centroids[c])
+            children.append(self._build(ids[mask]))
+        if len(children) <= 1:  # clustering failed to split (duplicates)
+            return _Node(centroids=None, children=None, bucket=ids)
+        return _Node(
+            centroids=np.asarray(kept_centroids), children=children, bucket=None
+        )
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        counter: DistanceCounter | None = None,
+    ) -> np.ndarray:
+        """Greedy root-to-leaf descent; returns the k closest bucket points."""
+        node = self.root
+        while node.bucket is None:
+            cents = node.centroids
+            dists = (
+                counter.one_to_many(query, cents)
+                if counter is not None
+                else l2_batch(query, cents)
+            )
+            node = node.children[int(np.argmin(dists))]
+        pts = self.data[node.bucket]
+        dists = (
+            counter.one_to_many(query, pts)
+            if counter is not None
+            else l2_batch(query, pts)
+        )
+        order = np.argsort(dists, kind="stable")[:k]
+        return node.bucket[order]

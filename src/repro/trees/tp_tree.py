@@ -1,0 +1,62 @@
+"""Trinary-Projection tree — SPTAG's dataset-division structure (C1).
+
+A TP-tree splits on a *projection direction* that is a linear
+combination of a few coordinate axes with weights in {-1, +1}
+(Wang et al., "Trinary-projection trees for ANN search").  SPTAG uses
+it to recursively divide the dataset into small subsets; an exact KNN
+subgraph is then built per subset and merged across repetitions
+(Definition 4.1, *dataset division*).
+
+:meth:`partition` returns the leaf subsets — that is the only interface
+the divide-and-conquer builders need.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TPTree"]
+
+
+class TPTree:
+    """Trinary-projection partition of a point set into small subsets."""
+
+    def __init__(
+        self,
+        data: np.ndarray,
+        leaf_size: int = 64,
+        num_axes: int = 5,
+        seed: int = 0,
+    ):
+        self.data = data
+        self.leaf_size = max(2, leaf_size)
+        self.num_axes = num_axes
+        self._rng = np.random.default_rng(seed)
+        self._leaves: list[np.ndarray] = []
+        self._split(np.arange(len(data), dtype=np.int64))
+
+    def _split(self, ids: np.ndarray) -> None:
+        if len(ids) <= self.leaf_size:
+            self._leaves.append(ids)
+            return
+        block = self.data[ids]
+        dim = block.shape[1]
+        # pick the highest-variance axes and combine with +-1 weights
+        variances = block.var(axis=0)
+        axes = np.argsort(variances)[-min(self.num_axes, dim):]
+        weights = self._rng.choice([-1.0, 1.0], size=len(axes))
+        projection = block[:, axes] @ weights
+        threshold = float(np.median(projection))
+        mask = projection < threshold
+        if not mask.any() or mask.all():
+            order = np.argsort(projection, kind="stable")
+            half = len(ids) // 2
+            self._split(ids[order[:half]])
+            self._split(ids[order[half:]])
+            return
+        self._split(ids[mask])
+        self._split(ids[~mask])
+
+    def partition(self) -> list[np.ndarray]:
+        """The leaf subsets S_0..S_{m-1} with union = S (Definition 4.1)."""
+        return self._leaves

@@ -1,0 +1,113 @@
+"""Vantage-point tree — NGT's seed-acquisition structure (C4/C6).
+
+A VP-tree partitions by distance to a randomly chosen vantage point:
+inside-median points go left, the rest right.  Seed lookup is a bounded
+best-first traversal; every vantage-point distance is a real distance
+computation and is charged to the counter — this is exactly the cost
+the survey blames for the poor C4_NGT seed performance on hard data.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance import DistanceCounter, l2_batch
+
+__all__ = ["VPTree"]
+
+
+@dataclass
+class _Node:
+    vantage: int
+    radius: float
+    inside: "_Node | None"
+    outside: "_Node | None"
+    bucket: np.ndarray | None  # leaf payload
+
+
+class VPTree:
+    """Vantage-point tree with leaf buckets."""
+
+    def __init__(self, data: np.ndarray, leaf_size: int = 16, seed: int = 0):
+        self.data = data
+        self.leaf_size = max(1, leaf_size)
+        self._rng = np.random.default_rng(seed)
+        self.root = self._build(np.arange(len(data), dtype=np.int64))
+
+    def _build(self, ids: np.ndarray) -> _Node | None:
+        if len(ids) == 0:
+            return None
+        if len(ids) <= self.leaf_size:
+            return _Node(vantage=-1, radius=0.0, inside=None, outside=None, bucket=ids)
+        pick = int(self._rng.integers(len(ids)))
+        vantage = int(ids[pick])
+        rest = np.delete(ids, pick)
+        dists = l2_batch(self.data[vantage], self.data[rest])
+        radius = float(np.median(dists))
+        inside_mask = dists < radius
+        if not inside_mask.any() or inside_mask.all():
+            # duplicate-heavy region: no informative split possible
+            return _Node(vantage=-1, radius=0.0, inside=None, outside=None, bucket=ids)
+        return _Node(
+            vantage=vantage,
+            radius=radius,
+            inside=self._build(rest[inside_mask]),
+            outside=self._build(rest[~inside_mask]),
+            bucket=None,
+        )
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int,
+        counter: DistanceCounter | None = None,
+        max_nodes: int = 64,
+    ) -> np.ndarray:
+        """Approximate kNN ids, best-first by lower-bound, budgeted."""
+        results: list[tuple[float, int]] = []  # max-heap via negation
+        heap: list[tuple[float, int, _Node]] = [(0.0, 0, self.root)]
+        tick = 1
+        visited = 0
+
+        def offer(idx: int, dist: float) -> None:
+            if len(results) < k:
+                heapq.heappush(results, (-dist, idx))
+            elif dist < -results[0][0]:
+                heapq.heapreplace(results, (-dist, idx))
+
+        while heap and visited < max_nodes:
+            bound, _, node = heapq.heappop(heap)
+            if len(results) == k and bound > -results[0][0]:
+                break
+            visited += 1
+            if node.bucket is not None:
+                pts = self.data[node.bucket]
+                dists = (
+                    counter.one_to_many(query, pts)
+                    if counter is not None
+                    else l2_batch(query, pts)
+                )
+                for idx, dist in zip(node.bucket, dists):
+                    offer(int(idx), float(dist))
+                continue
+            d_v = (
+                counter.pair(query, self.data[node.vantage])
+                if counter is not None
+                else float(np.linalg.norm(query - self.data[node.vantage]))
+            )
+            offer(node.vantage, d_v)
+            near_first = d_v < node.radius
+            near = node.inside if near_first else node.outside
+            far = node.outside if near_first else node.inside
+            margin = abs(d_v - node.radius)
+            if near is not None:
+                heapq.heappush(heap, (bound, tick, near))
+                tick += 1
+            if far is not None:
+                heapq.heappush(heap, (max(bound, margin), tick, far))
+                tick += 1
+        ordered = sorted(((-negd, idx) for negd, idx in results))
+        return np.asarray([idx for _, idx in ordered], dtype=np.int64)

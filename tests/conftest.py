@@ -1,0 +1,40 @@
+"""Shared fixtures: small deterministic datasets, built algorithm cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_clustered
+
+
+@pytest.fixture(scope="session")
+def easy_dataset():
+    """Moderately clustered 32-d cloud: every algorithm should work here."""
+    return make_clustered(32, 800, 8, 5.0, num_queries=25, gt_depth=50, seed=42)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """Very small cloud for expensive / exact constructions."""
+    return make_clustered(16, 120, 4, 4.0, num_queries=10, gt_depth=30, seed=7)
+
+
+@pytest.fixture(scope="session")
+def plane_points():
+    """2-D points for exact base-graph comparisons."""
+    rng = np.random.default_rng(3)
+    return rng.random((80, 2)).astype(np.float32) * 10.0
+
+
+@pytest.fixture(scope="session")
+def built_indexes(easy_dataset):
+    """Build every registered algorithm once per test session."""
+    from repro import ALGORITHMS, create
+
+    built = {}
+    for name in ALGORITHMS:
+        algorithm = create(name, seed=5)
+        algorithm.build(easy_dataset.base)
+        built[name] = algorithm
+    return built

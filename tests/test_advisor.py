@@ -1,0 +1,74 @@
+"""Tests for the Table 7 recommendation advisor."""
+
+import numpy as np
+import pytest
+
+from repro.advisor import (
+    DatasetProfile,
+    Scenario,
+    profile_dataset,
+    recommend,
+    recommend_for_data,
+)
+
+
+class TestRecommendations:
+    def test_table7_verbatim(self):
+        assert recommend(Scenario.FREQUENT_UPDATES) == ("nsg", "nssg")
+        assert recommend(Scenario.RAPID_KNNG) == ("kgraph", "efanna", "dpg")
+        assert recommend(Scenario.EXTERNAL_MEMORY) == ("dpg", "hcnng")
+        assert recommend(Scenario.HARD_DATASET) == ("hnsw", "nsg", "hcnng")
+        assert recommend(Scenario.LIMITED_MEMORY) == ("nsg", "nssg")
+
+    def test_string_scenario_accepted(self):
+        assert recommend("hard-dataset") == ("hnsw", "nsg", "hcnng")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValueError):
+            recommend("quantum")
+
+    def test_all_recommended_names_are_registered(self):
+        from repro import ALGORITHMS
+
+        for scenario in Scenario:
+            for name in recommend(scenario):
+                assert name in ALGORITHMS
+
+
+class TestProfiling:
+    def test_profile_shape(self):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(400, 16)).astype(np.float32)
+        profile = profile_dataset(data)
+        assert profile.cardinality == 400
+        assert profile.dim == 16
+        assert profile.lid > 0
+
+    def test_hard_flag(self):
+        assert DatasetProfile(1000, 64, lid=20.0).is_hard
+        assert not DatasetProfile(1000, 64, lid=6.0).is_hard
+
+    def test_1d_input_rejected(self):
+        with pytest.raises(ValueError):
+            profile_dataset(np.zeros(10))
+
+
+class TestCombinedRecommendation:
+    def _data(self, intrinsic_dim):
+        rng = np.random.default_rng(1)
+        latent = rng.normal(size=(600, intrinsic_dim))
+        return (latent @ rng.normal(size=(intrinsic_dim, 64))).astype(np.float32)
+
+    def test_constraints_override_difficulty(self):
+        data = self._data(4)
+        assert recommend_for_data(data, updates_frequent=True) == ("nsg", "nssg")
+        assert recommend_for_data(data, memory_limited=True) == ("nsg", "nssg")
+        assert recommend_for_data(data, external_memory=True) == ("dpg", "hcnng")
+
+    def test_easy_data_gets_simple_scenario(self):
+        picks = recommend_for_data(self._data(4))
+        assert picks == recommend(Scenario.SIMPLE_DATASET)
+
+    def test_hard_data_gets_hard_scenario(self):
+        picks = recommend_for_data(self._data(32))
+        assert picks == recommend(Scenario.HARD_DATASET)

@@ -1,0 +1,191 @@
+"""Tests for the four base graphs of §3.1: KNNG, RNG, DG, MST.
+
+Includes the structural relations the computational-geometry literature
+guarantees (MST ⊆ RNG ⊆ DG in the plane) and property-based checks of
+each definition.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance import DistanceCounter
+from repro.graphs import (
+    delaunay_graph,
+    euclidean_mst,
+    exact_knn_graph,
+    exact_knn_lists,
+    mst_over_candidates,
+    relative_neighborhood_graph,
+)
+from repro.graphs.rng import rng_edge_holds
+
+
+def random_points(n: int, dim: int, seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.random((n, dim)).astype(np.float64) * 10.0
+
+
+class TestKNNG:
+    def test_rows_match_brute_force(self):
+        data = random_points(60, 8, 0)
+        ids, dists = exact_knn_lists(data, 5)
+        full = np.linalg.norm(data[:, None, :] - data[None, :, :], axis=2)
+        np.fill_diagonal(full, np.inf)
+        for i in range(60):
+            expected = np.argsort(full[i], kind="stable")[:5]
+            np.testing.assert_allclose(
+                np.sort(dists[i]), np.sort(full[i][expected]), rtol=1e-6
+            )
+
+    def test_no_self_neighbors(self):
+        data = random_points(40, 4, 1)
+        ids, _ = exact_knn_lists(data, 6)
+        for i in range(40):
+            assert i not in ids[i]
+
+    def test_rows_sorted_ascending(self):
+        data = random_points(50, 6, 2)
+        _, dists = exact_knn_lists(data, 7)
+        assert np.all(np.diff(dists, axis=1) >= -1e-9)
+
+    def test_k_clamped_to_n_minus_one(self):
+        data = random_points(5, 3, 3)
+        ids, _ = exact_knn_lists(data, 50)
+        assert ids.shape == (5, 4)
+
+    def test_counter_charged(self):
+        data = random_points(30, 4, 4)
+        counter = DistanceCounter()
+        exact_knn_lists(data, 3, counter=counter)
+        assert counter.count == 30 * 30
+
+    def test_graph_out_degree_is_k(self):
+        data = random_points(30, 4, 5)
+        g = exact_knn_graph(data, 4)
+        assert g.max_out_degree == 4
+        assert g.min_out_degree == 4
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            exact_knn_lists(np.zeros((1, 3)), 1)
+
+
+class TestRNG:
+    def test_edge_property_holds_everywhere(self, plane_points):
+        g = relative_neighborhood_graph(plane_points)
+        for u, v in g.edges():
+            if u < v:
+                assert rng_edge_holds(plane_points, u, v)
+
+    def test_non_edges_violate_property_or_are_occluded(self, plane_points):
+        g = relative_neighborhood_graph(plane_points)
+        edge_set = g.edge_set()
+        # every pair NOT in the RNG must have a lune witness
+        n = len(plane_points)
+        missing = [
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if (i, j) not in edge_set
+        ]
+        assert missing, "an RNG on random points should not be complete"
+        for i, j in missing[:50]:
+            assert not rng_edge_holds(plane_points, i, j)
+
+    def test_connected_in_plane(self, plane_points):
+        # the RNG contains the MST, so it is connected
+        g = relative_neighborhood_graph(plane_points)
+        assert g.num_connected_components() == 1
+
+    def test_contains_mst_edges(self, plane_points):
+        g = relative_neighborhood_graph(plane_points)
+        edge_set = g.edge_set()
+        for u, v, _ in euclidean_mst(plane_points):
+            assert (u, v) in edge_set or (v, u) in edge_set
+
+    def test_empty_input(self):
+        assert relative_neighborhood_graph(np.zeros((0, 2))).n == 0
+
+    @given(st.integers(min_value=3, max_value=12), st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_property_on_random_inputs(self, n, seed):
+        data = random_points(n, 2, seed)
+        g = relative_neighborhood_graph(data)
+        for u, v in g.edges():
+            if u < v:
+                assert rng_edge_holds(data, u, v)
+
+
+class TestDelaunay:
+    def test_contains_rng_in_plane(self, plane_points):
+        dg = delaunay_graph(plane_points).edge_set()
+        rng_g = relative_neighborhood_graph(plane_points)
+        for u, v in rng_g.edges():
+            assert (u, v) in dg
+
+    def test_high_dimension_refused(self):
+        with pytest.raises(ValueError, match="limited to dim"):
+            delaunay_graph(np.zeros((10, 32)))
+
+    def test_tiny_input_complete(self):
+        data = random_points(3, 2, 0)
+        g = delaunay_graph(data)
+        assert g.num_edges == 6  # complete graph, both directions
+
+    def test_connected(self, plane_points):
+        assert delaunay_graph(plane_points).num_connected_components() == 1
+
+
+class TestMST:
+    def test_edge_count(self, plane_points):
+        assert len(euclidean_mst(plane_points)) == len(plane_points) - 1
+
+    def test_weight_matches_networkx(self, plane_points):
+        ours = sum(w for _, _, w in euclidean_mst(plane_points))
+        g = nx.Graph()
+        n = len(plane_points)
+        for i in range(n):
+            for j in range(i + 1, n):
+                g.add_edge(
+                    i, j, weight=float(np.linalg.norm(plane_points[i] - plane_points[j]))
+                )
+        reference = sum(
+            d["weight"] for _, _, d in nx.minimum_spanning_edges(g, data=True)
+        )
+        assert ours == pytest.approx(reference, rel=1e-6)
+
+    def test_spans_all_vertices(self, plane_points):
+        edges = euclidean_mst(plane_points)
+        touched = set()
+        for u, v, _ in edges:
+            touched.add(u)
+            touched.add(v)
+        assert touched == set(range(len(plane_points)))
+
+    def test_single_point(self):
+        assert euclidean_mst(np.zeros((1, 2))) == []
+
+    def test_kruskal_over_candidates_matches_prim(self, plane_points):
+        n = len(plane_points)
+        all_edges = [
+            (i, j, float(np.linalg.norm(plane_points[i] - plane_points[j])))
+            for i in range(n)
+            for j in range(i + 1, n)
+        ]
+        kruskal = sum(w for _, _, w in mst_over_candidates(n, all_edges))
+        prim = sum(w for _, _, w in euclidean_mst(plane_points))
+        assert kruskal == pytest.approx(prim, rel=1e-9)
+
+    def test_kruskal_partial_candidates_gives_forest(self):
+        edges = [(0, 1, 1.0), (2, 3, 1.0)]
+        forest = mst_over_candidates(4, edges)
+        assert len(forest) == 2
+
+    @given(st.integers(min_value=2, max_value=20), st.integers(0, 10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_always_n_minus_one_edges(self, n, seed):
+        data = random_points(n, 3, seed)
+        assert len(euclidean_mst(data)) == n - 1

@@ -1,0 +1,82 @@
+"""Tests for the lockstep batched search."""
+
+import numpy as np
+import pytest
+
+from repro import create
+from repro.batch import batch_search, batched_best_first_search
+from repro.components.routing import best_first_search
+from repro.datasets import make_clustered
+from repro.distance import DistanceCounter
+
+
+@pytest.fixture(scope="module")
+def world():
+    ds = make_clustered(16, 600, 6, 4.0, num_queries=25, gt_depth=20, seed=29)
+    index = create("hnsw", seed=1)
+    index.build(ds.base)
+    return ds, index
+
+
+class TestEquivalence:
+    def test_matches_sequential_with_same_seeds(self, world):
+        """Lockstep bookkeeping == sequential bookkeeping, per query."""
+        ds, index = world
+        graph, data = index.graph, index.data
+        seeds = [np.asarray([int(q) % graph.n]) for q in range(5)]
+        queries = ds.queries[:5]
+        batch = batched_best_first_search(
+            graph, data, queries, seeds, ef=40, k=10
+        )
+        for q in range(5):
+            solo = best_first_search(
+                graph, data, queries[q], seeds[q], ef=40
+            )
+            np.testing.assert_array_equal(batch.ids[q], solo.ids[:10])
+
+    def test_ndc_matches_sequential_total(self, world):
+        ds, index = world
+        graph, data = index.graph, index.data
+        seeds = [np.asarray([7]) for _ in range(5)]
+        queries = ds.queries[:5]
+        batch = batched_best_first_search(
+            graph, data, queries, seeds, ef=30, k=10
+        )
+        total = 0
+        for q in range(5):
+            counter = DistanceCounter()
+            best_first_search(
+                graph, data, queries[q], seeds[q], ef=30, counter=counter
+            )
+            total += counter.count
+        assert batch.total_ndc == total
+
+
+class TestBatchSearch:
+    def test_recall(self, world):
+        ds, index = world
+        result = batch_search(index, ds.queries, k=10, ef=60)
+        hits = 0
+        for q in range(ds.num_queries):
+            truth = set(int(t) for t in ds.ground_truth[q][:10])
+            hits += len(truth & set(int(i) for i in result.ids[q] if i >= 0))
+        assert hits / (10 * ds.num_queries) >= 0.9
+
+    def test_unbuilt_rejected(self):
+        with pytest.raises(RuntimeError):
+            batch_search(create("hnsw"), np.zeros((2, 4), dtype=np.float32))
+
+    def test_padding_for_unfillable_queries(self):
+        """A query over a tiny index pads with -1 / inf."""
+        ds = make_clustered(8, 30, 2, 2.0, num_queries=3, gt_depth=5, seed=1)
+        index = create("kgraph", k=5, seed=0)
+        index.build(ds.base)
+        result = batch_search(index, ds.queries, k=50, ef=50)
+        assert (result.ids >= -1).all()
+        assert np.isinf(result.dists[result.ids == -1]).all()
+
+    def test_reports_throughput(self, world):
+        ds, index = world
+        result = batch_search(index, ds.queries, k=10, ef=40)
+        assert result.qps > 0
+        assert result.mean_hops > 0

@@ -1,0 +1,46 @@
+"""Tests for the `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "hnsw" in out
+        assert "DG+RNG" in out
+
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "sift1m" in out
+        assert "d_32" in out
+
+    def test_eval(self, capsys):
+        code = main(
+            ["eval", "kgraph", "audio", "--n", "300", "--queries", "5",
+             "--ef", "40"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recall@10=" in out
+        assert "speedup=" in out
+
+    def test_eval_unknown_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["eval", "faiss", "audio"])
+
+    def test_recommend(self, capsys):
+        assert main(["recommend", "audio", "--n", "400"]) == 0
+        out = capsys.readouterr().out.strip()
+        assert len(out.split(", ")) >= 2
+
+    def test_recommend_with_constraint(self, capsys):
+        assert main(["recommend", "audio", "--n", "400", "--limited-memory"]) == 0
+        assert capsys.readouterr().out.strip() == "nsg, nssg"
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,185 @@
+"""Tests for C1 initialization, C2 candidates, C4/C6 seeding, C5 connectivity."""
+
+import numpy as np
+import pytest
+
+from repro.distance import DistanceCounter
+from repro.graphs import Graph, exact_knn_graph
+from repro.components.candidates import (
+    candidates_by_expansion,
+    candidates_by_search,
+    candidates_direct,
+)
+from repro.components.connectivity import ensure_reachable_from, _reachable_from
+from repro.components.initialization import (
+    kdtree_neighbor_lists,
+    random_neighbor_lists,
+)
+from repro.components.seeding import (
+    CentroidSeeds,
+    FixedSeeds,
+    KDTreeDescendSeeds,
+    KDTreeSeeds,
+    KMeansTreeSeeds,
+    LSHSeeds,
+    RandomSeeds,
+    VPTreeSeeds,
+)
+from repro.graphs.knng import exact_knn_lists
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(31)
+    return rng.normal(size=(300, 10)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def knn(cloud):
+    return exact_knn_lists(cloud, 10)
+
+
+class TestInitialization:
+    def test_random_lists_shape_and_validity(self):
+        ids = random_neighbor_lists(50, 7, np.random.default_rng(0))
+        assert ids.shape == (50, 7)
+        for v in range(50):
+            assert v not in ids[v]
+            assert len(set(ids[v].tolist())) == 7
+
+    def test_random_lists_k_too_large(self):
+        with pytest.raises(ValueError):
+            random_neighbor_lists(5, 5, np.random.default_rng(0))
+
+    def test_kdtree_lists_better_than_random(self, cloud, knn):
+        exact_ids, _ = knn
+        tree_ids = kdtree_neighbor_lists(cloud, 10, seed=0)
+        rand_ids = random_neighbor_lists(len(cloud), 10, np.random.default_rng(0))
+
+        def quality(ids):
+            return sum(
+                len(set(ids[v]) & set(exact_ids[v])) for v in range(len(cloud))
+            )
+
+        assert quality(tree_ids) > quality(rand_ids)
+
+    def test_kdtree_lists_counter(self, cloud):
+        counter = DistanceCounter()
+        kdtree_neighbor_lists(cloud, 5, counter=counter, seed=0)
+        assert counter.count > 0
+
+
+class TestCandidates:
+    def test_expansion_includes_two_hop(self, cloud, knn):
+        ids, _ = knn
+        cand, dists = candidates_by_expansion(ids, cloud, 0, limit=80)
+        direct = set(ids[0].tolist())
+        assert len(set(cand.tolist()) - direct) > 0  # real 2-hop candidates
+        assert 0 not in cand
+        assert np.all(np.diff(dists) >= -1e-9)
+
+    def test_expansion_respects_limit(self, cloud, knn):
+        ids, _ = knn
+        cand, _ = candidates_by_expansion(ids, cloud, 0, limit=15)
+        assert len(cand) <= 15
+
+    def test_direct_returns_sorted_neighbors(self, cloud, knn):
+        ids, dists = knn
+        cand, cand_d = candidates_direct(ids, dists, 3)
+        assert set(cand.tolist()) == set(ids[3].tolist())
+        assert np.all(np.diff(cand_d) >= -1e-9)
+
+    def test_search_returns_visited_set(self, cloud):
+        graph = exact_knn_graph(cloud, 10)
+        for u, v in list(graph.edges()):
+            graph.add_edge(v, u)
+        graph.finalize()
+        cand, dists = candidates_by_search(
+            graph, cloud, 7, ef=20, seeds=np.asarray([100])
+        )
+        assert 7 not in cand
+        assert len(cand) >= 20  # visited set is larger than the result set
+        assert np.all(np.diff(dists) >= -1e-9)
+
+
+class TestConnectivity:
+    def test_repairs_disconnected_graph(self, cloud):
+        graph = exact_knn_graph(cloud[:100], 3)
+        root = 0
+        repaired = ensure_reachable_from(graph, cloud[:100], root)
+        assert _reachable_from(repaired, np.asarray([root])).all()
+
+    def test_already_connected_untouched(self):
+        g = Graph(3, [[1], [2], [0]])
+        edges_before = g.num_edges
+        data = np.random.default_rng(0).normal(size=(3, 4)).astype(np.float32)
+        ensure_reachable_from(g, data, 0)
+        assert g.num_edges == edges_before
+
+    def test_directed_reachability_not_just_weak(self):
+        # 1 -> 0 only: weakly connected but 1 unreachable FROM 0
+        g = Graph(2, [[], [0]])
+        data = np.asarray([[0.0, 0.0], [1.0, 0.0]], dtype=np.float32)
+        ensure_reachable_from(g, data, 0)
+        assert 1 in g.neighbors(0) or _reachable_from(g, np.asarray([0])).all()
+
+
+class TestSeedProviders:
+    @pytest.mark.parametrize(
+        "provider_factory",
+        [
+            lambda: RandomSeeds(count=6, seed=0),
+            lambda: CentroidSeeds(),
+            lambda: KDTreeSeeds(num_trees=2, count=6, seed=0),
+            lambda: KDTreeDescendSeeds(num_trees=2, count=6, seed=0),
+            lambda: VPTreeSeeds(count=4, seed=0),
+            lambda: KMeansTreeSeeds(count=6, seed=0),
+            lambda: LSHSeeds(count=6, seed=0),
+        ],
+        ids=["random", "centroid", "kdtree", "kd-descend", "vptree", "bkt", "lsh"],
+    )
+    def test_acquire_returns_valid_ids(self, cloud, provider_factory):
+        graph = exact_knn_graph(cloud, 5)
+        provider = provider_factory()
+        provider.prepare(cloud, graph)
+        seeds = provider.acquire(cloud[0] + 0.01)
+        assert len(seeds) > 0
+        assert np.all((0 <= np.asarray(seeds)) & (np.asarray(seeds) < len(cloud)))
+
+    def test_centroid_is_true_medoid(self, cloud):
+        provider = CentroidSeeds()
+        provider.prepare(cloud, Graph(len(cloud)))
+        mean = cloud.mean(axis=0)
+        expected = int(np.argmin(np.linalg.norm(cloud - mean, axis=1)))
+        assert provider.medoid == expected
+
+    def test_fixed_seeds(self):
+        provider = FixedSeeds(np.asarray([3, 1, 4]))
+        np.testing.assert_array_equal(provider.acquire(None), [3, 1, 4])
+
+    def test_kd_descend_costs_zero_ndc(self, cloud):
+        provider = KDTreeDescendSeeds(num_trees=2, count=6, seed=0)
+        provider.prepare(cloud, Graph(len(cloud)))
+        counter = DistanceCounter()
+        provider.acquire(cloud[0], counter)
+        assert counter.count == 0
+
+    def test_vp_tree_charges_ndc(self, cloud):
+        provider = VPTreeSeeds(count=4, seed=0)
+        provider.prepare(cloud, Graph(len(cloud)))
+        counter = DistanceCounter()
+        provider.acquire(cloud[0], counter)
+        assert counter.count > 0
+
+    def test_tree_providers_report_extra_memory(self, cloud):
+        provider = KDTreeSeeds(num_trees=2, seed=0)
+        provider.prepare(cloud, Graph(len(cloud)))
+        assert provider.extra_bytes > 0
+        assert RandomSeeds().extra_bytes == 0
+
+    def test_lsh_seeds_close_to_query(self, cloud):
+        provider = LSHSeeds(count=8, seed=0)
+        provider.prepare(cloud, Graph(len(cloud)))
+        query = cloud[42] + 1e-3
+        seeds = provider.acquire(query)
+        assert 42 in seeds

@@ -1,0 +1,148 @@
+"""Tests for dataset generation, ground truth, LID, and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    Dataset,
+    REALWORLD_SPECS,
+    SYNTHETIC_SPECS,
+    available_datasets,
+    brute_force_knn,
+    estimate_lid,
+    load_dataset,
+    make_clustered,
+    make_standin,
+)
+
+
+class TestGroundTruth:
+    def test_matches_linear_scan(self):
+        rng = np.random.default_rng(0)
+        base = rng.random((100, 8)).astype(np.float32)
+        queries = rng.random((10, 8)).astype(np.float32)
+        ids, dists = brute_force_knn(base, queries, 5)
+        for qi in range(10):
+            full = np.linalg.norm(base - queries[qi], axis=1)
+            expected = np.sort(full)[:5]
+            np.testing.assert_allclose(dists[qi], expected, rtol=1e-5)
+
+    def test_sorted_rows(self):
+        rng = np.random.default_rng(1)
+        base = rng.random((50, 4)).astype(np.float32)
+        _, dists = brute_force_knn(base, base[:5], 10)
+        assert np.all(np.diff(dists, axis=1) >= -1e-9)
+
+    def test_k_exceeds_base_rejected(self):
+        with pytest.raises(ValueError):
+            brute_force_knn(np.zeros((3, 2)), np.zeros((1, 2)), 5)
+
+    def test_k_equals_base(self):
+        rng = np.random.default_rng(2)
+        base = rng.random((6, 3))
+        ids, _ = brute_force_knn(base, base[:2], 6)
+        assert sorted(ids[0].tolist()) == list(range(6))
+
+
+class TestLID:
+    def test_higher_intrinsic_dim_higher_lid(self):
+        rng = np.random.default_rng(3)
+        low = rng.normal(size=(800, 4)) @ rng.normal(size=(4, 64))
+        high = rng.normal(size=(800, 32)) @ rng.normal(size=(32, 64))
+        assert estimate_lid(low) < estimate_lid(high)
+
+    def test_requires_enough_points(self):
+        with pytest.raises(ValueError):
+            estimate_lid(np.zeros((10, 4)), k=20)
+
+
+class TestDatasetContainer:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="share a dimension"):
+            Dataset("x", np.zeros((5, 3)), np.zeros((2, 4)), np.zeros((2, 1)))
+        with pytest.raises(ValueError, match="ground-truth"):
+            Dataset("x", np.zeros((5, 3)), np.zeros((2, 3)), np.zeros((3, 1)))
+
+    def test_subset_recomputes_ground_truth(self):
+        ds = make_clustered(8, 200, 4, 3.0, num_queries=5, gt_depth=10, seed=0)
+        sub = ds.subset(100)
+        assert sub.n == 100
+        assert np.all(sub.ground_truth < 100)
+        ids, _ = brute_force_knn(sub.base, sub.queries, 10)
+        np.testing.assert_array_equal(sub.ground_truth, ids)
+
+    def test_subset_too_large_rejected(self):
+        ds = make_clustered(8, 50, 2, 3.0, num_queries=5, gt_depth=10, seed=0)
+        with pytest.raises(ValueError):
+            ds.subset(100)
+
+
+class TestSynthetic:
+    def test_deterministic(self):
+        a = make_clustered(16, 100, 4, 2.0, num_queries=5, seed=9)
+        b = make_clustered(16, 100, 4, 2.0, num_queries=5, seed=9)
+        np.testing.assert_array_equal(a.base, b.base)
+
+    def test_shape_matches_spec(self):
+        ds = make_clustered(24, 150, 3, 2.0, num_queries=7, gt_depth=20, seed=1)
+        assert ds.base.shape == (150, 24)
+        assert ds.queries.shape == (7, 24)
+        assert ds.ground_truth.shape == (7, 20)
+
+    def test_gt_depth_clamped_for_tiny_base(self):
+        ds = make_clustered(8, 40, 2, 2.0, num_queries=3, gt_depth=100, seed=1)
+        assert ds.gt_depth <= 20
+
+    def test_all_twelve_specs_present(self):
+        assert len(SYNTHETIC_SPECS) == 12
+        expected = {
+            "d_8", "d_32", "d_128", "n_10000", "n_100000", "n_1000000",
+            "c_1", "c_10", "c_100", "s_1", "s_5", "s_10",
+        }
+        assert set(SYNTHETIC_SPECS) == expected
+
+
+class TestRealWorldStandins:
+    def test_all_eight_present(self):
+        assert len(REALWORLD_SPECS) == 8
+
+    def test_dimensions_match_table3(self):
+        assert REALWORLD_SPECS["sift1m"].dim == 128
+        assert REALWORLD_SPECS["gist1m"].dim == 960
+        assert REALWORLD_SPECS["glove"].dim == 100
+        assert REALWORLD_SPECS["enron"].dim == 1369
+
+    def test_generation(self):
+        ds = make_standin("audio", cardinality=300, num_queries=10)
+        assert ds.base.shape == (300, 192)
+        assert ds.metadata["paper_lid"] == 5.6
+
+    def test_difficulty_ordering_preserved(self):
+        easy = make_standin("audio", cardinality=600, num_queries=5)
+        hard = make_standin("glove", cardinality=600, num_queries=5)
+        assert estimate_lid(easy.base) < estimate_lid(hard.base)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            make_standin("imagenet")
+
+
+class TestRegistry:
+    def test_listing(self):
+        names = available_datasets()
+        assert "sift1m" in names
+        assert "d_32" in names
+        assert len(names) == 20
+
+    def test_load_caches(self):
+        a = load_dataset("audio", cardinality=200, num_queries=5)
+        b = load_dataset("audio", cardinality=200, num_queries=5)
+        assert a is b
+
+    def test_load_synthetic_with_size(self):
+        ds = load_dataset("d_8", cardinality=300, num_queries=5)
+        assert ds.n == 300
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")

@@ -1,0 +1,98 @@
+"""Unit + property tests for the distance kernels and NDC accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.distance import DistanceCounter, l2, l2_batch, pairwise_l2
+
+finite_floats = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False,
+    width=32,
+)
+
+
+def vec(dim: int):
+    return arrays(np.float32, (dim,), elements=finite_floats)
+
+
+class TestL2:
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        x, y = rng.random(16), rng.random(16)
+        assert l2(x, y) == pytest.approx(float(np.linalg.norm(x - y)))
+
+    def test_zero_for_identical(self):
+        x = np.ones(8)
+        assert l2(x, x) == 0.0
+
+    @given(vec(8), vec(8))
+    @settings(max_examples=50, deadline=None)
+    def test_symmetry(self, x, y):
+        assert l2(x, y) == pytest.approx(l2(y, x), abs=1e-4)
+
+    @given(vec(8), vec(8), vec(8))
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, x, y, z):
+        assert l2(x, z) <= l2(x, y) + l2(y, z) + 1e-3
+
+
+class TestBatchKernels:
+    def test_l2_batch_matches_scalar(self):
+        rng = np.random.default_rng(1)
+        q = rng.random(12)
+        pts = rng.random((20, 12))
+        batch = l2_batch(q, pts)
+        for i in range(20):
+            assert batch[i] == pytest.approx(l2(q, pts[i]), rel=1e-6)
+
+    def test_pairwise_matches_batch(self):
+        rng = np.random.default_rng(2)
+        a = rng.random((7, 10))
+        b = rng.random((9, 10))
+        mat = pairwise_l2(a, b)
+        assert mat.shape == (7, 9)
+        for i in range(7):
+            np.testing.assert_allclose(mat[i], l2_batch(a[i], b), rtol=1e-5)
+
+    def test_pairwise_never_negative(self):
+        # near-duplicate rows trigger the negative-rounding clamp
+        a = np.full((5, 4), 3.333333, dtype=np.float32)
+        mat = pairwise_l2(a, a)
+        assert np.all(mat >= 0.0)
+
+    def test_pairwise_diagonal_zero_on_self(self):
+        rng = np.random.default_rng(3)
+        a = rng.random((6, 5))
+        np.testing.assert_allclose(np.diag(pairwise_l2(a, a)), 0.0, atol=1e-5)
+
+
+class TestDistanceCounter:
+    def test_pair_counts_one(self):
+        counter = DistanceCounter()
+        counter.pair(np.ones(4), np.zeros(4))
+        assert counter.count == 1
+
+    def test_one_to_many_counts_rows(self):
+        counter = DistanceCounter()
+        counter.one_to_many(np.ones(4), np.zeros((13, 4)))
+        assert counter.count == 13
+
+    def test_many_to_many_counts_product(self):
+        counter = DistanceCounter()
+        counter.many_to_many(np.zeros((3, 4)), np.zeros((5, 4)))
+        assert counter.count == 15
+
+    def test_reset(self):
+        counter = DistanceCounter()
+        counter.pair(np.ones(2), np.zeros(2))
+        counter.reset()
+        assert counter.count == 0
+
+    def test_accumulates_across_calls(self):
+        counter = DistanceCounter()
+        counter.pair(np.ones(2), np.zeros(2))
+        counter.one_to_many(np.ones(2), np.zeros((4, 2)))
+        assert counter.count == 5

@@ -1,0 +1,75 @@
+"""Failure-injection and degenerate-input tests across the library."""
+
+import numpy as np
+import pytest
+
+from repro import ALGORITHMS, create
+from repro.datasets import brute_force_knn, make_clustered
+
+
+@pytest.fixture(scope="module")
+def micro_dataset():
+    """20 points: small enough to stress every degree/ef clamp."""
+    return make_clustered(8, 20, 2, 2.0, num_queries=4, gt_depth=10, seed=5)
+
+
+@pytest.mark.parametrize("name", sorted(ALGORITHMS))
+class TestMicroDatasets:
+    def test_builds_and_searches_20_points(self, name, micro_dataset):
+        algorithm = create(name, seed=0)
+        algorithm.build(micro_dataset.base)
+        result = algorithm.search(micro_dataset.queries[0], k=5, ef=15)
+        assert 1 <= len(result.ids) <= 5
+        assert np.all((0 <= result.ids) & (result.ids < 20))
+
+
+class TestDuplicatePoints:
+    @pytest.mark.parametrize("name", ["kgraph", "hnsw", "nsg", "hcnng", "nsw"])
+    def test_duplicate_heavy_data(self, name):
+        rng = np.random.default_rng(9)
+        unique = rng.normal(size=(30, 6)).astype(np.float32)
+        data = np.repeat(unique, 4, axis=0)  # every point appears 4x
+        algorithm = create(name, seed=0)
+        algorithm.build(data)
+        # duplicates quarter the effective candidate-set size (four
+        # copies occupy four result slots), so search with a roomier ef
+        result = algorithm.search(unique[0], k=4, ef=60)
+        # all four copies of the nearest point are at distance ~0
+        dists = np.linalg.norm(data[result.ids] - unique[0], axis=1)
+        assert dists[0] == pytest.approx(0.0, abs=1e-5)
+
+
+class TestKEdgeCases:
+    def test_k_larger_than_ef_is_clamped(self, micro_dataset):
+        algorithm = create("hnsw", seed=0)
+        algorithm.build(micro_dataset.base)
+        result = algorithm.search(micro_dataset.queries[0], k=10, ef=2)
+        assert len(result.ids) == 10  # ef raised to k internally
+
+    def test_k_one(self, micro_dataset):
+        algorithm = create("nsg", seed=0)
+        algorithm.build(micro_dataset.base)
+        result = algorithm.search(micro_dataset.queries[0], k=1, ef=10)
+        truth, _ = brute_force_knn(
+            micro_dataset.base, micro_dataset.queries[:1], 1
+        )
+        assert result.ids[0] == truth[0][0]
+
+
+class TestDegenerateGeometry:
+    def test_collinear_points(self):
+        line = np.linspace(0, 1, 50)[:, None].repeat(4, axis=1).astype(np.float32)
+        line += np.random.default_rng(0).normal(0, 1e-6, line.shape).astype(np.float32)
+        algorithm = create("hnsw", seed=0)
+        algorithm.build(line)
+        result = algorithm.search(line[25], k=3, ef=10)
+        assert 25 in result.ids
+
+    def test_single_cluster_zero_variance_dims(self):
+        rng = np.random.default_rng(1)
+        data = np.zeros((60, 10), dtype=np.float32)
+        data[:, :2] = rng.normal(size=(60, 2))  # only 2 informative dims
+        algorithm = create("nssg", seed=0)
+        algorithm.build(data)
+        result = algorithm.search(data[0], k=5, ef=20)
+        assert len(result.ids) == 5

@@ -1,0 +1,130 @@
+"""Unit tests for the shared Graph structure and its index statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import Graph
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph(0)
+        assert g.num_edges == 0
+        assert g.num_connected_components() == 0
+        assert g.average_out_degree == 0.0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(-1)
+
+    def test_from_lists(self):
+        g = Graph(3, [[1, 2], [2], []])
+        assert g.neighbors(0) == [1, 2]
+        assert g.neighbors(2) == []
+        assert g.num_edges == 3
+
+    def test_list_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Graph(3, [[1], [0]])
+
+    def test_duplicate_neighbors_deduplicated(self):
+        g = Graph(2, [[1, 1, 1], []])
+        assert g.neighbors(0) == [1]
+
+    def test_self_loops_ignored(self):
+        g = Graph(2)
+        g.add_edge(0, 0)
+        assert g.num_edges == 0
+
+    def test_add_edge_idempotent(self):
+        g = Graph(2)
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_undirected_edge(self):
+        g = Graph(2)
+        g.add_undirected_edge(0, 1)
+        assert 1 in g.neighbors(0)
+        assert 0 in g.neighbors(1)
+
+    def test_set_neighbors_strips_self(self):
+        g = Graph(3)
+        g.set_neighbors(0, [0, 1, 2, 1])
+        assert g.neighbors(0) == [1, 2]
+
+
+class TestStatistics:
+    @pytest.fixture()
+    def sample(self):
+        g = Graph(5)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 0)
+        # vertices 3, 4 isolated pair
+        g.add_undirected_edge(3, 4)
+        return g
+
+    def test_degrees(self, sample):
+        assert sample.max_out_degree == 1
+        assert sample.min_out_degree == 1
+        assert sample.average_out_degree == pytest.approx(1.0)
+
+    def test_connected_components(self, sample):
+        assert sample.num_connected_components() == 2
+
+    def test_directed_edges_count_as_weak_links(self):
+        g = Graph(2)
+        g.add_edge(0, 1)  # only one direction
+        assert g.num_connected_components() == 1
+
+    def test_index_size_grows_with_edges(self, sample):
+        before = sample.index_size_bytes()
+        sample.add_edge(0, 3)
+        assert sample.index_size_bytes() > before
+
+    def test_reverse(self, sample):
+        reversed_graph = sample.reverse()
+        assert 0 in reversed_graph.neighbors(1)
+        assert 1 not in reversed_graph.neighbors(0)
+        assert reversed_graph.num_edges == sample.num_edges
+
+
+class TestFinalize:
+    def test_neighbor_array_matches_list(self):
+        g = Graph(4, [[1, 2], [3], [], [0]])
+        g.finalize()
+        np.testing.assert_array_equal(g.neighbor_array(0), [1, 2])
+
+    def test_mutation_invalidates_arrays(self):
+        g = Graph(3, [[1], [], []]).finalize()
+        g.add_edge(0, 2)
+        np.testing.assert_array_equal(g.neighbor_array(0), [1, 2])
+
+    def test_edge_set_roundtrip(self):
+        g = Graph(3, [[1], [2], [0]])
+        assert g.edge_set() == {(0, 1), (1, 2), (2, 0)}
+
+    def test_copy_is_independent(self):
+        g = Graph(2, [[1], []])
+        h = g.copy()
+        h.add_edge(1, 0)
+        assert g.neighbors(1) == []
+
+
+class TestPaddedMatrix:
+    def test_shape_and_padding(self):
+        g = Graph(3, [[1, 2], [0], []])
+        matrix = g.to_padded_matrix()
+        assert matrix.shape == (3, 2)
+        np.testing.assert_array_equal(matrix[0], [1, 2])
+        np.testing.assert_array_equal(matrix[1], [0, -1])
+        np.testing.assert_array_equal(matrix[2], [-1, -1])
+
+    def test_custom_pad_value(self):
+        g = Graph(2, [[1], []])
+        matrix = g.to_padded_matrix(pad=99)
+        assert matrix[1, 0] == 99
+
+    def test_empty_graph(self):
+        assert Graph(3).to_padded_matrix().shape == (3, 0)

@@ -1,0 +1,80 @@
+"""Tests for index save/load round-trips."""
+
+import numpy as np
+import pytest
+
+from repro import create
+from repro.io import StaticGraphIndex, load_index, save_index
+
+
+@pytest.fixture(scope="module")
+def built(tiny_dataset):
+    index = create("nsg", seed=1)
+    index.build(tiny_dataset.base)
+    return index
+
+
+class TestRoundTrip:
+    def test_graph_preserved(self, built, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(built, path)
+        loaded = load_index(path)
+        assert loaded.graph.n == built.graph.n
+        assert loaded.graph.edge_set() == built.graph.edge_set()
+        np.testing.assert_array_equal(loaded.data, built.data)
+        assert loaded.source_algorithm == "nsg"
+
+    def test_search_equivalent(self, built, tiny_dataset, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(built, path)
+        loaded = load_index(path)
+        stats = loaded.batch_search(
+            tiny_dataset.queries, tiny_dataset.ground_truth, k=10, ef=60
+        )
+        baseline = built.batch_search(
+            tiny_dataset.queries, tiny_dataset.ground_truth, k=10, ef=60
+        )
+        assert stats.recall >= baseline.recall - 0.05
+
+    def test_unbuilt_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_index(create("kgraph"), tmp_path / "x.npz")
+
+    def test_loaded_cannot_rebuild(self, built, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(built, path)
+        loaded = load_index(path)
+        with pytest.raises(RuntimeError, match="loaded, not built"):
+            loaded.build(np.zeros((5, 3), dtype=np.float32))
+
+    def test_version_check(self, built, tmp_path):
+        path = tmp_path / "index.npz"
+        save_index(built, path)
+        # tamper with the version field
+        with np.load(path) as archive:
+            payload = {key: archive[key] for key in archive.files}
+        payload["format_version"] = np.asarray(99)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="unsupported index format"):
+            load_index(path)
+
+    def test_fixed_seed_algorithms_keep_entries(self, tiny_dataset, tmp_path):
+        hnsw = create("hnsw", seed=2)
+        hnsw.build(tiny_dataset.base)
+        path = tmp_path / "hnsw.npz"
+        save_index(hnsw, path)
+        loaded = load_index(path)
+        assert isinstance(loaded, StaticGraphIndex)
+        assert hnsw.entry_point in loaded.seed_provider.acquire(None)
+
+    def test_tombstones_survive_roundtrip(self, tiny_dataset, tmp_path):
+        index = create("hnsw", seed=3)
+        index.build(tiny_dataset.base)
+        victim = int(index.search(tiny_dataset.queries[0], k=1, ef=20).ids[0])
+        index.delete(victim)
+        path = tmp_path / "tombstoned.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.num_deleted == 1
+        result = loaded.search(tiny_dataset.queries[0], k=10, ef=40)
+        assert victim not in result.ids

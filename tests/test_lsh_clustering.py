@@ -1,0 +1,84 @@
+"""Tests for LSH buckets (IEH seeds) and two-pivot clustering (HCNNG)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering import hierarchical_two_pivot_clusters
+from repro.distance import DistanceCounter
+from repro.hashing import RandomHyperplaneLSH
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(4)
+    return rng.normal(size=(500, 12)).astype(np.float32)
+
+
+class TestLSH:
+    def test_candidates_nonempty(self, cloud):
+        lsh = RandomHyperplaneLSH(cloud, seed=0)
+        assert len(lsh.candidates(cloud[0])) > 0
+
+    def test_point_lands_in_own_bucket(self, cloud):
+        lsh = RandomHyperplaneLSH(cloud, seed=0)
+        assert 17 in lsh.candidates(cloud[17])
+
+    def test_search_returns_close_points(self, cloud):
+        lsh = RandomHyperplaneLSH(cloud, seed=0)
+        q = cloud[3] + 1e-3
+        got = lsh.search(q, 5)
+        assert 3 in got
+
+    def test_search_counts_ndc(self, cloud):
+        lsh = RandomHyperplaneLSH(cloud, seed=0)
+        counter = DistanceCounter()
+        lsh.search(cloud[0], 5, counter=counter)
+        assert counter.count > 0
+
+    def test_bucket_locating_is_free(self, cloud):
+        # the survey's key point about C4_IEH: candidates() needs no NDC
+        lsh = RandomHyperplaneLSH(cloud, seed=0)
+        counter = DistanceCounter()
+        lsh.candidates(cloud[0])
+        assert counter.count == 0
+
+    def test_empty_bucket_fallback(self, cloud):
+        lsh = RandomHyperplaneLSH(cloud, num_bits=16, num_tables=1, seed=0)
+        far = np.full(12, 1e6, dtype=np.float32)
+        assert len(lsh.candidates(far)) > 0
+
+
+class TestTwoPivotClustering:
+    def test_covers_all_points(self, cloud):
+        clusters = hierarchical_two_pivot_clusters(
+            cloud, 50, np.random.default_rng(0)
+        )
+        seen = np.concatenate(clusters)
+        assert sorted(seen.tolist()) == list(range(len(cloud)))
+
+    def test_cluster_size_bound(self, cloud):
+        clusters = hierarchical_two_pivot_clusters(
+            cloud, 50, np.random.default_rng(0)
+        )
+        assert all(len(c) <= 50 for c in clusters)
+
+    def test_counter_charged(self, cloud):
+        counter = DistanceCounter()
+        hierarchical_two_pivot_clusters(
+            cloud, 50, np.random.default_rng(0), counter=counter
+        )
+        assert counter.count > 0
+
+    def test_duplicate_points_terminate(self):
+        data = np.ones((200, 4), dtype=np.float32)
+        clusters = hierarchical_two_pivot_clusters(
+            data, 30, np.random.default_rng(1)
+        )
+        assert sum(len(c) for c in clusters) == 200
+
+    def test_different_seeds_differ(self, cloud):
+        a = hierarchical_two_pivot_clusters(cloud, 50, np.random.default_rng(0))
+        b = hierarchical_two_pivot_clusters(cloud, 50, np.random.default_rng(9))
+        sig_a = sorted(len(c) for c in a)
+        sig_b = sorted(len(c) for c in b)
+        assert a != b or sig_a != sig_b  # overwhelmingly likely to differ

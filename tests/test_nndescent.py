@@ -1,0 +1,119 @@
+"""Tests for NN-Descent: convergence, quality, telemetry, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.distance import DistanceCounter
+from repro.graphs.knng import exact_knn_lists
+from repro.nndescent import nn_descent
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(21)
+    return rng.normal(size=(500, 16)).astype(np.float32)
+
+
+def graph_quality_vs_exact(result_ids: np.ndarray, exact_ids: np.ndarray) -> float:
+    hits = sum(
+        len(set(result_ids[i]) & set(exact_ids[i])) for i in range(len(exact_ids))
+    )
+    return hits / exact_ids.size
+
+
+class TestConvergence:
+    def test_reaches_high_graph_quality(self, cloud):
+        result = nn_descent(cloud, 10, iterations=10, seed=0)
+        exact, _ = exact_knn_lists(cloud, 10)
+        assert graph_quality_vs_exact(result.ids, exact) > 0.90
+
+    def test_updates_decrease(self, cloud):
+        result = nn_descent(cloud, 10, iterations=8, seed=0)
+        updates = result.updates_per_iter
+        assert updates[0] > updates[-1]
+
+    def test_early_stop_on_convergence(self, cloud):
+        result = nn_descent(
+            cloud, 10, iterations=50, seed=0, convergence_threshold=0.01
+        )
+        assert result.iterations_run < 50
+
+    def test_more_iterations_never_worse(self, cloud):
+        exact, _ = exact_knn_lists(cloud, 10)
+        few = nn_descent(cloud, 10, iterations=1, seed=0)
+        many = nn_descent(cloud, 10, iterations=8, seed=0)
+        assert graph_quality_vs_exact(many.ids, exact) >= graph_quality_vs_exact(
+            few.ids, exact
+        )
+
+
+class TestInvariants:
+    def test_no_self_neighbors(self, cloud):
+        result = nn_descent(cloud, 8, iterations=4, seed=1)
+        for v in range(len(cloud)):
+            assert v not in result.ids[v]
+
+    def test_no_duplicate_neighbors(self, cloud):
+        result = nn_descent(cloud, 8, iterations=4, seed=1)
+        for v in range(len(cloud)):
+            assert len(set(result.ids[v].tolist())) == 8
+
+    def test_rows_sorted(self, cloud):
+        result = nn_descent(cloud, 8, iterations=4, seed=1)
+        assert np.all(np.diff(result.dists, axis=1) >= -1e-9)
+
+    def test_dists_match_ids(self, cloud):
+        result = nn_descent(cloud, 6, iterations=3, seed=2)
+        for v in range(0, len(cloud), 50):
+            expected = np.linalg.norm(
+                cloud[result.ids[v]].astype(np.float64)
+                - cloud[v].astype(np.float64),
+                axis=1,
+            )
+            np.testing.assert_allclose(result.dists[v], expected, rtol=1e-4)
+
+    def test_deterministic(self, cloud):
+        a = nn_descent(cloud, 8, iterations=3, seed=3)
+        b = nn_descent(cloud, 8, iterations=3, seed=3)
+        np.testing.assert_array_equal(a.ids, b.ids)
+
+    def test_counter_charged(self, cloud):
+        counter = DistanceCounter()
+        nn_descent(cloud, 8, iterations=2, counter=counter, seed=0)
+        assert counter.count > len(cloud) * 8
+
+
+class TestOptions:
+    def test_initial_ids_honoured(self, cloud):
+        exact, _ = exact_knn_lists(cloud, 8)
+        warm = nn_descent(cloud, 8, iterations=1, seed=0, initial_ids=exact)
+        # one pass from the exact lists must retain near-perfect quality
+        assert graph_quality_vs_exact(warm.ids, exact) > 0.95
+
+    def test_initial_ids_shorter_padded(self, cloud):
+        exact, _ = exact_knn_lists(cloud, 4)
+        result = nn_descent(cloud, 8, iterations=1, seed=0, initial_ids=exact)
+        assert result.ids.shape == (len(cloud), 8)
+
+    def test_initial_ids_wrong_rows_rejected(self, cloud):
+        with pytest.raises(ValueError):
+            nn_descent(cloud, 8, initial_ids=np.zeros((3, 8), dtype=np.int64))
+
+    def test_sample_rate_limits_pool(self, cloud):
+        counter_full = DistanceCounter()
+        nn_descent(cloud, 10, iterations=2, counter=counter_full, seed=0)
+        counter_sampled = DistanceCounter()
+        nn_descent(
+            cloud, 10, iterations=2, counter=counter_sampled, seed=0,
+            sample_rate=0.3,
+        )
+        assert counter_sampled.count < counter_full.count
+
+    def test_k_clamped(self):
+        data = np.random.default_rng(0).normal(size=(5, 4)).astype(np.float32)
+        result = nn_descent(data, 10, iterations=2, seed=0)
+        assert result.ids.shape == (5, 4)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            nn_descent(np.zeros((1, 4)), 2)

@@ -1,0 +1,57 @@
+"""Tests for the ASCII tradeoff plots."""
+
+import pytest
+
+from repro.pipeline.evaluation import SweepPoint
+from repro.plotting import ascii_plot, plot_tradeoff_curves
+
+
+def make_curve(scale):
+    return [
+        SweepPoint(ef=ef, recall=r, qps=scale / ef, speedup=scale * 10 / ef,
+                   mean_ndc=ef * 3.0, mean_hops=ef / 2.0)
+        for ef, r in ((10, 0.7), (40, 0.9), (160, 0.99))
+    ]
+
+
+class TestAsciiPlot:
+    def test_empty(self):
+        assert ascii_plot({}) == "(no data)"
+
+    def test_contains_markers_and_legend(self):
+        out = ascii_plot({"a": [(0.0, 1.0), (1.0, 2.0)], "b": [(0.5, 1.5)]})
+        assert "o" in out
+        assert "x" in out
+        assert "o=a" in out
+        assert "x=b" in out
+
+    def test_single_point_no_crash(self):
+        out = ascii_plot({"solo": [(0.5, 0.5)]})
+        assert "solo" in out
+
+    def test_log_scale_labels(self):
+        out = ascii_plot({"a": [(0.0, 10.0), (1.0, 1000.0)]}, log_y=True)
+        assert "10^" in out
+
+
+class TestTradeoffCurves:
+    def test_renders_sweep_points(self):
+        out = plot_tradeoff_curves(
+            {"hnsw": make_curve(1000), "nsg": make_curve(800)}
+        )
+        assert "Recall@10" in out
+        assert "speedup" in out
+        assert "hnsw" in out
+
+    def test_qps_metric(self):
+        out = plot_tradeoff_curves({"hnsw": make_curve(1000)}, metric="qps")
+        assert "qps" in out
+
+    def test_bad_metric_rejected(self):
+        with pytest.raises(ValueError):
+            plot_tradeoff_curves({}, metric="latency")
+
+    def test_plot_is_bounded(self):
+        out = plot_tradeoff_curves({"a": make_curve(500)}, width=40, height=10)
+        for line in out.splitlines():
+            assert len(line) <= 80

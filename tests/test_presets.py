@@ -1,0 +1,34 @@
+"""Tests for the tuned-parameter presets."""
+
+import pytest
+
+from repro import ALGORITHMS
+from repro.presets import PRESETS, create_tuned, tuned_params
+
+
+class TestPresets:
+    def test_all_preset_algorithms_registered(self):
+        for (algorithm, _dataset) in PRESETS:
+            assert algorithm in ALGORITHMS
+
+    def test_missing_preset_returns_empty(self):
+        assert tuned_params("hnsw", "no-such-dataset") == {}
+
+    def test_create_tuned_falls_back_to_defaults(self):
+        index = create_tuned("hnsw", "no-such-dataset")
+        assert index.name == "hnsw"
+
+    def test_overrides_win(self):
+        index = create_tuned("hnsw", "sift1m", m=3)
+        assert index.m == 3
+
+    def test_presets_are_constructible(self):
+        for (algorithm, _dataset), params in PRESETS.items():
+            index = create_tuned(algorithm, _dataset)
+            for key, value in params.items():
+                assert getattr(index, key) == value
+
+    def test_tuned_params_returns_copy(self):
+        first = tuned_params("hnsw", "sift1m")
+        first["m"] = 999
+        assert tuned_params("hnsw", "sift1m").get("m") != 999

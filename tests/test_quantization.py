@@ -1,0 +1,112 @@
+"""Tests for the product quantizer and PQ-based seed acquisition."""
+
+import numpy as np
+import pytest
+
+from repro.distance import DistanceCounter
+from repro.graphs import Graph
+from repro.quantization import PQSeeds, ProductQuantizer
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(19)
+    return rng.normal(size=(500, 32)).astype(np.float32)
+
+
+class TestProductQuantizer:
+    def test_requires_fit(self):
+        pq = ProductQuantizer()
+        with pytest.raises(RuntimeError):
+            pq.encode(np.zeros((1, 8)))
+
+    def test_codes_shape_and_range(self, cloud):
+        pq = ProductQuantizer(num_subspaces=8, codebook_size=16).fit(cloud)
+        assert pq.codes.shape == (500, 8)
+        assert pq.codes.min() >= 0
+        assert pq.codes.max() < 16
+
+    def test_roundtrip_error_bounded(self, cloud):
+        pq = ProductQuantizer(num_subspaces=8, codebook_size=32).fit(cloud)
+        reconstructed = pq.decode(pq.codes)
+        errors = np.linalg.norm(reconstructed - cloud, axis=1)
+        norms = np.linalg.norm(cloud, axis=1)
+        assert (errors / norms).mean() < 0.9  # quantization, not destruction
+
+    def test_more_subspaces_lower_error(self, cloud):
+        def err(m):
+            pq = ProductQuantizer(num_subspaces=m, codebook_size=16).fit(cloud)
+            return np.linalg.norm(pq.decode(pq.codes) - cloud, axis=1).mean()
+
+        assert err(16) < err(2)
+
+    def test_encode_matches_training_codes(self, cloud):
+        pq = ProductQuantizer(num_subspaces=4, codebook_size=16).fit(cloud)
+        np.testing.assert_array_equal(pq.encode(cloud[:20]), pq.codes[:20])
+
+    def test_adc_correlates_with_true_distance(self, cloud):
+        pq = ProductQuantizer(num_subspaces=8, codebook_size=32).fit(cloud)
+        query = cloud[0] + 0.1
+        approx = pq.adc_distances(query)
+        true = np.linalg.norm(cloud - query, axis=1)
+        corr = np.corrcoef(approx, true)[0, 1]
+        assert corr > 0.8
+
+    def test_adc_top_candidates_overlap_true(self, cloud):
+        pq = ProductQuantizer(num_subspaces=8, codebook_size=32).fit(cloud)
+        query = cloud[3] + 0.05
+        approx_top = set(np.argsort(pq.adc_distances(query))[:20].tolist())
+        true_top = set(
+            np.argsort(np.linalg.norm(cloud - query, axis=1))[:20].tolist()
+        )
+        assert len(approx_top & true_top) >= 5
+
+    def test_memory_far_below_raw(self, cloud):
+        pq = ProductQuantizer(num_subspaces=8, codebook_size=32).fit(cloud)
+        assert pq.memory_bytes() < cloud.nbytes / 2
+
+    def test_subspaces_clamped_to_dim(self):
+        data = np.random.default_rng(0).normal(size=(50, 4)).astype(np.float32)
+        pq = ProductQuantizer(num_subspaces=16).fit(data)
+        assert pq.codes.shape[1] == 4
+
+
+class TestPQSeeds:
+    def test_acquire_zero_ndc(self, cloud):
+        provider = PQSeeds(count=8, seed=0)
+        provider.prepare(cloud, Graph(len(cloud)))
+        counter = DistanceCounter()
+        seeds = provider.acquire(cloud[0], counter)
+        assert counter.count == 0
+        assert len(seeds) == 8
+
+    def test_seeds_are_near_the_query(self, cloud):
+        provider = PQSeeds(count=8, seed=0)
+        provider.prepare(cloud, Graph(len(cloud)))
+        query = cloud[7] + 0.01
+        seeds = provider.acquire(query)
+        seed_dist = np.linalg.norm(cloud[seeds] - query, axis=1).mean()
+        rng = np.random.default_rng(1)
+        random_dist = np.linalg.norm(
+            cloud[rng.integers(0, len(cloud), 8)] - query, axis=1
+        ).mean()
+        assert seed_dist < random_dist
+
+    def test_extra_bytes_reported(self, cloud):
+        provider = PQSeeds(count=4, seed=0)
+        provider.prepare(cloud, Graph(len(cloud)))
+        assert provider.extra_bytes > 0
+
+    def test_unprepared_rejected(self):
+        with pytest.raises(RuntimeError):
+            PQSeeds().acquire(np.zeros(8))
+
+    def test_usable_inside_an_index(self, cloud):
+        from repro import create
+
+        index = create("kgraph", seed=0)
+        index.build(cloud)
+        index.seed_provider = PQSeeds(count=8, seed=0)
+        index.seed_provider.prepare(cloud, index.graph)
+        result = index.search(cloud[11] + 0.01, k=5, ef=40)
+        assert 11 in result.ids

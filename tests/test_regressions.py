@@ -1,0 +1,72 @@
+"""Regression tests for bugs found during development.
+
+Each test pins a specific failure mode so it cannot silently return.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distance import pairwise_l2
+from repro.graphs import relative_neighborhood_graph, euclidean_mst
+from repro.components.selection import select_rng_heuristic
+
+
+class TestExpandedFormRounding:
+    """pairwise_l2 uses |a|²-2ab+|b|²; its rounding is asymmetric."""
+
+    def test_rng_construction_immune_to_asymmetry(self):
+        # regression: an endpoint acting as its own lune witness due to
+        # dmat[i, j] != dmat[j, i] at the 1e-6 level disconnected the RNG
+        rng = np.random.default_rng(3)
+        pts = rng.random((80, 2)).astype(np.float32) * 10.0
+        graph = relative_neighborhood_graph(pts)
+        assert graph.num_connected_components() == 1
+
+    def test_mst_weights_match_float64(self):
+        # regression: float32 expanded-form weights drifted ~1e-4 from
+        # the float64 reference total
+        rng = np.random.default_rng(4)
+        pts = rng.random((60, 3)).astype(np.float32)
+        total = sum(w for _, _, w in euclidean_mst(pts))
+        reference = 0.0
+        seen = sum(w for _, _, w in euclidean_mst(pts.astype(np.float64)))
+        assert total == pytest.approx(seen, rel=1e-9)
+
+
+class TestSelectionTies:
+    """The RNG heuristic must accept distance ties (duplicate points)."""
+
+    def test_duplicate_of_p_does_not_occlude_everything(self):
+        # regression: with strict '>' a copy of p at distance 0 rejected
+        # every other candidate, fragmenting duplicate-heavy graphs
+        point = np.zeros(4)
+        data = np.vstack([
+            point,                       # p itself (index 0)
+            point,                       # exact duplicate (index 1)
+            point + [1.0, 0, 0, 0],      # a genuine neighbor (index 2)
+            point + [0, 1.0, 0, 0],      # another direction (index 3)
+        ])
+        cand = np.asarray([1, 2, 3])
+        dists = np.asarray([0.0, 1.0, 1.0])
+        out = select_rng_heuristic(point, cand, dists, data, max_degree=4)
+        assert len(out) >= 3  # duplicate + both directions survive
+
+
+class TestProcessStableDatasets:
+    """Dataset generation must not depend on Python's salted str hash."""
+
+    def test_standins_use_stable_salt(self):
+        import inspect
+
+        from repro.datasets import realworld
+
+        source = inspect.getsource(realworld.make_standin)
+        assert "zlib.crc32" in source
+        assert "hash(name)" not in source
+
+    def test_same_name_same_data(self):
+        from repro.datasets import make_standin
+
+        a = make_standin("audio", cardinality=100, num_queries=5)
+        b = make_standin("audio", cardinality=100, num_queries=5)
+        np.testing.assert_array_equal(a.base, b.base)

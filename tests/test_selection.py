@@ -1,0 +1,254 @@
+"""Tests for C3 neighbor selection, including the paper's appendix proofs:
+
+* Appendix A — HNSW's heuristic == NSG's MRNG rule (checked pointwise
+  by running both formulations on random candidate sets);
+* Lemma 7.1 — the RNG rule guarantees pairwise angles >= 60°;
+* Appendix B — NGT's path adjustment approximates RNG pruning.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.distance import DistanceCounter
+from repro.graphs import Graph
+from repro.components.selection import (
+    path_adjustment,
+    select_angle_sum,
+    select_angle_threshold,
+    select_closest,
+    select_mst,
+    select_rng_heuristic,
+)
+
+
+def make_candidates(n, dim, seed):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(n + 1, dim))
+    point = data[0]
+    cand = np.arange(1, n + 1)
+    dists = np.linalg.norm(data[cand] - point, axis=1)
+    order = np.argsort(dists)
+    return point, cand[order], dists[order], data
+
+
+def nsg_mrng_rule(point, cand_ids, cand_dists, data, max_degree):
+    """Literal transcription of NSG's lune-based formulation (Appendix A)."""
+    selected = []
+    for pos, m in enumerate(cand_ids):
+        if len(selected) >= max_degree:
+            break
+        d_pm = cand_dists[pos]
+        # Condition 2: no already-selected u occupies lune(p, m)
+        occluded = False
+        for u in selected:
+            d_um = float(np.linalg.norm(data[u] - data[m]))
+            d_up = float(np.linalg.norm(data[u] - point))
+            if d_um < d_pm and d_up < d_pm:
+                occluded = True
+                break
+        if not occluded:
+            selected.append(int(m))
+    return selected
+
+
+class TestSelectClosest:
+    def test_returns_prefix(self):
+        point, ids, dists, data = make_candidates(20, 8, 0)
+        out = select_closest(ids, dists, 5)
+        np.testing.assert_array_equal(out, ids[:5])
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(ValueError):
+            select_closest(np.asarray([1, 2]), np.asarray([2.0, 1.0]), 2)
+
+
+class TestRNGHeuristic:
+    def test_subset_of_candidates(self):
+        point, ids, dists, data = make_candidates(30, 8, 1)
+        out = select_rng_heuristic(point, ids, dists, data, 10)
+        assert set(out.tolist()) <= set(ids.tolist())
+
+    def test_closest_always_selected(self):
+        point, ids, dists, data = make_candidates(30, 8, 2)
+        out = select_rng_heuristic(point, ids, dists, data, 10)
+        assert out[0] == ids[0]
+
+    def test_respects_degree_cap(self):
+        point, ids, dists, data = make_candidates(50, 4, 3)
+        out = select_rng_heuristic(point, ids, dists, data, 3)
+        assert len(out) <= 3
+
+    def test_alpha_one_prunes_no_less_than_alpha_two(self):
+        point, ids, dists, data = make_candidates(40, 8, 4)
+        strict = select_rng_heuristic(point, ids, dists, data, 40, alpha=1.0)
+        loose = select_rng_heuristic(point, ids, dists, data, 40, alpha=2.0)
+        assert len(loose) >= len(strict)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_equivalence_with_nsg_formulation(self, seed):
+        """Appendix A: HNSW's Condition 1 == NSG's Condition 2."""
+        point, ids, dists, data = make_candidates(25, 6, seed)
+        hnsw_style = select_rng_heuristic(point, ids, dists, data, 25)
+        nsg_style = nsg_mrng_rule(point, ids, dists, data, 25)
+        assert hnsw_style.tolist() == nsg_style
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_lemma_71_pairwise_angles(self, seed):
+        """Lemma 7.1: selected neighbors span angles >= 60° at p."""
+        point, ids, dists, data = make_candidates(25, 6, seed)
+        out = select_rng_heuristic(point, ids, dists, data, 25)
+        vecs = data[out] - point
+        norms = np.linalg.norm(vecs, axis=1)
+        unit = vecs / norms[:, None]
+        cosines = unit @ unit.T
+        np.fill_diagonal(cosines, -1.0)
+        max_cos = cosines.max() if len(out) > 1 else -1.0
+        # angle >= 60° means cos <= 0.5 (tolerance for fp noise)
+        assert max_cos <= 0.5 + 1e-6
+
+    def test_counter_charged(self):
+        point, ids, dists, data = make_candidates(20, 8, 5)
+        counter = DistanceCounter()
+        select_rng_heuristic(point, ids, dists, data, 10, counter=counter)
+        assert counter.count > 0
+
+    def test_empty_candidates(self):
+        data = np.zeros((1, 4))
+        out = select_rng_heuristic(
+            data[0], np.asarray([], dtype=np.int64), np.asarray([]), data, 5
+        )
+        assert len(out) == 0
+
+
+class TestAngleSum:
+    def test_first_is_closest(self):
+        point, ids, dists, data = make_candidates(30, 8, 6)
+        out = select_angle_sum(point, ids, dists, data, 8)
+        assert out[0] == ids[0]
+
+    def test_spreads_directions(self):
+        # one candidate to the east, many stacked candidates to the west:
+        # angle-sum must include the lone easterner
+        point = np.zeros(2)
+        offsets = np.asarray(
+            [[-1.0, 0.0], [-1.1, 0.01], [-1.2, -0.01], [-1.05, 0.02], [2.0, 0.0]]
+        )
+        data = np.vstack([point[None, :], offsets])
+        ids = np.arange(1, 6)
+        dists = np.linalg.norm(offsets, axis=1)
+        order = np.argsort(dists)
+        out = select_angle_sum(point, ids[order], dists[order], data, 2)
+        assert 5 in out  # the easterner (id 5, the [2,0] point)
+
+    def test_respects_cap(self):
+        point, ids, dists, data = make_candidates(40, 6, 7)
+        assert len(select_angle_sum(point, ids, dists, data, 4)) == 4
+
+    def test_duplicate_points_no_nan(self):
+        data = np.zeros((5, 3))
+        ids = np.arange(1, 5)
+        dists = np.zeros(4)
+        out = select_angle_sum(data[0], ids, dists, data, 3)
+        assert len(out) == 3
+
+
+class TestAngleThreshold:
+    def test_all_selected_pairs_respect_threshold(self):
+        point, ids, dists, data = make_candidates(40, 6, 8)
+        out = select_angle_threshold(
+            point, ids, dists, data, 40, min_angle_deg=60.0
+        )
+        vecs = data[out] - point
+        unit = vecs / np.linalg.norm(vecs, axis=1)[:, None]
+        cosines = unit @ unit.T
+        np.fill_diagonal(cosines, -1.0)
+        assert cosines.max() <= np.cos(np.radians(60.0)) + 1e-6
+
+    def test_smaller_threshold_keeps_more(self):
+        point, ids, dists, data = make_candidates(40, 6, 9)
+        tight = select_angle_threshold(point, ids, dists, data, 40, 80.0)
+        loose = select_angle_threshold(point, ids, dists, data, 40, 30.0)
+        assert len(loose) >= len(tight)
+
+    def test_nssg_keeps_more_than_mrng_on_average(self):
+        """§3.2 A11: SSG is a relaxed RNG, hence larger out-degree."""
+        totals = [0, 0]
+        for seed in range(10):
+            point, ids, dists, data = make_candidates(40, 6, 100 + seed)
+            totals[0] += len(
+                select_angle_threshold(point, ids, dists, data, 40, 60.0)
+            )
+            totals[1] += len(select_rng_heuristic(point, ids, dists, data, 40))
+        assert totals[0] >= totals[1]
+
+
+class TestMSTSelection:
+    def test_neighbors_are_mst_adjacent(self):
+        rng = np.random.default_rng(10)
+        data = rng.normal(size=(20, 4))
+        cand = np.arange(1, 20)
+        out = select_mst(0, data[0], cand, data, 10)
+        assert len(out) >= 1
+        assert set(out.tolist()) <= set(cand.tolist())
+
+    def test_empty_candidates(self):
+        data = np.zeros((1, 4))
+        out = select_mst(0, data[0], np.asarray([], dtype=np.int64), data, 5)
+        assert len(out) == 0
+
+
+class TestPathAdjustment:
+    def _line_graph(self):
+        # p=0 at origin, x=1 nearby, n=2 beyond x: edge 0->2 has the
+        # alternative path 0->1->2 with both legs shorter => cut
+        data = np.asarray([[0.0, 0.0], [1.0, 0.0], [2.1, 0.0]], dtype=np.float32)
+        g = Graph(3, [[1, 2], [0, 2], [0, 1]])
+        return data, g
+
+    def test_cuts_detour_edge(self):
+        data, g = self._line_graph()
+        adjusted = path_adjustment(g, data, max_degree=5)
+        assert 2 not in adjusted.neighbors(0)
+        assert 1 in adjusted.neighbors(0)
+
+    def test_strict_mode_cuts_at_least_as_much(self):
+        rng = np.random.default_rng(11)
+        data = rng.normal(size=(60, 6)).astype(np.float32)
+        from repro.graphs import exact_knn_graph
+
+        knng = exact_knn_graph(data, 8)
+        relaxed = path_adjustment(knng, data, max_degree=8)
+        strict = path_adjustment(knng, data, max_degree=8, strict=True)
+        assert strict.num_edges <= relaxed.num_edges
+
+    def test_degree_capped(self):
+        rng = np.random.default_rng(12)
+        data = rng.normal(size=(50, 4)).astype(np.float32)
+        from repro.graphs import exact_knn_graph
+
+        adjusted = path_adjustment(exact_knn_graph(data, 20), data, max_degree=6)
+        assert adjusted.max_out_degree <= 6
+
+    def test_kept_edges_satisfy_rng_like_rule(self):
+        """Appendix B: kept neighbors have no shorter two-leg bypass."""
+        rng = np.random.default_rng(13)
+        data = rng.normal(size=(40, 4)).astype(np.float32)
+        from repro.graphs import exact_knn_graph
+
+        adjusted = path_adjustment(exact_knn_graph(data, 10), data, max_degree=10)
+        for p in range(adjusted.n):
+            kept = adjusted.neighbors(p)
+            for n in kept:
+                d_pn = np.linalg.norm(data[p] - data[n])
+                for x in kept:
+                    if x == n:
+                        continue
+                    d_px = np.linalg.norm(data[p] - data[x])
+                    d_xn = np.linalg.norm(data[x] - data[n])
+                    # if x was kept before n, the bypass rule must not fire
+                    if d_px < d_pn:
+                        assert max(d_px, d_xn) >= d_pn or d_xn >= d_pn

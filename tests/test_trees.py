@@ -1,0 +1,140 @@
+"""Tests for the C4 auxiliary structures: KD-tree, VP-tree, BKT, TP-tree."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import brute_force_knn
+from repro.distance import DistanceCounter
+from repro.trees import BalancedKMeansTree, KDTree, TPTree, VPTree
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(11)
+    return rng.normal(size=(600, 16)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def truth(cloud):
+    queries = cloud[:20] + 0.01
+    ids, _ = brute_force_knn(cloud, queries, 10)
+    return queries, ids
+
+
+class TestKDTree:
+    def test_descend_returns_leaf(self, cloud):
+        tree = KDTree(cloud, leaf_size=12)
+        bucket = tree.descend(cloud[0])
+        assert 0 < len(bucket) <= 12
+
+    def test_descend_zero_ndc(self, cloud):
+        tree = KDTree(cloud, leaf_size=12)
+        tree.descend(cloud[3])  # descend never touches a counter at all
+
+    def test_search_recall_reasonable(self, cloud, truth):
+        queries, ids = truth
+        tree = KDTree(cloud, leaf_size=16, seed=0)
+        hits = 0
+        for qi, q in enumerate(queries):
+            got = tree.search(q, 10, max_leaves=12)
+            hits += len(set(got.tolist()) & set(ids[qi].tolist()))
+        assert hits / (10 * len(queries)) > 0.5
+
+    def test_search_counts_ndc(self, cloud):
+        tree = KDTree(cloud, leaf_size=16)
+        counter = DistanceCounter()
+        tree.search(cloud[0], 5, counter=counter)
+        assert counter.count > 0
+
+    def test_all_points_in_some_leaf(self, cloud):
+        tree = KDTree(cloud, leaf_size=16)
+
+        def collect(node):
+            if node.ids is not None:
+                return list(node.ids)
+            return collect(node.left) + collect(node.right)
+
+        assert sorted(collect(tree.root)) == list(range(len(cloud)))
+
+    def test_duplicate_points_handled(self):
+        data = np.ones((50, 4), dtype=np.float32)
+        tree = KDTree(data, leaf_size=8)
+        assert len(tree.descend(data[0])) >= 1
+
+
+class TestVPTree:
+    def test_finds_exact_point(self, cloud):
+        tree = VPTree(cloud, seed=1)
+        got = tree.search(cloud[5], 1, max_nodes=200)
+        assert got[0] == 5
+
+    def test_recall(self, cloud, truth):
+        queries, ids = truth
+        tree = VPTree(cloud, seed=0)
+        hits = 0
+        for qi, q in enumerate(queries):
+            got = tree.search(q, 10, max_nodes=100)
+            hits += len(set(got.tolist()) & set(ids[qi].tolist()))
+        assert hits / (10 * len(queries)) > 0.5
+
+    def test_counts_ndc(self, cloud):
+        tree = VPTree(cloud, seed=0)
+        counter = DistanceCounter()
+        tree.search(cloud[0], 3, counter=counter)
+        assert counter.count > 0
+
+    def test_duplicates(self):
+        data = np.zeros((30, 3), dtype=np.float32)
+        tree = VPTree(data, seed=0)
+        assert len(tree.search(data[0], 5)) == 5
+
+
+class TestBalancedKMeansTree:
+    def test_returns_requested_count(self, cloud):
+        tree = BalancedKMeansTree(cloud, seed=0)
+        got = tree.search(cloud[0], 8)
+        assert len(got) == 8
+
+    def test_neighbors_are_close(self, cloud):
+        tree = BalancedKMeansTree(cloud, seed=0)
+        q = cloud[7]
+        got = tree.search(q, 8)
+        got_d = np.linalg.norm(cloud[got] - q, axis=1).mean()
+        rng = np.random.default_rng(0)
+        rand_d = np.linalg.norm(
+            cloud[rng.integers(0, len(cloud), 8)] - q, axis=1
+        ).mean()
+        assert got_d < rand_d
+
+    def test_counts_ndc(self, cloud):
+        tree = BalancedKMeansTree(cloud, seed=0)
+        counter = DistanceCounter()
+        tree.search(cloud[0], 4, counter=counter)
+        assert counter.count > 0
+
+    def test_duplicates_fall_back_to_leaf(self):
+        data = np.ones((100, 4), dtype=np.float32)
+        tree = BalancedKMeansTree(data, seed=0)
+        assert len(tree.search(data[0], 5)) == 5
+
+
+class TestTPTree:
+    def test_partition_covers_everything(self, cloud):
+        tree = TPTree(cloud, leaf_size=40, seed=2)
+        parts = tree.partition()
+        seen = np.concatenate(parts)
+        assert sorted(seen.tolist()) == list(range(len(cloud)))
+
+    def test_leaf_sizes_bounded(self, cloud):
+        tree = TPTree(cloud, leaf_size=40, seed=2)
+        assert all(len(p) <= 40 for p in tree.partition())
+
+    def test_disjoint_leaves(self, cloud):
+        tree = TPTree(cloud, leaf_size=40, seed=2)
+        seen = np.concatenate(tree.partition())
+        assert len(seen) == len(np.unique(seen))
+
+    def test_constant_data(self):
+        data = np.full((90, 5), 2.0, dtype=np.float32)
+        tree = TPTree(data, leaf_size=16, seed=0)
+        assert sum(len(p) for p in tree.partition()) == 90

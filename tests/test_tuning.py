@@ -1,0 +1,65 @@
+"""Tests for the §5.1 validation-set parameter search."""
+
+import pytest
+
+from repro.pipeline.tuning import TuningResult, grid_search, make_validation_set
+
+
+class TestValidationSet:
+    def test_subsample_shape(self, easy_dataset):
+        validation = make_validation_set(easy_dataset, fraction=0.25, seed=0)
+        assert validation.n == easy_dataset.n // 4
+        assert validation.num_queries == easy_dataset.num_queries
+        assert "[validation]" in validation.name
+
+    def test_ground_truth_recomputed(self, easy_dataset):
+        import numpy as np
+
+        from repro.datasets import brute_force_knn
+
+        validation = make_validation_set(easy_dataset, fraction=0.3, seed=1)
+        gt, _ = brute_force_knn(validation.base, validation.queries, 20)
+        np.testing.assert_array_equal(validation.ground_truth, gt)
+
+    def test_fraction_validated(self, easy_dataset):
+        with pytest.raises(ValueError):
+            make_validation_set(easy_dataset, fraction=0.0)
+        with pytest.raises(ValueError):
+            make_validation_set(easy_dataset, fraction=1.5)
+
+
+class TestGridSearch:
+    def test_finds_a_winner(self, easy_dataset):
+        result = grid_search(
+            "kgraph",
+            easy_dataset,
+            {"k": [10, 20], "iterations": [2, 6]},
+            target_recall=0.85,
+            validation_fraction=0.4,
+        )
+        assert isinstance(result, TuningResult)
+        assert result.best_params in [t.params for t in result.trials]
+        assert len(result.trials) == 4
+
+    def test_winner_reaches_target_when_possible(self, easy_dataset):
+        result = grid_search(
+            "hnsw",
+            easy_dataset,
+            {"m": [6, 12]},
+            target_recall=0.8,
+            validation_fraction=0.4,
+        )
+        winner = next(
+            t for t in result.trials if t.params == result.best_params
+        )
+        assert not winner.hit_ceiling
+
+    def test_empty_grid_rejected(self, easy_dataset):
+        with pytest.raises(ValueError):
+            grid_search("hnsw", easy_dataset, {})
+
+    def test_trials_record_build_time(self, easy_dataset):
+        result = grid_search(
+            "kgraph", easy_dataset, {"k": [10]}, validation_fraction=0.3
+        )
+        assert all(t.build_time_s > 0 for t in result.trials)

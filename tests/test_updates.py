@@ -1,0 +1,118 @@
+"""Tests for incremental updates (Table 7 scenario S1): insert + delete."""
+
+import numpy as np
+import pytest
+
+from repro import create
+from repro.datasets import brute_force_knn, make_clustered
+
+
+@pytest.fixture(scope="module")
+def world():
+    return make_clustered(12, 400, 4, 4.0, num_queries=10, gt_depth=30, seed=31)
+
+
+class TestInsert:
+    @pytest.mark.parametrize("name", ["nsw", "hnsw"])
+    def test_inserted_point_is_findable(self, name, world):
+        index = create(name, seed=2)
+        index.build(world.base)
+        new_vector = world.base[7] + 0.001  # lands right next to point 7
+        new_id = index.insert(new_vector)
+        assert new_id == world.n
+        result = index.search(new_vector, k=3, ef=40)
+        assert new_id in result.ids
+
+    @pytest.mark.parametrize("name", ["nsw", "hnsw"])
+    def test_insert_many_keeps_recall(self, name, world):
+        index = create(name, seed=2)
+        index.build(world.base)
+        rng = np.random.default_rng(0)
+        extra = world.base[rng.choice(world.n, 30)] + rng.normal(
+            0, 0.5, (30, world.dim)
+        ).astype(np.float32)
+        for vector in extra:
+            index.insert(vector)
+        full_base = np.vstack([world.base, extra])
+        gt, _ = brute_force_knn(full_base, world.queries, 10)
+        stats = index.batch_search(world.queries, gt, k=10, ef=80)
+        assert stats.recall >= 0.85
+
+    def test_wrong_dim_rejected(self, world):
+        index = create("nsw", seed=2)
+        index.build(world.base)
+        with pytest.raises(ValueError, match="dim"):
+            index.insert(np.zeros(5, dtype=np.float32))
+
+    @pytest.mark.parametrize("name", ["kgraph", "nsg", "hcnng", "sptag-kdt"])
+    def test_non_incremental_algorithms_refuse(self, name, world):
+        index = create(name, seed=2)
+        index.build(world.base)
+        with pytest.raises(NotImplementedError, match="incremental"):
+            index.insert(world.base[0])
+
+    def test_hnsw_level_growth(self, world):
+        index = create("hnsw", seed=2)
+        index.build(world.base)
+        levels_before = index.max_level
+        for _ in range(40):
+            index.insert(
+                world.base[0]
+                + np.random.default_rng(1).normal(0, 1, world.dim).astype(
+                    np.float32
+                )
+            )
+        assert index.max_level >= levels_before
+        # every layer tracks the same vertex count
+        assert all(layer.n == index.graph.n for layer in index.layers)
+
+
+class TestDelete:
+    def test_deleted_never_returned(self, world):
+        index = create("hnsw", seed=2)
+        index.build(world.base)
+        target = int(world.ground_truth[0][0])
+        index.delete(target)
+        result = index.search(world.queries[0], k=10, ef=60)
+        assert target not in result.ids
+
+    def test_recall_on_survivors(self, world):
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        rng = np.random.default_rng(3)
+        doomed = rng.choice(world.n, 40, replace=False)
+        for vertex in doomed:
+            index.delete(int(vertex))
+        survivors = np.setdiff1d(np.arange(world.n), doomed)
+        remap = {int(old): pos for pos, old in enumerate(survivors)}
+        gt, _ = brute_force_knn(world.base[survivors], world.queries, 10)
+        hits = 0
+        for i, query in enumerate(world.queries):
+            result = index.search(query, k=10, ef=80)
+            expected = {int(survivors[g]) for g in gt[i]}
+            hits += len(expected & set(int(r) for r in result.ids))
+        assert hits / (10 * world.num_queries) >= 0.85
+
+    def test_out_of_range_rejected(self, world):
+        index = create("hnsw", seed=2)
+        index.build(world.base)
+        with pytest.raises(IndexError):
+            index.delete(10_000)
+
+    def test_num_deleted_tracked(self, world):
+        index = create("hnsw", seed=2)
+        index.build(world.base)
+        assert index.num_deleted == 0
+        index.delete(0)
+        index.delete(1)
+        index.delete(1)  # idempotent
+        assert index.num_deleted == 2
+
+    def test_delete_then_insert_roundtrip(self, world):
+        index = create("nsw", seed=2)
+        index.build(world.base)
+        index.delete(5)
+        new_id = index.insert(world.base[5])
+        result = index.search(world.base[5], k=2, ef=40)
+        assert new_id in result.ids
+        assert 5 not in result.ids
