@@ -1,0 +1,113 @@
+"""Microbenchmark for the routing hot path: single vs batched search.
+
+Builds a kgraph index over 10k synthetic points, then times
+
+* a sequential ``index.search`` loop (the evaluation-section style), and
+* :func:`repro.batch.search_batch` at several worker counts,
+
+writing ``BENCH_search.json`` (QPS, mean NDC, latency p50/p95) next to
+the repository root.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_search_hotpath.py
+
+Scale knobs: ``REPRO_BENCH_HOTPATH_N`` (points, default 10000),
+``REPRO_BENCH_HOTPATH_QUERIES`` (default 200).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import create
+from repro.batch import search_batch
+
+N = int(os.environ.get("REPRO_BENCH_HOTPATH_N", "10000"))
+NUM_QUERIES = int(os.environ.get("REPRO_BENCH_HOTPATH_QUERIES", "200"))
+DIM = 32
+K = 10
+EF = 40
+WORKER_COUNTS = (1, 2, 4)
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_search.json"
+
+
+def build_index(rng):
+    data = rng.normal(size=(N, DIM)).astype(np.float32)
+    index = create("kgraph", seed=0)
+    started = time.perf_counter()
+    index.build(data)
+    return index, time.perf_counter() - started
+
+
+def bench_sequential(index, queries):
+    latencies = np.empty(len(queries))
+    ndc = np.empty(len(queries))
+    started = time.perf_counter()
+    for i, query in enumerate(queries):
+        t0 = time.perf_counter()
+        result = index.search(query, k=K, ef=EF)
+        latencies[i] = time.perf_counter() - t0
+        ndc[i] = result.ndc
+    elapsed = time.perf_counter() - started
+    return {
+        "qps": len(queries) / elapsed,
+        "mean_ndc": float(ndc.mean()),
+        "latency_p50_ms": float(np.percentile(latencies, 50) * 1e3),
+        "latency_p95_ms": float(np.percentile(latencies, 95) * 1e3),
+    }
+
+
+def bench_batched(index, queries, workers):
+    result = search_batch(index, queries, k=K, ef=EF, workers=workers)
+    # per-query latency is not observable inside a fused chunk call;
+    # report the amortized per-query cost as the batch's p50/p95 proxy
+    per_query_ms = result.elapsed_s / len(queries) * 1e3
+    return {
+        "workers": workers,
+        "qps": result.qps,
+        "mean_ndc": float(result.ndc.mean()),
+        "latency_p50_ms": per_query_ms,
+        "latency_p95_ms": per_query_ms,
+    }
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    index, build_s = build_index(rng)
+    queries = rng.normal(size=(NUM_QUERIES, DIM)).astype(np.float32)
+
+    # warm up (JIT-free, but touches caches, builds the norm table)
+    index.search(queries[0], k=K, ef=EF)
+    search_batch(index, queries[:8], k=K, ef=EF, workers=2)
+
+    sequential = bench_sequential(index, queries)
+    batched = [bench_batched(index, queries, w) for w in WORKER_COUNTS]
+
+    report = {
+        "n": N,
+        "dim": DIM,
+        "num_queries": NUM_QUERIES,
+        "k": K,
+        "ef": EF,
+        "build_s": build_s,
+        "sequential": sequential,
+        "batched": batched,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"sequential: {sequential['qps']:.0f} qps "
+          f"(ndc {sequential['mean_ndc']:.1f}, "
+          f"p50 {sequential['latency_p50_ms']:.3f} ms, "
+          f"p95 {sequential['latency_p95_ms']:.3f} ms)")
+    for row in batched:
+        print(f"search_batch(workers={row['workers']}): "
+              f"{row['qps']:.0f} qps (ndc {row['mean_ndc']:.1f})")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

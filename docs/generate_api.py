@@ -69,6 +69,10 @@ def main() -> None:
         "Generated from docstrings by `docs/generate_api.py`; regenerate",
         "after changing public signatures.",
         "",
+        "For the search hot path — CSR graph storage, `SearchContext`",
+        "reuse, the native kernel and the batched query engine — see",
+        "[performance.md](performance.md).",
+        "",
     ]
     for name, module in walk_modules():
         chunks.extend(document_module(name, module))

@@ -1,0 +1,361 @@
+"""Optional C acceleration for the routing hot path.
+
+The survey's §5.3 point is that NDC, not wall-clock, is the
+hardware-independent cost of a search — which licenses making the
+wall-clock side as fast as the machine allows without touching the
+algorithm.  This module compiles a small C library implementing
+
+* ``sq_dists_to_rows`` — the expanded-form distance kernel,
+* ``best_first``       — Algorithm 1 over the frozen CSR layout, and
+* ``best_first_batch`` — the same loop over a whole query block,
+
+with bookkeeping (visited epochs, candidate/result heaps, tie-breaking
+on ``(distance, id)``) that matches the pure-Python frontier exactly, so
+NDC, hop counts, visited counts and returned ids are identical whether
+or not the native path is active.
+
+Compilation happens once per interpreter on first import: the source is
+written next to this file and built with the system C compiler into
+``_native_build/`` (git-ignored, keyed by a source hash).  Anything
+going wrong — no compiler, read-only package dir, loading failure —
+degrades silently to ``LIB = None`` and the NumPy implementations take
+over.  No third-party packages are involved.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import sysconfig
+import tempfile
+
+import numpy as np
+
+__all__ = ["LIB", "sq_dists_to_rows", "best_first", "best_first_batch"]
+
+_C_SOURCE = r"""
+#include <math.h>
+#include <stdint.h>
+
+/* Deterministic unrolled dot product: four partial sums combined as
+   (s0+s1)+(s2+s3).  Both entry points below use this same routine, so
+   every distance the library ever reports is computed identically. */
+static double dot_row(const float *x, const double *q, int64_t d) {
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    int64_t j = 0;
+    for (; j + 4 <= d; j += 4) {
+        s0 += (double)x[j] * q[j];
+        s1 += (double)x[j + 1] * q[j + 1];
+        s2 += (double)x[j + 2] * q[j + 2];
+        s3 += (double)x[j + 3] * q[j + 3];
+    }
+    double s = (s0 + s1) + (s2 + s3);
+    for (; j < d; j++) s += (double)x[j] * q[j];
+    return s;
+}
+
+static double sq_dist(const float *row, const double *q, int64_t d,
+                      double qsq, double norm) {
+    double sq = (qsq - 2.0 * dot_row(row, q, d)) + norm;
+    return sq < 0.0 ? 0.0 : sq;
+}
+
+void sq_dists_to_rows(const float *rows, int64_t m, int64_t d,
+                      const double *q, double qsq,
+                      const double *norms, double *out) {
+    for (int64_t i = 0; i < m; i++)
+        out[i] = sq_dist(rows + i * d, q, d, qsq, norms[i]);
+}
+
+/* -- heaps ---------------------------------------------------------- */
+/* Candidates: min-heap ordered by (dist asc, id asc) — matches Python
+   heapq over (dist, id) tuples.  Results: capped heap whose root is the
+   eviction victim under heapq's ordering of (-dist, id) tuples, i.e.
+   the entry with the largest dist and, among ties, the smallest id. */
+
+static int cand_less(double d1, int32_t i1, double d2, int32_t i2) {
+    return d1 < d2 || (d1 == d2 && i1 < i2);
+}
+
+static void cand_push(double *hd, int32_t *hi, int64_t *len,
+                      double d, int32_t id) {
+    int64_t k = (*len)++;
+    while (k > 0) {
+        int64_t parent = (k - 1) / 2;
+        if (!cand_less(d, id, hd[parent], hi[parent])) break;
+        hd[k] = hd[parent]; hi[k] = hi[parent];
+        k = parent;
+    }
+    hd[k] = d; hi[k] = id;
+}
+
+static void cand_pop(double *hd, int32_t *hi, int64_t *len,
+                     double *d, int32_t *id) {
+    *d = hd[0]; *id = hi[0];
+    int64_t n = --(*len);
+    if (n == 0) return;
+    double ld = hd[n]; int32_t li = hi[n];
+    int64_t k = 0;
+    for (;;) {
+        int64_t child = 2 * k + 1;
+        if (child >= n) break;
+        if (child + 1 < n &&
+            cand_less(hd[child + 1], hi[child + 1], hd[child], hi[child]))
+            child++;
+        if (!cand_less(hd[child], hi[child], ld, li)) break;
+        hd[k] = hd[child]; hi[k] = hi[child];
+        k = child;
+    }
+    hd[k] = ld; hi[k] = li;
+}
+
+static int res_evict_first(double d1, int32_t i1, double d2, int32_t i2) {
+    /* "more evictable": larger dist, ties broken toward smaller id */
+    return d1 > d2 || (d1 == d2 && i1 < i2);
+}
+
+static void res_sift_down(double *hd, int32_t *hi, int64_t len, int64_t k,
+                          double d, int32_t id) {
+    for (;;) {
+        int64_t child = 2 * k + 1;
+        if (child >= len) break;
+        if (child + 1 < len &&
+            res_evict_first(hd[child + 1], hi[child + 1], hd[child], hi[child]))
+            child++;
+        if (!res_evict_first(hd[child], hi[child], d, id)) break;
+        hd[k] = hd[child]; hi[k] = hi[child];
+        k = child;
+    }
+    hd[k] = d; hi[k] = id;
+}
+
+static void res_push(double *hd, int32_t *hi, int64_t *len,
+                     double d, int32_t id) {
+    int64_t k = (*len)++;
+    while (k > 0) {
+        int64_t parent = (k - 1) / 2;
+        if (!res_evict_first(d, id, hd[parent], hi[parent])) break;
+        hd[k] = hd[parent]; hi[k] = hi[parent];
+        k = parent;
+    }
+    hd[k] = d; hi[k] = id;
+}
+
+/* -- best-first search (Algorithm 1 / Definition 4.7) --------------- */
+
+int64_t best_first(
+    const float *data, int64_t n, int64_t d, const double *norms,
+    const int32_t *indptr, const int32_t *indices,
+    const double *q, double qsq,
+    const int64_t *seeds, int64_t nseeds, int64_t ef,
+    int64_t *visit_gen, int64_t gen,
+    double *cd, int32_t *ci,          /* candidate heap, capacity n  */
+    double *rd, int32_t *ri,          /* result heap, capacity ef    */
+    int32_t *out_ids, double *out_sq, /* capacity ef                 */
+    int64_t *stats)                   /* {ndc, hops, visited}        */
+{
+    int64_t clen = 0, rlen = 0;
+    int64_t ndc = 0, hops = 0;
+    (void)n;
+
+    for (int64_t s = 0; s < nseeds; s++) {
+        int64_t v = seeds[s];
+        if (visit_gen[v] == gen) continue;
+        visit_gen[v] = gen;
+        double sq = sq_dist(data + v * d, q, d, qsq, norms[v]);
+        ndc++;
+        if (rlen < ef) {
+            res_push(rd, ri, &rlen, sq, (int32_t)v);
+            cand_push(cd, ci, &clen, sq, (int32_t)v);
+        } else if (sq < rd[0]) {
+            res_sift_down(rd, ri, rlen, 0, sq, (int32_t)v);
+            cand_push(cd, ci, &clen, sq, (int32_t)v);
+        }
+    }
+
+    while (clen > 0) {
+        double du; int32_t u;
+        cand_pop(cd, ci, &clen, &du, &u);
+        if (rlen == ef && du > rd[0]) break;
+        hops++;
+        int64_t stop = indptr[u + 1];
+        for (int64_t k = indptr[u]; k < stop; k++) {
+            int32_t v = indices[k];
+            if (visit_gen[v] == gen) continue;
+            visit_gen[v] = gen;
+            double sq = sq_dist(data + (int64_t)v * d, q, d, qsq, norms[v]);
+            ndc++;
+            if (rlen < ef) {
+                res_push(rd, ri, &rlen, sq, v);
+                cand_push(cd, ci, &clen, sq, v);
+            } else if (sq < rd[0]) {
+                res_sift_down(rd, ri, rlen, 0, sq, v);
+                cand_push(cd, ci, &clen, sq, v);
+            }
+        }
+    }
+
+    /* ascending (dist, id) — the order Python's finish() sorts into */
+    for (int64_t i = 0; i < rlen; i++) {
+        out_sq[i] = rd[i];
+        out_ids[i] = ri[i];
+    }
+    for (int64_t i = 1; i < rlen; i++) {
+        double dv = out_sq[i]; int32_t iv = out_ids[i];
+        int64_t j = i - 1;
+        while (j >= 0 && (out_sq[j] > dv ||
+                          (out_sq[j] == dv && out_ids[j] > iv))) {
+            out_sq[j + 1] = out_sq[j]; out_ids[j + 1] = out_ids[j];
+            j--;
+        }
+        out_sq[j + 1] = dv; out_ids[j + 1] = iv;
+    }
+
+    stats[0] = ndc; stats[1] = hops; stats[2] = ndc;
+    return rlen;
+}
+
+void best_first_batch(
+    const float *data, int64_t n, int64_t d, const double *norms,
+    const int32_t *indptr, const int32_t *indices,
+    const double *queries, const double *qsqs, int64_t nq,
+    const int64_t *seed_indptr, const int64_t *seeds, int64_t ef,
+    int64_t *visit_gen, int64_t gen,
+    double *cd, int32_t *ci, double *rd, int32_t *ri,
+    int32_t *out_ids, double *out_sq, int64_t *out_len,
+    int64_t *stats)
+{
+    for (int64_t i = 0; i < nq; i++) {
+        out_len[i] = best_first(
+            data, n, d, norms, indptr, indices,
+            queries + i * d, qsqs[i],
+            seeds + seed_indptr[i], seed_indptr[i + 1] - seed_indptr[i],
+            ef, visit_gen, gen + i, cd, ci, rd, ri,
+            out_ids + i * ef, out_sq + i * ef, stats + i * 3);
+    }
+}
+"""
+
+_I64 = ctypes.c_int64
+_PF32 = np.ctypeslib.ndpointer(np.float32, flags="C_CONTIGUOUS")
+_PF64 = np.ctypeslib.ndpointer(np.float64, flags="C_CONTIGUOUS")
+_PI32 = np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS")
+_PI64 = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
+
+
+def _build_library() -> ctypes.CDLL | None:
+    if os.environ.get("REPRO_NO_NATIVE"):
+        return None
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    build_dir = os.path.join(os.path.dirname(__file__), "_native_build")
+    so_path = os.path.join(build_dir, f"kernels-{digest}.so")
+    if not os.path.exists(so_path):
+        compiler = (
+            sysconfig.get_config_var("CC") or os.environ.get("CC") or "cc"
+        ).split()[0]
+        try:
+            os.makedirs(build_dir, exist_ok=True)
+            fd, src_path = tempfile.mkstemp(suffix=".c", dir=build_dir)
+            with os.fdopen(fd, "w") as handle:
+                handle.write(_C_SOURCE)
+            result = subprocess.run(
+                [compiler, "-O2", "-ffp-contract=off", "-shared", "-fPIC",
+                 src_path, "-o", so_path, "-lm"],
+                capture_output=True, timeout=120,
+            )
+            os.unlink(src_path)
+            if result.returncode != 0:
+                return None
+        except (OSError, subprocess.SubprocessError):
+            return None
+    try:
+        lib = ctypes.CDLL(so_path)
+    except OSError:
+        return None
+    lib.sq_dists_to_rows.argtypes = [
+        _PF32, _I64, _I64, _PF64, ctypes.c_double, _PF64, _PF64,
+    ]
+    lib.sq_dists_to_rows.restype = None
+    lib.best_first.argtypes = [
+        _PF32, _I64, _I64, _PF64, _PI32, _PI32, _PF64, ctypes.c_double,
+        _PI64, _I64, _I64, _PI64, _I64,
+        _PF64, _PI32, _PF64, _PI32, _PI32, _PF64, _PI64,
+    ]
+    lib.best_first.restype = _I64
+    lib.best_first_batch.argtypes = [
+        _PF32, _I64, _I64, _PF64, _PI32, _PI32, _PF64, _PF64, _I64,
+        _PI64, _PI64, _I64, _PI64, _I64,
+        _PF64, _PI32, _PF64, _PI32, _PI32, _PF64, _PI64, _PI64,
+    ]
+    lib.best_first_batch.restype = None
+    return lib
+
+
+LIB = _build_library()
+
+
+def sq_dists_to_rows(
+    query64: np.ndarray,
+    rows: np.ndarray,
+    rows_sq: np.ndarray,
+    query_sq: float,
+) -> np.ndarray:
+    """C version of the expanded-form kernel (rows must be float32)."""
+    out = np.empty(len(rows), dtype=np.float64)
+    LIB.sq_dists_to_rows(
+        rows, len(rows), rows.shape[1] if rows.ndim == 2 else 0,
+        query64, query_sq, rows_sq, out,
+    )
+    return out
+
+
+def best_first(ctx, graph, query64, query_sq, seeds, ef):
+    """Run the whole best-first search in C against a frozen CSR graph.
+
+    ``ctx`` is a :class:`repro.components.context.SearchContext` whose
+    scratch buffers (epoch array, heaps) this call borrows.  Returns
+    ``(ids, sq_dists, ndc, hops, visited)``.
+    """
+    indptr, indices = graph.csr()
+    cd, ci, rd, ri = ctx.native_scratch(ef)
+    out_ids = np.empty(ef, dtype=np.int32)
+    out_sq = np.empty(ef, dtype=np.float64)
+    stats = np.empty(3, dtype=np.int64)
+    rlen = LIB.best_first(
+        ctx.data, len(ctx.data), ctx.data.shape[1], ctx.norms_sq,
+        indptr, indices, query64, query_sq,
+        seeds, len(seeds), ef,
+        ctx.visit_gen, ctx.generation,
+        cd, ci, rd, ri, out_ids, out_sq, stats,
+    )
+    return (
+        out_ids[:rlen].astype(np.int64),
+        out_sq[:rlen],
+        int(stats[0]), int(stats[1]), int(stats[2]),
+    )
+
+
+def best_first_batch(ctx, graph, queries64, qsqs, seed_indptr, seeds, ef):
+    """Batch counterpart of :func:`best_first`: one C call per chunk.
+
+    Consumes ``len(queries64)`` visited generations from ``ctx`` and
+    returns ``(ids, sq, lengths, stats)`` with rows padded to ``ef``.
+    """
+    indptr, indices = graph.csr()
+    cd, ci, rd, ri = ctx.native_scratch(ef)
+    nq = len(queries64)
+    out_ids = np.empty((nq, ef), dtype=np.int32)
+    out_sq = np.empty((nq, ef), dtype=np.float64)
+    out_len = np.empty(nq, dtype=np.int64)
+    stats = np.empty((nq, 3), dtype=np.int64)
+    LIB.best_first_batch(
+        ctx.data, len(ctx.data), ctx.data.shape[1], ctx.norms_sq,
+        indptr, indices, queries64, qsqs, nq,
+        seed_indptr, seeds, ef,
+        ctx.visit_gen, ctx.generation + 1,
+        cd, ci, rd, ri, out_ids, out_sq, out_len, stats,
+    )
+    ctx.generation += nq
+    return out_ids, out_sq, out_len, stats

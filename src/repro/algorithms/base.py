@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.components.context import SearchContext
 from repro.components.routing import SearchResult, best_first_search
 from repro.components.seeding import RandomSeeds, SeedProvider
 from repro.distance import DistanceCounter
@@ -63,6 +64,7 @@ class GraphANNS:
         self.seed_provider: SeedProvider = RandomSeeds(seed=seed)
         self.build_report: BuildReport | None = None
         self._deleted: np.ndarray | None = None  # tombstones (S1 updates)
+        self._search_ctx: SearchContext | None = None
 
     # -- construction ---------------------------------------------------
 
@@ -79,6 +81,7 @@ class GraphANNS:
         self.graph.finalize()
         self.seed_provider.prepare(self.data, self.graph)
         self._deleted = np.zeros(len(self.data), dtype=bool)
+        self._search_ctx = None
         elapsed = time.perf_counter() - started
         self.build_report = BuildReport(
             build_time_s=elapsed,
@@ -132,6 +135,14 @@ class GraphANNS:
         """Extend per-vertex state after an insertion."""
         self._deleted = np.append(self._deleted, False)
         self.seed_provider.prepare(self.data, self.graph)
+        self._search_ctx = None
+
+    def _context(self) -> SearchContext:
+        """The index's reusable search scratch, rebuilt if ``data`` moved."""
+        ctx = self._search_ctx
+        if ctx is None or not ctx.compatible(self.data):
+            ctx = self._search_ctx = SearchContext(self.data)
+        return ctx
 
     # -- search -----------------------------------------------------------
 
@@ -152,7 +163,10 @@ class GraphANNS:
         counter = counter if counter is not None else DistanceCounter()
         start = counter.count
         seeds = self.seed_provider.acquire(query, counter)
-        result = self._route(query, np.asarray(seeds, dtype=np.int64), ef, counter)
+        result = self._route(
+            query, np.asarray(seeds, dtype=np.int64), ef, counter,
+            ctx=self._context(),
+        )
         result.ndc = counter.count - start
         if self.num_deleted and len(result.ids):
             keep = ~self._deleted[result.ids]
@@ -168,9 +182,12 @@ class GraphANNS:
         seeds: np.ndarray,
         ef: int,
         counter: DistanceCounter,
+        ctx: SearchContext | None = None,
     ) -> SearchResult:
         """Default C7: best-first search; algorithms override as needed."""
-        return best_first_search(self.graph, self.data, query, seeds, ef, counter)
+        return best_first_search(
+            self.graph, self.data, query, seeds, ef, counter, ctx=ctx
+        )
 
     def batch_search(
         self,

@@ -70,5 +70,7 @@ class HCNNG(GraphANNS):
             graph.set_neighbors(v, [u for _, u in incident[: self.max_degree]])
         self.graph = graph
 
-    def _route(self, query, seeds, ef, counter) -> SearchResult:
-        return guided_search(self.graph, self.data, query, seeds, ef, counter)
+    def _route(self, query, seeds, ef, counter, ctx=None) -> SearchResult:
+        return guided_search(
+            self.graph, self.data, query, seeds, ef, counter, ctx=ctx
+        )

@@ -171,6 +171,7 @@ class HNSW(GraphANNS):
         seeds: np.ndarray,
         ef: int,
         counter: DistanceCounter,
+        ctx=None,
     ) -> SearchResult:
         entry = int(seeds[0])
         hops = 0
@@ -179,7 +180,7 @@ class HNSW(GraphANNS):
             hops += 1
         result = best_first_search(
             self.graph, self.data, query,
-            np.asarray([entry], dtype=np.int64), ef, counter,
+            np.asarray([entry], dtype=np.int64), ef, counter, ctx=ctx,
         )
         result.hops += hops
         return result

@@ -57,11 +57,11 @@ class KDR(GraphANNS):
             pruned.add_edge(v, u)
         self.graph = pruned
 
-    def _route(self, query, seeds, ef, counter) -> SearchResult:
+    def _route(self, query, seeds, ef, counter, ctx=None) -> SearchResult:
         # the paper lists "BFS or RS" for k-DR (Table 9)
         if self.routing == "rs":
             return range_search(
                 self.graph, self.data, query, seeds, ef, counter,
-                epsilon=self.epsilon,
+                epsilon=self.epsilon, ctx=ctx,
             )
-        return super()._route(query, seeds, ef, counter)
+        return super()._route(query, seeds, ef, counter, ctx=ctx)

@@ -70,10 +70,10 @@ class _NGTBase(GraphANNS):
             inserted.append(p)
         return graph
 
-    def _route(self, query, seeds, ef, counter) -> SearchResult:
+    def _route(self, query, seeds, ef, counter, ctx=None) -> SearchResult:
         return range_search(
             self.graph, self.data, query, seeds, ef, counter,
-            epsilon=self.epsilon,
+            epsilon=self.epsilon, ctx=ctx,
         )
 
 

@@ -76,5 +76,7 @@ class OptimizedAlgorithm(GraphANNS):
         self.graph = graph
         self.seed_provider = FixedSeeds(entries)
 
-    def _route(self, query, seeds, ef, counter) -> SearchResult:
-        return two_stage_search(self.graph, self.data, query, seeds, ef, counter)
+    def _route(self, query, seeds, ef, counter, ctx=None) -> SearchResult:
+        return two_stage_search(
+            self.graph, self.data, query, seeds, ef, counter, ctx=ctx
+        )

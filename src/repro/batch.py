@@ -1,28 +1,50 @@
-"""Lockstep batched search: answer many queries with shared kernels.
+"""Batched query engines: lockstep kernels and the worker-pool API.
 
 The survey evaluates single-threaded, one-query-at-a-time search; a
-production service batches.  This module runs best-first search for a
-whole query batch in lockstep rounds: every round, each still-active
-query contributes one expansion, all their neighbor evaluations are
-concatenated, and a single vectorised distance kernel scores everything
-at once.  The visited/heap bookkeeping is identical to
-:func:`repro.components.routing.best_first_search`, so the results (and
-the NDC accounting) match the sequential search — only the wall-clock
-changes.
+production service batches.  This module offers two engines:
+
+* :func:`batched_best_first_search` (and its :func:`batch_search`
+  front-end) runs best-first search for a whole query batch in lockstep
+  rounds: every round, each still-active query contributes one
+  expansion, and each query's neighbor evaluations go through the same
+  squared-distance kernel the sequential search uses.  The visited/heap
+  bookkeeping is identical to
+  :func:`repro.components.routing.best_first_search`, so the results
+  (and the NDC accounting) match the sequential search — only the
+  wall-clock changes.
+
+* :func:`search_batch` is the high-throughput engine: it splits the
+  batch across a worker pool, gives each worker its own reusable
+  :class:`~repro.components.context.SearchContext`, and — for indexes
+  that route with the default best-first search — hands each worker's
+  whole chunk to the native kernel in a single call.  Seed acquisition
+  runs up front in query order so stateful providers (e.g. the random
+  seeders) yield exactly the seeds a sequential loop would have drawn,
+  making the per-query telemetry (NDC including seed acquisition, hops,
+  visited) identical to ``index.search`` query by query.
 """
 
 from __future__ import annotations
 
 import heapq
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import _native
 from repro.algorithms.base import GraphANNS
-from repro.distance import DistanceCounter
+from repro.components.context import SearchContext
+from repro.distance import DistanceCounter, sq_dists_to_rows, squared_norms
 
-__all__ = ["BatchSearchResult", "batched_best_first_search", "batch_search"]
+__all__ = [
+    "BatchSearchResult",
+    "BatchQueryResult",
+    "batched_best_first_search",
+    "batch_search",
+    "search_batch",
+]
 
 
 @dataclass
@@ -41,8 +63,45 @@ class BatchSearchResult:
         return len(self.ids) / max(self.elapsed_s, 1e-9)
 
 
+@dataclass
+class BatchQueryResult:
+    """Worker-pool output with lossless per-query telemetry (§5.1).
+
+    Unlike :class:`BatchSearchResult`, nothing is aggregated away: the
+    NDC (seed acquisition included, matching ``index.search``), hop and
+    visited counts survive per query, so recall-vs-NDC curves computed
+    from a batched run are identical to ones from a sequential loop.
+    """
+
+    ids: np.ndarray          # (Q, k) int64, -1-padded
+    dists: np.ndarray        # (Q, k) float64, inf-padded
+    ndc: np.ndarray          # (Q,) int64, includes seed acquisition
+    hops: np.ndarray         # (Q,) int64
+    visited: np.ndarray      # (Q,) int64
+    elapsed_s: float
+    workers: int
+
+    @property
+    def qps(self) -> float:
+        """Whole-batch throughput."""
+        return len(self.ids) / max(self.elapsed_s, 1e-9)
+
+    @property
+    def total_ndc(self) -> int:
+        return int(self.ndc.sum())
+
+    @property
+    def mean_hops(self) -> float:
+        return float(self.hops.mean()) if len(self.hops) else 0.0
+
+
 class _QueryState:
-    """Heaps + bookkeeping for one query inside the lockstep loop."""
+    """Heaps + bookkeeping for one query inside the lockstep loop.
+
+    Distances live in the squared domain (like the sequential frontier)
+    and are square-rooted only on extraction, so the values returned are
+    bit-identical to :func:`best_first_search`'s.
+    """
 
     __slots__ = ("candidates", "results", "ef", "active", "hops")
 
@@ -56,19 +115,19 @@ class _QueryState:
     def worst(self) -> float:
         return -self.results[0][0] if len(self.results) == self.ef else np.inf
 
-    def offer(self, idx: int, dist: float) -> None:
+    def offer(self, idx: int, sq: float) -> None:
         if len(self.results) < self.ef:
-            heapq.heappush(self.results, (-dist, idx))
-            heapq.heappush(self.candidates, (dist, idx))
-        elif dist < -self.results[0][0]:
-            heapq.heapreplace(self.results, (-dist, idx))
-            heapq.heappush(self.candidates, (dist, idx))
+            heapq.heappush(self.results, (-sq, idx))
+            heapq.heappush(self.candidates, (sq, idx))
+        elif sq < -self.results[0][0]:
+            heapq.heapreplace(self.results, (-sq, idx))
+            heapq.heappush(self.candidates, (sq, idx))
 
     def pop_expansion(self) -> int | None:
         """Next vertex to expand, or None (and deactivate) if finished."""
         while self.candidates:
-            dist, u = heapq.heappop(self.candidates)
-            if dist > self.worst():
+            sq, u = heapq.heappop(self.candidates)
+            if sq > self.worst():
                 break
             self.hops += 1
             return u
@@ -76,7 +135,8 @@ class _QueryState:
         return None
 
     def top(self, k: int) -> list[tuple[float, int]]:
-        return sorted((-negd, idx) for negd, idx in self.results)[:k]
+        ordered = sorted((-negsq, idx) for negsq, idx in self.results)[:k]
+        return [(float(np.sqrt(sq)), idx) for sq, idx in ordered]
 
 
 def batched_best_first_search(
@@ -88,33 +148,43 @@ def batched_best_first_search(
     k: int,
     counter: DistanceCounter | None = None,
 ) -> BatchSearchResult:
-    """Best-first search over a query batch, one distance kernel per round."""
+    """Best-first search over a query batch in lockstep rounds.
+
+    Each query's distance evaluations flow through the same
+    expanded-form kernel (:func:`repro.distance.sq_dists_to_rows`,
+    against the shared norm cache) as the sequential search, so ids,
+    distances and NDC are identical to running the queries one by one.
+    """
     counter = counter if counter is not None else DistanceCounter()
     start_ndc = counter.count
     started = time.perf_counter()
     num_queries = len(queries)
     n = graph.n
+    norms_sq = squared_norms(data)
+    queries64 = np.ascontiguousarray(queries, dtype=np.float64)
+    # per-row np.dot, not a row-wise einsum: it must produce the exact
+    # float SearchContext.begin_query computes for the sequential search
+    query_sqs = np.asarray([np.dot(row, row) for row in queries64])
     visited = np.zeros((num_queries, n), dtype=bool)
     states = [_QueryState(ef) for _ in range(num_queries)]
 
-    # seed every query (batched over the concatenated seed lists)
-    seed_qidx, seed_vertices = [], []
+    def score(q: int, vertices: np.ndarray) -> None:
+        sq = sq_dists_to_rows(
+            queries64[q], data[vertices], norms_sq[vertices], float(query_sqs[q])
+        )
+        counter.count += len(vertices)
+        state = states[q]
+        for vertex, value in zip(vertices.tolist(), sq.tolist()):
+            state.offer(vertex, value)
+
     for q, seeds in enumerate(seed_lists):
         seeds = np.unique(np.asarray(seeds, dtype=np.int64))
-        visited[q, seeds] = True
-        seed_qidx.extend([q] * len(seeds))
-        seed_vertices.extend(int(s) for s in seeds)
-    if seed_vertices:
-        diff = data[seed_vertices] - queries[seed_qidx]
-        dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-        counter.count += len(seed_vertices)
-        for q, vertex, dist in zip(seed_qidx, seed_vertices, dists):
-            states[q].offer(vertex, float(dist))
+        if len(seeds):
+            visited[q, seeds] = True
+            score(q, seeds)
 
     while True:
-        round_qidx: list[int] = []
-        round_vertices: list[int] = []
-        bounds: list[tuple[int, int, int]] = []  # (query, start, stop)
+        expanded = False
         for q, state in enumerate(states):
             if not state.active:
                 continue
@@ -126,20 +196,10 @@ def batched_best_first_search(
             if len(nbrs) == 0:
                 continue
             visited[q, nbrs] = True
-            start = len(round_vertices)
-            round_vertices.extend(int(v) for v in nbrs)
-            round_qidx.extend([q] * len(nbrs))
-            bounds.append((q, start, len(round_vertices)))
-        if not round_vertices and not any(s.active for s in states):
+            score(q, nbrs)
+            expanded = True
+        if not expanded and not any(s.active for s in states):
             break
-        if round_vertices:
-            diff = data[round_vertices] - queries[round_qidx]
-            dists = np.sqrt(np.einsum("ij,ij->i", diff, diff))
-            counter.count += len(round_vertices)
-            for q, start, stop in bounds:
-                state = states[q]
-                for pos in range(start, stop):
-                    state.offer(round_vertices[pos], float(dists[pos]))
 
     ids = np.full((num_queries, k), -1, dtype=np.int64)
     out_dists = np.full((num_queries, k), np.inf)
@@ -174,4 +234,137 @@ def batch_search(
     return batched_best_first_search(
         index.graph, index.data, np.asarray(queries, dtype=np.float32),
         seed_lists, ef, k, counter=counter,
+    )
+
+
+# -- worker-pool engine -------------------------------------------------
+
+
+def _uses_default_route(index: GraphANNS) -> bool:
+    return type(index)._route is GraphANNS._route
+
+
+def _chunk_native(index, ctx, queries, seed_lists, chunk, ef):
+    """One native kernel call for a whole chunk of queries."""
+    queries64 = np.ascontiguousarray(queries[chunk], dtype=np.float64)
+    # per-row np.dot to match SearchContext.begin_query bit for bit
+    qsqs = np.asarray([np.dot(row, row) for row in queries64])
+    uniq = [np.unique(seed_lists[i]) for i in chunk]
+    n = index.graph.n
+    for s in uniq:
+        if len(s) and (s[0] < 0 or s[-1] >= n):
+            raise IndexError(f"seed ids must lie in [0, {n}), got {s[0]}..{s[-1]}")
+    seed_indptr = np.zeros(len(chunk) + 1, dtype=np.int64)
+    np.cumsum([len(s) for s in uniq], out=seed_indptr[1:])
+    seeds = (
+        np.concatenate(uniq) if uniq else np.empty(0, dtype=np.int64)
+    ).astype(np.int64, copy=False)
+    return _native.best_first_batch(
+        ctx, index.graph, queries64, qsqs, seed_indptr, seeds, ef
+    )
+
+
+def search_batch(
+    index: GraphANNS,
+    queries: np.ndarray,
+    k: int = 10,
+    ef: int | None = None,
+    workers: int = 1,
+) -> BatchQueryResult:
+    """Answer a query batch with a pool of ``workers`` search contexts.
+
+    Semantics match a ``[index.search(q, k, ef) for q in queries]``
+    loop exactly — same ids, distances, per-query NDC (seed acquisition
+    included), hops and visited counts, same tombstone filtering — but
+    the batch is split into per-worker chunks, each worker reuses one
+    :class:`SearchContext`, and default-routing indexes process each
+    chunk in a single native kernel call, eliminating the per-query
+    Python overhead the sequential loop pays.
+    """
+    if index.graph is None or index.data is None:
+        raise RuntimeError("build the index before batch searching")
+    queries = np.ascontiguousarray(queries, dtype=np.float32)
+    if queries.ndim != 2:
+        raise ValueError(f"queries must be 2-D, got shape {queries.shape}")
+    num_queries = len(queries)
+    ef = max(k, ef if ef is not None else index.default_ef)
+    started = time.perf_counter()
+
+    ids = np.full((num_queries, k), -1, dtype=np.int64)
+    dists = np.full((num_queries, k), np.inf)
+    ndc = np.zeros(num_queries, dtype=np.int64)
+    hops = np.zeros(num_queries, dtype=np.int64)
+    visited = np.zeros(num_queries, dtype=np.int64)
+    if num_queries == 0:
+        return BatchQueryResult(ids, dists, ndc, hops, visited, 0.0, workers)
+
+    # Seed acquisition stays sequential and in query order: providers
+    # may be stateful (RNG draws, restart counters), and this order is
+    # the one the equivalent sequential loop would have used.
+    seed_lists = []
+    for i in range(num_queries):
+        acq = DistanceCounter()
+        seed_lists.append(
+            np.asarray(index.seed_provider.acquire(queries[i], acq), dtype=np.int64)
+        )
+        ndc[i] = acq.count
+
+    deleted = index._deleted if index.num_deleted else None
+    native_ok = (
+        _uses_default_route(index)
+        and _native.LIB is not None
+        and index.graph.finalized
+        and index.graph.n > 0
+    )
+
+    def fill_query(i: int, res_ids: np.ndarray, res_dists: np.ndarray) -> None:
+        if deleted is not None:
+            keep = ~deleted[res_ids]
+            res_ids = res_ids[keep]
+            res_dists = res_dists[keep]
+        m = min(k, len(res_ids))
+        ids[i, :m] = res_ids[:m]
+        dists[i, :m] = res_dists[:m]
+
+    def run_chunk(chunk: np.ndarray) -> None:
+        ctx = SearchContext(index.data)
+        if native_ok and ctx.native:
+            out_ids, out_sq, out_len, stats = _chunk_native(
+                index, ctx, queries, seed_lists, chunk, ef
+            )
+            ndc[chunk] += stats[:, 0]
+            hops[chunk] = stats[:, 1]
+            visited[chunk] = stats[:, 2]
+            if deleted is None and int(out_len.min()) >= k:
+                ids[chunk] = out_ids[:, :k]
+                dists[chunk] = np.sqrt(out_sq[:, :k])
+                return
+            for pos, i in enumerate(chunk):
+                fill_query(i, out_ids[pos, : out_len[pos]].astype(np.int64),
+                           np.sqrt(out_sq[pos, : out_len[pos]]))
+            return
+        for i in chunk:
+            route = DistanceCounter()
+            result = index._route(queries[i], seed_lists[i], ef, route, ctx=ctx)
+            ndc[i] += route.count
+            hops[i] = result.hops
+            visited[i] = result.visited
+            fill_query(i, result.ids, result.dists)
+
+    workers = max(1, min(int(workers), num_queries))
+    chunks = np.array_split(np.arange(num_queries), workers)
+    if workers == 1:
+        run_chunk(chunks[0])
+    else:
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for future in [pool.submit(run_chunk, c) for c in chunks]:
+                future.result()
+    return BatchQueryResult(
+        ids=ids,
+        dists=dists,
+        ndc=ndc,
+        hops=hops,
+        visited=visited,
+        elapsed_s=time.perf_counter() - started,
+        workers=workers,
     )

@@ -7,6 +7,7 @@ Every algorithm in :mod:`repro.algorithms` is assembled from these
 parts, which is what makes the §5.4 component-swapping study possible.
 """
 
+from repro.components.context import SearchContext
 from repro.components.routing import (
     SearchResult,
     best_first_search,
@@ -47,6 +48,7 @@ from repro.components.initialization import (
 )
 
 __all__ = [
+    "SearchContext",
     "SearchResult",
     "best_first_search",
     "range_search",

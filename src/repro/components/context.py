@@ -1,0 +1,109 @@
+"""Reusable per-query search state for the routing hot path.
+
+Profiling the survey's evaluation loop shows the Python wall-clock is
+dominated by per-query allocations rather than by the traversal the
+paper measures: an O(n) visited mask zeroed for every query, fresh
+candidate/result heaps, and a ``points - query`` difference matrix per
+expansion.  A :class:`SearchContext` owns all of that scratch once and
+is reused across queries:
+
+* **epoch-stamped visited array** — instead of re-zeroing O(n) booleans
+  per query, a generation counter is bumped and a vertex counts as
+  visited iff its stamp equals the current generation;
+* **preallocated heaps** — the candidate min-heap and capped result
+  heap of Definition 4.7, cleared (not reallocated) per query;
+* **cached squared norms** — ``|x|^2`` for every data row (shared
+  across contexts via :func:`repro.distance.squared_norms`), so each
+  expansion evaluates ``|q|^2 - 2 q.x + |x|^2`` against the cache with
+  no difference matrix;
+* **native scratch** — heap buffers for the C best-first kernel when
+  the compiled extension is available.
+
+One context serves one thread: workers in the batched query engine each
+construct their own (sharing the norm cache, which is immutable).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import _native
+from repro.distance import sq_dists_to_rows, squared_norms
+
+__all__ = ["SearchContext"]
+
+
+class SearchContext:
+    """Reusable scratch memory binding one dataset to one search thread."""
+
+    __slots__ = (
+        "data", "norms_sq", "visit_gen", "generation",
+        "candidates", "results", "query64", "query_sq", "native",
+        "_cand_d", "_cand_i", "_res_d", "_res_i",
+    )
+
+    def __init__(self, data: np.ndarray, norms_sq: np.ndarray | None = None):
+        self.data = data
+        self.norms_sq = squared_norms(data) if norms_sq is None else norms_sq
+        self.visit_gen = np.zeros(len(data), dtype=np.int64)
+        self.generation = 0
+        self.candidates: list[tuple[float, int]] = []
+        self.results: list[tuple[float, int]] = []
+        self.query64: np.ndarray | None = None
+        self.query_sq: float = 0.0
+        self.native = (
+            _native.LIB is not None
+            and data.dtype == np.float32
+            and data.ndim == 2
+            and data.flags["C_CONTIGUOUS"]
+        )
+        self._cand_d: np.ndarray | None = None
+        self._cand_i: np.ndarray | None = None
+        self._res_d: np.ndarray | None = None
+        self._res_i: np.ndarray | None = None
+
+    def compatible(self, data: np.ndarray) -> bool:
+        """Whether this context's scratch belongs to ``data``."""
+        return self.data is data
+
+    # -- per-query lifecycle -------------------------------------------
+
+    def begin_query(self, query: np.ndarray) -> None:
+        """Start a fresh query: bump the epoch, clear heaps, cache q."""
+        self.generation += 1
+        self.candidates.clear()
+        self.results.clear()
+        self.query64 = np.ascontiguousarray(query, dtype=np.float64)
+        self.query_sq = float(np.dot(self.query64, self.query64))
+
+    # -- visited bookkeeping -------------------------------------------
+
+    def fresh(self, ids: np.ndarray) -> np.ndarray:
+        """Drop already-visited ids and stamp the remainder visited."""
+        stamps = self.visit_gen[ids]
+        if stamps.max(initial=-1) == self.generation:
+            ids = ids[stamps != self.generation]
+        if len(ids):
+            self.visit_gen[ids] = self.generation
+        return ids
+
+    # -- distances ------------------------------------------------------
+
+    def sq_dists(self, ids: np.ndarray) -> np.ndarray:
+        """Squared distances from the current query to ``data[ids]``."""
+        return sq_dists_to_rows(
+            self.query64, self.data[ids], self.norms_sq[ids], self.query_sq
+        )
+
+    # -- native kernel support -----------------------------------------
+
+    def native_scratch(self, ef: int):
+        """(Re)allocate the C kernel's heap buffers; reused across calls."""
+        n = len(self.data)
+        if self._cand_d is None or len(self._cand_d) < n:
+            self._cand_d = np.empty(n, dtype=np.float64)
+            self._cand_i = np.empty(n, dtype=np.int32)
+        if self._res_d is None or len(self._res_d) < ef:
+            self._res_d = np.empty(max(ef, 64), dtype=np.float64)
+            self._res_i = np.empty(max(ef, 64), dtype=np.int32)
+        return self._cand_d, self._cand_i, self._res_d, self._res_i

@@ -6,6 +6,15 @@ supplied :class:`DistanceCounter`, and report the per-query search
 statistics the paper tracks: NDC, query path length (number of expanded
 vertices, the hop count that drives I/O on external storage — Table 5
 PL) and the number of visited vertices.
+
+Mechanics (none of which change a single NDC): distances are evaluated
+in the *squared* domain against the cached norms of a reusable
+:class:`~repro.components.context.SearchContext` (square roots are
+taken once, on the final result set), adjacency is read from the frozen
+CSR layout, and — for plain best-first search on a frozen graph — the
+whole loop runs inside the optional C kernel of :mod:`repro._native`.
+Pass ``ctx`` to reuse scratch across queries; omitting it builds a
+transient context with identical semantics.
 """
 
 from __future__ import annotations
@@ -15,11 +24,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import _native
+from repro.components.context import SearchContext
 from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 
 __all__ = [
     "SearchResult",
+    "SearchContext",
     "best_first_search",
     "range_search",
     "backtracking_search",
@@ -45,62 +57,78 @@ class SearchResult:
         return self.ids[:k]
 
 
+def _context_for(ctx: SearchContext | None, data: np.ndarray) -> SearchContext:
+    if ctx is not None and ctx.compatible(data):
+        return ctx
+    return SearchContext(data)
+
+
 class _Frontier:
     """Shared candidate/result bookkeeping for the greedy searches.
 
     ``candidates`` is a min-heap of vertices to expand; ``results`` a
     max-heap (negated) capped at ``ef`` — the candidate set C of
     Definition 4.7 whose size is the paper's "candidate set size (CS)"
-    knob.
+    knob.  Both heaps and the visited set live on the context and hold
+    *squared* distances; :meth:`finish` converts once.
     """
 
-    __slots__ = ("ef", "candidates", "results", "visited_mask", "visited", "log")
+    __slots__ = ("ef", "ctx", "candidates", "results", "visited", "log")
 
-    def __init__(self, n: int, ef: int, record_visited: bool = False):
+    def __init__(
+        self,
+        ctx: SearchContext,
+        query: np.ndarray,
+        ef: int,
+        record_visited: bool = False,
+    ):
         self.ef = ef
-        self.candidates: list[tuple[float, int]] = []
-        self.results: list[tuple[float, int]] = []
-        self.visited_mask = np.zeros(n, dtype=bool)
+        self.ctx = ctx
+        ctx.begin_query(query)
+        self.candidates = ctx.candidates
+        self.results = ctx.results
         self.visited = 0
         self.log: list[tuple[float, int]] | None = [] if record_visited else None
 
     def worst(self) -> float:
         return -self.results[0][0] if len(self.results) == self.ef else np.inf
 
-    def offer(self, idx: int, dist: float) -> None:
-        """Consider a newly evaluated vertex for expansion and results."""
-        self.visited += 1
-        if self.log is not None:
-            self.log.append((dist, idx))
-        if len(self.results) < self.ef:
-            heapq.heappush(self.results, (-dist, idx))
-            heapq.heappush(self.candidates, (dist, idx))
-        elif dist < -self.results[0][0]:
-            heapq.heapreplace(self.results, (-dist, idx))
-            heapq.heappush(self.candidates, (dist, idx))
+    def _offer_bulk(self, ids: np.ndarray, sq: np.ndarray) -> None:
+        """Feed newly evaluated vertices to both heaps.
 
-    def seed(
-        self,
-        seeds: np.ndarray,
-        data: np.ndarray,
-        query: np.ndarray,
-        counter: DistanceCounter,
-    ) -> None:
+        Pre-filtering against the current worst result is exact: the
+        bound only tightens while survivors are inserted, and the
+        sequential path discards those entries anyway.
+        """
+        self.visited += len(ids)
+        if self.log is not None:
+            self.log.extend(zip(sq.tolist(), ids.tolist()))
+        results, candidates, ef = self.results, self.candidates, self.ef
+        if len(results) == ef:
+            keep = sq < -results[0][0]
+            if not keep.any():
+                return
+            ids, sq = ids[keep], sq[keep]
+        for dist, idx in zip(sq.tolist(), ids.tolist()):
+            if len(results) < ef:
+                heapq.heappush(results, (-dist, idx))
+                heapq.heappush(candidates, (dist, idx))
+            elif dist < -results[0][0]:
+                heapq.heapreplace(results, (-dist, idx))
+                heapq.heappush(candidates, (dist, idx))
+
+    def seed(self, seeds: np.ndarray, counter: DistanceCounter) -> None:
         seeds = np.unique(np.asarray(seeds, dtype=np.int64))
-        seeds = seeds[~self.visited_mask[seeds]]
+        seeds = self.ctx.fresh(seeds)
         if len(seeds) == 0:
             return
-        self.visited_mask[seeds] = True
-        dists = counter.one_to_many(query, data[seeds])
-        for idx, dist in zip(seeds, dists):
-            self.offer(int(idx), float(dist))
+        counter.count += len(seeds)
+        self._offer_bulk(seeds, self.ctx.sq_dists(seeds))
 
     def expand(
         self,
         u: int,
         graph: Graph,
-        data: np.ndarray,
-        query: np.ndarray,
         counter: DistanceCounter,
         keep: np.ndarray | None = None,
     ) -> None:
@@ -110,26 +138,48 @@ class _Frontier:
             nbrs = nbrs[keep[: len(nbrs)]] if keep.dtype == bool else nbrs[keep]
         if len(nbrs) == 0:
             return
-        nbrs = nbrs[~self.visited_mask[nbrs]]
+        nbrs = self.ctx.fresh(nbrs)
         if len(nbrs) == 0:
             return
-        self.visited_mask[nbrs] = True
-        dists = counter.one_to_many(query, data[nbrs])
-        for idx, dist in zip(nbrs, dists):
-            self.offer(int(idx), float(dist))
+        counter.count += len(nbrs)
+        self._offer_bulk(nbrs, self.ctx.sq_dists(nbrs))
 
     def finish(self, ndc: int, hops: int) -> SearchResult:
         ordered = sorted((-negd, idx) for negd, idx in self.results)
         ids = np.asarray([idx for _, idx in ordered], dtype=np.int64)
-        dists = np.asarray([d for d, _ in ordered], dtype=np.float64)
+        dists = np.sqrt(np.asarray([d for d, _ in ordered], dtype=np.float64))
         result = SearchResult(ids, dists, ndc=ndc, hops=hops, visited=self.visited)
         if self.log is not None:
             self.log.sort()
-            result.visited_dists = np.asarray([d for d, _ in self.log])
+            result.visited_dists = np.sqrt(np.asarray([d for d, _ in self.log]))
             result.visited_ids = np.asarray(
                 [i for _, i in self.log], dtype=np.int64
             )
         return result
+
+
+def _native_best_first(
+    ctx: SearchContext,
+    graph: Graph,
+    query: np.ndarray,
+    seeds: np.ndarray,
+    ef: int,
+    counter: DistanceCounter,
+) -> SearchResult:
+    """Whole-loop C fast path: identical bookkeeping, no Python frontier."""
+    ctx.begin_query(query)
+    seeds = np.unique(np.asarray(seeds, dtype=np.int64))
+    if len(seeds) and (seeds[0] < 0 or seeds[-1] >= graph.n):
+        raise IndexError(
+            f"seed ids must lie in [0, {graph.n}), got {seeds[0]}..{seeds[-1]}"
+        )
+    ids, sq, ndc, hops, visited = _native.best_first(
+        ctx, graph, ctx.query64, ctx.query_sq, seeds, ef
+    )
+    counter.count += ndc
+    return SearchResult(
+        ids, np.sqrt(sq), ndc=ndc, hops=hops, visited=visited
+    )
 
 
 def best_first_search(
@@ -140,6 +190,7 @@ def best_first_search(
     ef: int,
     counter: DistanceCounter | None = None,
     record_visited: bool = False,
+    ctx: SearchContext | None = None,
 ) -> SearchResult:
     """Best First Search (Algorithm 1 / Definition 4.7).
 
@@ -150,16 +201,19 @@ def best_first_search(
     touched, which is where their long-range edges come from).
     """
     counter = counter if counter is not None else DistanceCounter()
+    ctx = _context_for(ctx, data)
+    if ctx.native and not record_visited and graph.finalized and graph.n > 0:
+        return _native_best_first(ctx, graph, query, seeds, ef, counter)
     start_ndc = counter.count
-    frontier = _Frontier(graph.n, ef, record_visited=record_visited)
-    frontier.seed(seeds, data, query, counter)
+    frontier = _Frontier(ctx, query, ef, record_visited=record_visited)
+    frontier.seed(seeds, counter)
     hops = 0
     while frontier.candidates:
         dist, u = heapq.heappop(frontier.candidates)
         if dist > frontier.worst():
             break
         hops += 1
-        frontier.expand(u, graph, data, query, counter)
+        frontier.expand(u, graph, counter)
     return frontier.finish(counter.count - start_ndc, hops)
 
 
@@ -171,6 +225,7 @@ def range_search(
     ef: int,
     counter: DistanceCounter | None = None,
     epsilon: float = 0.1,
+    ctx: SearchContext | None = None,
 ) -> SearchResult:
     """NGT's range search: BFS whose exploration radius is ``(1+ε)·r``.
 
@@ -179,17 +234,19 @@ def range_search(
     appears when ε is small).
     """
     counter = counter if counter is not None else DistanceCounter()
+    ctx = _context_for(ctx, data)
     start_ndc = counter.count
-    frontier = _Frontier(graph.n, ef)
-    frontier.seed(seeds, data, query, counter)
+    frontier = _Frontier(ctx, query, ef)
+    frontier.seed(seeds, counter)
     hops = 0
-    factor = 1.0 + epsilon
+    # (1+ε)·r on true distances == (1+ε)²·r² in the squared domain
+    factor = (1.0 + epsilon) ** 2
     while frontier.candidates:
         dist, u = heapq.heappop(frontier.candidates)
         if dist > frontier.worst() * factor:
             break
         hops += 1
-        frontier.expand(u, graph, data, query, counter)
+        frontier.expand(u, graph, counter)
     return frontier.finish(counter.count - start_ndc, hops)
 
 
@@ -201,6 +258,7 @@ def backtracking_search(
     ef: int,
     counter: DistanceCounter | None = None,
     backtracks: int = 10,
+    ctx: SearchContext | None = None,
 ) -> SearchResult:
     """FANNG's BFS with backtracking.
 
@@ -209,9 +267,10 @@ def backtracking_search(
     edges") — slightly better accuracy, noticeably more time (§4.2 C7).
     """
     counter = counter if counter is not None else DistanceCounter()
+    ctx = _context_for(ctx, data)
     start_ndc = counter.count
-    frontier = _Frontier(graph.n, ef)
-    frontier.seed(seeds, data, query, counter)
+    frontier = _Frontier(ctx, query, ef)
+    frontier.seed(seeds, counter)
     hops = 0
     budget = backtracks
     while frontier.candidates:
@@ -221,8 +280,17 @@ def backtracking_search(
                 break
             budget -= 1  # backtrack: expand a non-improving vertex anyway
         hops += 1
-        frontier.expand(u, graph, data, query, counter)
+        frontier.expand(u, graph, counter)
     return frontier.finish(counter.count - start_ndc, hops)
+
+
+def _toward_query(
+    ctx: SearchContext, data: np.ndarray, u: int, nbrs: np.ndarray
+) -> np.ndarray:
+    """HCNNG's half-space test ``<q - u, x_n - u> > 0`` (costs no NDC)."""
+    anchor = data[u]
+    direction = ctx.query64 - anchor
+    return (data[nbrs] - anchor) @ direction > 0.0
 
 
 def guided_search(
@@ -233,6 +301,7 @@ def guided_search(
     ef: int,
     counter: DistanceCounter | None = None,
     min_keep: int = 2,
+    ctx: SearchContext | None = None,
 ) -> SearchResult:
     """HCNNG's guided search: skip neighbors pointing away from the query.
 
@@ -243,9 +312,10 @@ def guided_search(
     accuracy cost (§4.2 C7, Figure 10(f)).
     """
     counter = counter if counter is not None else DistanceCounter()
+    ctx = _context_for(ctx, data)
     start_ndc = counter.count
-    frontier = _Frontier(graph.n, ef)
-    frontier.seed(seeds, data, query, counter)
+    frontier = _Frontier(ctx, query, ef)
+    frontier.seed(seeds, counter)
     hops = 0
     while frontier.candidates:
         dist, u = heapq.heappop(frontier.candidates)
@@ -254,12 +324,11 @@ def guided_search(
         hops += 1
         nbrs = graph.neighbor_array(u)
         if len(nbrs) > min_keep:
-            direction = query - data[u]
-            toward = (data[nbrs] - data[u]) @ direction > 0.0
+            toward = _toward_query(ctx, data, u, nbrs)
             if toward.sum() >= min_keep:
-                frontier.expand(u, graph, data, query, counter, keep=toward)
+                frontier.expand(u, graph, counter, keep=toward)
                 continue
-        frontier.expand(u, graph, data, query, counter)
+        frontier.expand(u, graph, counter)
     return frontier.finish(counter.count - start_ndc, hops)
 
 
@@ -271,6 +340,7 @@ def iterated_search(
     ef: int,
     counter: DistanceCounter | None = None,
     max_restarts: int = 4,
+    ctx: SearchContext | None = None,
 ) -> SearchResult:
     """SPTAG's iterated BFS: restart from fresh tree seeds when stuck.
 
@@ -279,19 +349,20 @@ def iterated_search(
     restarts, so each restart explores new territory.
     """
     counter = counter if counter is not None else DistanceCounter()
+    ctx = _context_for(ctx, data)
     start_ndc = counter.count
-    frontier = _Frontier(graph.n, ef)
+    frontier = _Frontier(ctx, query, ef)
     hops = 0
     for restart in range(max_restarts):
         seeds = np.asarray(seed_batches(restart), dtype=np.int64)
         before = -frontier.results[0][0] if len(frontier.results) == ef else np.inf
-        frontier.seed(seeds, data, query, counter)
+        frontier.seed(seeds, counter)
         while frontier.candidates:
             dist, u = heapq.heappop(frontier.candidates)
             if dist > frontier.worst():
                 break
             hops += 1
-            frontier.expand(u, graph, data, query, counter)
+            frontier.expand(u, graph, counter)
         after = -frontier.results[0][0] if len(frontier.results) == ef else np.inf
         if after >= before:  # local optimum not escaped; stop restarting
             break
@@ -307,6 +378,7 @@ def two_stage_search(
     counter: DistanceCounter | None = None,
     guided_hops: int | None = None,
     min_keep: int = 2,
+    ctx: SearchContext | None = None,
 ) -> SearchResult:
     """The optimized algorithm's routing (§6 Improvement).
 
@@ -317,11 +389,12 @@ def two_stage_search(
     cheaper than BFS alone — no vertex is ever evaluated twice.
     """
     counter = counter if counter is not None else DistanceCounter()
+    ctx = _context_for(ctx, data)
     start_ndc = counter.count
     if guided_hops is None:
         guided_hops = max(4, ef // 2)
-    frontier = _Frontier(graph.n, ef)
-    frontier.seed(seeds, data, query, counter)
+    frontier = _Frontier(ctx, query, ef)
+    frontier.seed(seeds, counter)
     hops = 0
     while frontier.candidates:
         dist, u = heapq.heappop(frontier.candidates)
@@ -331,10 +404,9 @@ def two_stage_search(
         if hops <= guided_hops:
             nbrs = graph.neighbor_array(u)
             if len(nbrs) > min_keep:
-                direction = query - data[u]
-                toward = (data[nbrs] - data[u]) @ direction > 0.0
+                toward = _toward_query(ctx, data, u, nbrs)
                 if toward.sum() >= min_keep:
-                    frontier.expand(u, graph, data, query, counter, keep=toward)
+                    frontier.expand(u, graph, counter, keep=toward)
                     continue
-        frontier.expand(u, graph, data, query, counter)
+        frontier.expand(u, graph, counter)
     return frontier.finish(counter.count - start_ndc, hops)

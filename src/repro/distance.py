@@ -15,12 +15,16 @@ the paper describes.
 
 from __future__ import annotations
 
+import weakref
+
 import numpy as np
 
 __all__ = [
     "l2",
     "l2_batch",
     "pairwise_l2",
+    "squared_norms",
+    "sq_dists_to_rows",
     "DistanceCounter",
 ]
 
@@ -49,6 +53,59 @@ def pairwise_l2(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     sq = a_sq - 2.0 * (a @ b.T) + b_sq
     np.maximum(sq, 0.0, out=sq)
     return np.sqrt(sq)
+
+
+# -- norm cache -------------------------------------------------------
+#
+# The routing hot path evaluates distances with the expanded form
+# ``|q|^2 - 2 q.x + |x|^2`` against cached per-row squared norms, which
+# avoids materializing a ``points - query`` difference matrix on every
+# expansion.  The cache is keyed by array identity and evicted when the
+# data array is garbage-collected, so every search path (sequential,
+# context-reuse, lockstep batch) slices the *same* norm array and
+# produces bit-identical distances.
+
+_NORM_CACHE: dict[int, tuple[weakref.ref, np.ndarray]] = {}
+
+
+def squared_norms(points: np.ndarray) -> np.ndarray:
+    """Cached float64 squared norms of every row of ``points``."""
+    key = id(points)
+    entry = _NORM_CACHE.get(key)
+    if entry is not None and entry[0]() is points:
+        return entry[1]
+    norms = np.einsum("ij,ij->i", points, points, dtype=np.float64)
+    try:
+        ref = weakref.ref(points, lambda _unused, k=key: _NORM_CACHE.pop(k, None))
+    except TypeError:  # pragma: no cover - non-weakrefable array subclass
+        return norms
+    _NORM_CACHE[key] = (ref, norms)
+    return norms
+
+
+def sq_dists_to_rows(
+    query64: np.ndarray,
+    rows: np.ndarray,
+    rows_sq: np.ndarray,
+    query_sq: float,
+) -> np.ndarray:
+    """Squared distances from a float64 query to gathered float32 rows.
+
+    The single kernel every routing path funnels through: the native
+    extension (``repro._native``) provides a drop-in C version whose
+    summation order matches its in-kernel search, keeping the Python
+    frontier, the lockstep batch engine and the native best-first search
+    mutually bit-identical.
+    """
+    from repro import _native
+
+    if _native.LIB is not None and rows.dtype == np.float32:
+        return _native.sq_dists_to_rows(query64, rows, rows_sq, query_sq)
+    dot = np.einsum("ij,j->i", rows, query64, dtype=np.float64)
+    sq = query_sq - 2.0 * dot
+    sq += rows_sq
+    np.maximum(sq, 0.0, out=sq)
+    return sq
 
 
 class DistanceCounter:

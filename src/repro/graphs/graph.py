@@ -5,6 +5,14 @@ the dataset (Definition 2.3).  Edges are *directed*: ``v in
 graph.neighbors(u)`` means the search may hop ``u -> v``.  Undirected
 graphs (NSW, DPG, k-DR) simply store both directions.
 
+The graph has two storage layouts.  During construction it is a Python
+list-of-lists, cheap to mutate.  :meth:`finalize` freezes it into CSR
+form — one ``indptr`` offsets array plus one flat ``indices`` array,
+both ``int32``, the layout ParlayANN-style systems use — after which
+:meth:`neighbor_array` is a zero-copy slice and the native search
+kernel can walk adjacency without touching Python.  Any mutation drops
+back to the list layout transparently.
+
 The class also exposes the index-characteristic statistics of §5.1:
 average/max/min out-degree (Table 4, Table 11), number of weakly
 connected components (Table 4), and an index-size estimate (Figure 6).
@@ -30,31 +38,105 @@ class Graph:
             raise ValueError(f"vertex count must be non-negative, got {n}")
         self.n = n
         if neighbor_lists is None:
-            self._adj: list[list[int]] = [[] for _ in range(n)]
+            self._adj: list[list[int]] | None = [[] for _ in range(n)]
         else:
             if len(neighbor_lists) != n:
                 raise ValueError(
                     f"expected {n} neighbor lists, got {len(neighbor_lists)}"
                 )
             self._adj = [list(dict.fromkeys(int(v) for v in lst)) for lst in neighbor_lists]
-        self._arrays: list[np.ndarray] | None = None
+        self._indptr: np.ndarray | None = None
+        self._indices: np.ndarray | None = None
+
+    @classmethod
+    def from_csr(cls, indptr: np.ndarray, indices: np.ndarray) -> "Graph":
+        """Build a graph directly in the frozen CSR layout.
+
+        ``indptr`` has ``n + 1`` monotone offsets into ``indices``; the
+        neighbors of ``u`` are ``indices[indptr[u]:indptr[u + 1]]``.
+        The adjacency lists are materialized lazily, only if the graph
+        is mutated — a deserialized index searches straight from the
+        arrays it was stored as.
+        """
+        indptr = np.ascontiguousarray(indptr, dtype=np.int32)
+        indices = np.ascontiguousarray(indices, dtype=np.int32)
+        if len(indptr) == 0 or indptr[0] != 0:
+            raise ValueError("indptr must start at 0")
+        if np.any(np.diff(indptr) < 0):
+            raise ValueError("indptr must be non-decreasing")
+        if int(indptr[-1]) != len(indices):
+            raise ValueError(
+                f"indptr[-1]={int(indptr[-1])} != len(indices)={len(indices)}"
+            )
+        n = len(indptr) - 1
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise ValueError(f"neighbor ids must lie in [0, {n})")
+        graph = cls.__new__(cls)
+        graph.n = n
+        graph._adj = None
+        graph._indptr = indptr
+        graph._indices = indices
+        return graph
+
+    # -- layout management ---------------------------------------------
+
+    @property
+    def finalized(self) -> bool:
+        """Whether the frozen CSR arrays are current."""
+        return self._indptr is not None
+
+    def _lists(self) -> list[list[int]]:
+        """The mutable adjacency, materialized from CSR if necessary."""
+        if self._adj is None:
+            indptr, indices = self._indptr, self._indices
+            self._adj = [
+                indices[indptr[v]:indptr[v + 1]].tolist() for v in range(self.n)
+            ]
+        return self._adj
+
+    def _invalidate(self) -> None:
+        self._indptr = None
+        self._indices = None
+
+    def finalize(self) -> "Graph":
+        """Freeze adjacency into the CSR arrays for fast search access."""
+        if self._indptr is None:
+            adj = self._lists()
+            indptr = np.zeros(self.n + 1, dtype=np.int32)
+            if self.n:
+                np.cumsum([len(lst) for lst in adj], out=indptr[1:])
+            total = int(indptr[-1])
+            indices = np.empty(total, dtype=np.int32)
+            position = 0
+            for lst in adj:
+                indices[position:position + len(lst)] = lst
+                position += len(lst)
+            self._indptr = indptr
+            self._indices = indices
+        return self
+
+    def csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """The frozen ``(indptr, indices)`` pair (finalizes if needed)."""
+        self.finalize()
+        return self._indptr, self._indices
 
     # -- construction -------------------------------------------------
 
     def add_vertex(self) -> int:
         """Append an isolated vertex; returns its id (incremental inserts)."""
-        self._adj.append([])
+        self._lists().append([])
         self.n += 1
-        self._arrays = None
+        self._invalidate()
         return self.n - 1
 
     def add_edge(self, u: int, v: int) -> None:
         """Add the directed edge ``u -> v`` if absent."""
         if u == v:
             return
-        if v not in self._adj[u]:
-            self._adj[u].append(v)
-            self._arrays = None
+        adj = self._lists()
+        if v not in adj[u]:
+            adj[u].append(v)
+            self._invalidate()
 
     def add_undirected_edge(self, u: int, v: int) -> None:
         """Add both edge directions (NSW/DPG-style undirected graphs)."""
@@ -63,35 +145,42 @@ class Graph:
 
     def set_neighbors(self, u: int, neighbors: Iterable[int]) -> None:
         """Replace ``u``'s out-neighbors (deduplicated, self-loops dropped)."""
-        self._adj[u] = [int(v) for v in dict.fromkeys(neighbors) if int(v) != u]
-        self._arrays = None
+        self._lists()[u] = [int(v) for v in dict.fromkeys(neighbors) if int(v) != u]
+        self._invalidate()
 
     def neighbors(self, u: int) -> list[int]:
         """Mutable out-neighbor list of ``u``."""
-        return self._adj[u]
+        return self._lists()[u]
 
     def neighbor_array(self, u: int) -> np.ndarray:
-        """Neighbors of ``u`` as an int array (cached after :meth:`finalize`)."""
-        if self._arrays is not None:
-            return self._arrays[u]
-        return np.asarray(self._adj[u], dtype=np.int64)
+        """Neighbors of ``u`` as an int array.
 
-    def finalize(self) -> "Graph":
-        """Freeze adjacency into int arrays for fast search-time access."""
-        self._arrays = [np.asarray(lst, dtype=np.int64) for lst in self._adj]
-        return self
+        On a finalized graph this is a zero-copy ``int32`` view into the
+        CSR ``indices`` array — the whole point of the frozen layout.
+        """
+        if self._indices is not None:
+            return self._indices[self._indptr[u]:self._indptr[u + 1]]
+        return np.asarray(self._adj[u], dtype=np.int64)
 
     def copy(self) -> "Graph":
         """Deep copy of the adjacency (vertices share nothing)."""
+        if self._adj is None:
+            return Graph.from_csr(self._indptr.copy(), self._indices.copy())
         return Graph(self.n, [list(lst) for lst in self._adj])
 
     # -- iteration / comparison ----------------------------------------
 
     def __iter__(self) -> Iterator[list[int]]:
-        return iter(self._adj)
+        return iter(self._lists())
 
     def edges(self) -> Iterator[tuple[int, int]]:
         """Yield every directed edge ``(u, v)``."""
+        if self._adj is None:
+            indptr, indices = self._indptr, self._indices
+            for u in range(self.n):
+                for v in indices[indptr[u]:indptr[u + 1]].tolist():
+                    yield u, v
+            return
         for u, lst in enumerate(self._adj):
             for v in lst:
                 yield u, v
@@ -103,9 +192,16 @@ class Graph:
     @property
     def num_edges(self) -> int:
         """Total directed edge count."""
+        if self._adj is None:
+            return len(self._indices)
         return sum(len(lst) for lst in self._adj)
 
     # -- statistics (§5.1 metrics) --------------------------------------
+
+    def _degrees(self) -> np.ndarray:
+        if self._indptr is not None:
+            return np.diff(self._indptr)
+        return np.asarray([len(lst) for lst in self._adj], dtype=np.int64)
 
     @property
     def average_out_degree(self) -> float:
@@ -117,12 +213,16 @@ class Graph:
     @property
     def max_out_degree(self) -> int:
         """Table 11's D_max."""
-        return max((len(lst) for lst in self._adj), default=0)
+        if self.n == 0:
+            return 0
+        return int(self._degrees().max())
 
     @property
     def min_out_degree(self) -> int:
         """Table 11's D_min."""
-        return min((len(lst) for lst in self._adj), default=0)
+        if self.n == 0:
+            return 0
+        return int(self._degrees().min())
 
     def num_connected_components(self) -> int:
         """Weakly connected components (edges treated as undirected).
@@ -170,7 +270,7 @@ class Graph:
         """
         width = self.max_out_degree
         matrix = np.full((self.n, width), pad, dtype=np.int64)
-        for v, lst in enumerate(self._adj):
+        for v, lst in enumerate(self._lists()):
             matrix[v, : len(lst)] = lst
         return matrix
 

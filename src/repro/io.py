@@ -39,15 +39,7 @@ def save_index(
     if index.graph is None or index.data is None:
         raise RuntimeError("build the index before saving it")
     graph = index.graph
-    offsets = np.zeros(graph.n + 1, dtype=np.int64)
-    chunks = []
-    for v in range(graph.n):
-        nbrs = graph.neighbors(v)
-        offsets[v + 1] = offsets[v] + len(nbrs)
-        chunks.append(np.asarray(nbrs, dtype=np.int64))
-    neighbors = (
-        np.concatenate(chunks) if chunks else np.zeros(0, dtype=np.int64)
-    )
+    offsets, neighbors = graph.finalize().csr()
     # snapshot the seeds this index would use for a generic query
     seeds = np.unique(
         np.asarray(
@@ -115,10 +107,7 @@ def load_index(path: str | Path) -> StaticGraphIndex:
         seeds = archive["seeds"]
         source = str(archive["algorithm"])
         deleted = archive["deleted"] if "deleted" in archive.files else None
-    n = len(offsets) - 1
-    lists = [
-        neighbors[offsets[v]:offsets[v + 1]].tolist() for v in range(n)
-    ]
     return StaticGraphIndex(
-        data, Graph(n, lists), seeds, source=source, deleted=deleted
+        data, Graph.from_csr(offsets, neighbors), seeds,
+        source=source, deleted=deleted,
     )

@@ -259,24 +259,24 @@ class BenchmarkAlgorithm(GraphANNS):
 
     # -- C7 -----------------------------------------------------------------
 
-    def _route(self, query, seeds, ef, counter) -> SearchResult:
+    def _route(self, query, seeds, ef, counter, ctx=None) -> SearchResult:
         if self.c7 == "ngt":
             return range_search(
                 self.graph, self.data, query, seeds, ef, counter,
-                epsilon=self.epsilon,
+                epsilon=self.epsilon, ctx=ctx,
             )
         if self.c7 == "fanng":
             return backtracking_search(
-                self.graph, self.data, query, seeds, ef, counter
+                self.graph, self.data, query, seeds, ef, counter, ctx=ctx
             )
         if self.c7 == "hcnng":
             return guided_search(
-                self.graph, self.data, query, seeds, ef, counter
+                self.graph, self.data, query, seeds, ef, counter, ctx=ctx
             )
         if self.c7 == "oa":
             return two_stage_search(
-                self.graph, self.data, query, seeds, ef, counter
+                self.graph, self.data, query, seeds, ef, counter, ctx=ctx
             )
         return best_first_search(
-            self.graph, self.data, query, seeds, ef, counter
+            self.graph, self.data, query, seeds, ef, counter, ctx=ctx
         )

@@ -80,3 +80,98 @@ class TestBatchSearch:
         result = batch_search(index, ds.queries, k=10, ef=40)
         assert result.qps > 0
         assert result.mean_hops > 0
+
+
+class TestSearchBatch:
+    """The worker-pool engine must be indistinguishable from a
+    sequential ``index.search`` loop, telemetry included."""
+
+    def _sequential(self, index, queries, k, ef):
+        ids, dists, ndc, hops, visited = [], [], [], [], []
+        for query in queries:
+            r = index.search(query, k=k, ef=ef)
+            ids.append(np.pad(r.ids, (0, k - len(r.ids)), constant_values=-1))
+            dists.append(
+                np.pad(r.dists.astype(float), (0, k - len(r.dists)),
+                       constant_values=np.inf)
+            )
+            ndc.append(r.ndc)
+            hops.append(r.hops)
+            visited.append(r.visited)
+        return (np.stack(ids), np.stack(dists), np.asarray(ndc),
+                np.asarray(hops), np.asarray(visited))
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_matches_sequential_loop(self, world, workers):
+        from repro.batch import search_batch
+
+        ds, index = world
+        seq = self._sequential(index, ds.queries, k=10, ef=40)
+        got = search_batch(index, ds.queries, k=10, ef=40, workers=workers)
+        np.testing.assert_array_equal(got.ids, seq[0])
+        np.testing.assert_array_equal(got.dists, seq[1])
+        np.testing.assert_array_equal(got.ndc, seq[2])
+        np.testing.assert_array_equal(got.hops, seq[3])
+        np.testing.assert_array_equal(got.visited, seq[4])
+        assert got.workers == workers
+        assert got.qps > 0
+
+    def test_default_route_native_chunk(self):
+        """kgraph routes with the stock best-first search, so its chunks
+        take the one-native-call fast path; results must still match a
+        sequential loop drawing the same seeds."""
+        from repro.batch import search_batch
+        from repro.components.seeding import RandomSeeds
+
+        ds = make_clustered(16, 500, 5, 4.0, num_queries=15, gt_depth=20, seed=3)
+        index = create("kgraph", k=8, seed=0)
+        index.build(ds.base)
+        # stateful provider: give both runs identical RNG streams
+        index.seed_provider = RandomSeeds(count=6, seed=11)
+        index.seed_provider.prepare(index.data, index.graph)
+        seq = self._sequential(index, ds.queries, k=5, ef=30)
+        index.seed_provider = RandomSeeds(count=6, seed=11)
+        index.seed_provider.prepare(index.data, index.graph)
+        got = search_batch(index, ds.queries, k=5, ef=30, workers=4)
+        np.testing.assert_array_equal(got.ids, seq[0])
+        np.testing.assert_array_equal(got.dists, seq[1])
+        np.testing.assert_array_equal(got.ndc, seq[2])
+        np.testing.assert_array_equal(got.hops, seq[3])
+        np.testing.assert_array_equal(got.visited, seq[4])
+
+    def test_tombstones_filtered(self, world):
+        from repro.batch import search_batch
+
+        ds, index = world
+        baseline = search_batch(index, ds.queries[:5], k=10, ef=40)
+        victim = int(baseline.ids[0][0])
+        index.delete(victim)
+        try:
+            got = search_batch(index, ds.queries[:5], k=10, ef=40, workers=2)
+            assert victim not in got.ids
+        finally:
+            index._deleted[victim] = False
+
+    def test_per_query_telemetry_is_lossless(self, world):
+        from repro.batch import search_batch
+
+        ds, index = world
+        got = search_batch(index, ds.queries, k=10, ef=40, workers=2)
+        assert got.ndc.shape == (len(ds.queries),)
+        assert (got.ndc > 0).all() and (got.hops > 0).all()
+        assert got.total_ndc == got.ndc.sum()
+        assert got.mean_hops == pytest.approx(got.hops.mean())
+
+    def test_unbuilt_rejected(self):
+        from repro.batch import search_batch
+
+        with pytest.raises(RuntimeError):
+            search_batch(create("hnsw"), np.zeros((2, 4), dtype=np.float32))
+
+    def test_empty_batch(self, world):
+        from repro.batch import search_batch
+
+        ds, index = world
+        got = search_batch(index, np.zeros((0, ds.dim), dtype=np.float32), k=5)
+        assert got.ids.shape == (0, 5)
+        assert got.total_ndc == 0

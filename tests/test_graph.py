@@ -128,3 +128,56 @@ class TestPaddedMatrix:
 
     def test_empty_graph(self):
         assert Graph(3).to_padded_matrix().shape == (3, 0)
+
+
+class TestCSR:
+    def test_csr_layout(self):
+        g = Graph(4, [[1, 2], [3], [], [0]])
+        indptr, indices = g.csr()
+        np.testing.assert_array_equal(indptr, [0, 2, 3, 3, 4])
+        np.testing.assert_array_equal(indices, [1, 2, 3, 0])
+        assert indptr.dtype == np.int32 and indices.dtype == np.int32
+
+    def test_neighbor_array_is_zero_copy_view(self):
+        g = Graph(3, [[1, 2], [0], []]).finalize()
+        view = g.neighbor_array(0)
+        assert view.base is g.csr()[1]
+
+    def test_from_csr_roundtrip(self):
+        g = Graph(5, [[1, 4], [2], [3, 0], [], [0, 1, 2]])
+        h = Graph.from_csr(*g.csr())
+        assert h.n == g.n
+        assert h.edge_set() == g.edge_set()
+        assert h.finalized
+
+    def test_from_csr_lazy_lists_on_mutation(self):
+        g = Graph.from_csr(np.asarray([0, 1, 1]), np.asarray([1]))
+        assert g.finalized
+        g.add_edge(1, 0)
+        assert not g.finalized
+        assert g.neighbors(1) == [0]
+        assert g.edge_set() == {(0, 1), (1, 0)}
+
+    def test_from_csr_validates(self):
+        with pytest.raises(ValueError):
+            Graph.from_csr(np.asarray([1, 2]), np.asarray([0]))  # not 0-based
+        with pytest.raises(ValueError):
+            Graph.from_csr(np.asarray([0, 2, 1]), np.asarray([0, 1]))  # decreasing
+        with pytest.raises(ValueError):
+            Graph.from_csr(np.asarray([0, 3]), np.asarray([0]))  # length mismatch
+        with pytest.raises(ValueError):
+            Graph.from_csr(np.asarray([0, 1]), np.asarray([5]))  # id out of range
+
+    def test_stats_from_csr(self):
+        g = Graph.from_csr(np.asarray([0, 2, 3, 3]), np.asarray([1, 2, 0]))
+        assert g.num_edges == 3
+        assert g.max_out_degree == 2
+        assert g.min_out_degree == 0
+        assert g.average_out_degree == 1.0
+
+    def test_copy_preserves_frozen_layout(self):
+        g = Graph.from_csr(np.asarray([0, 1, 2]), np.asarray([1, 0]))
+        h = g.copy()
+        assert h.finalized
+        h.add_edge(0, 1)  # no-op (already present) keeps arrays valid
+        assert g.edge_set() == h.edge_set()

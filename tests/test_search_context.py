@@ -1,0 +1,165 @@
+"""Property tests: the CSR/SearchContext hot path vs a reference search.
+
+The reference implementation below is the textbook best-first search
+(Algorithm 1 / Definition 4.7) written with plain heaps and a boolean
+visited set — no context reuse, no epoch stamps, no native kernel.  It
+shares exactly one thing with the production path: the squared-distance
+funnel :func:`repro.distance.sq_dists_to_rows`, so floating-point
+values are comparable bit for bit.  Every telemetry channel must match:
+ids, dists, NDC, hops, visited.
+"""
+
+import heapq
+
+import numpy as np
+import pytest
+
+from repro.components.context import SearchContext
+from repro.components.routing import best_first_search
+from repro.distance import DistanceCounter, sq_dists_to_rows, squared_norms
+from repro.graphs.graph import Graph
+
+
+def reference_best_first(graph, data, query, seeds, ef):
+    """Pure-Python Definition 4.7, kept deliberately naive."""
+    norms = squared_norms(data)
+    query64 = np.ascontiguousarray(query, dtype=np.float64)
+    query_sq = float(np.dot(query64, query64))
+    visited = np.zeros(graph.n, dtype=bool)
+    candidates: list[tuple[float, int]] = []
+    results: list[tuple[float, int]] = []
+    ndc = hops = seen = 0
+
+    def offer(ids):
+        nonlocal ndc, seen
+        ids = ids[~visited[ids]]
+        if len(ids) == 0:
+            return
+        visited[ids] = True
+        sq = sq_dists_to_rows(query64, data[ids], norms[ids], query_sq)
+        ndc += len(ids)
+        seen += len(ids)
+        for idx, value in zip(ids.tolist(), sq.tolist()):
+            if len(results) < ef:
+                heapq.heappush(results, (-value, idx))
+                heapq.heappush(candidates, (value, idx))
+            elif value < -results[0][0]:
+                heapq.heapreplace(results, (-value, idx))
+                heapq.heappush(candidates, (value, idx))
+
+    offer(np.unique(np.asarray(seeds, dtype=np.int64)))
+    while candidates:
+        sq, u = heapq.heappop(candidates)
+        if len(results) == ef and sq > -results[0][0]:
+            break
+        hops += 1
+        offer(np.asarray(graph.neighbor_array(u), dtype=np.int64))
+
+    ordered = sorted((-negsq, idx) for negsq, idx in results)
+    ids = np.asarray([idx for _, idx in ordered], dtype=np.int64)
+    dists = np.sqrt(np.asarray([sq for sq, _ in ordered]))
+    return ids, dists, ndc, hops, seen
+
+
+def random_world(seed, n=300, d=8, degree=6):
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal((n, d)).astype(np.float32)
+    lists = [
+        rng.choice(n, size=degree, replace=False).tolist() for _ in range(n)
+    ]
+    graph = Graph(n, lists)
+    graph.finalize()
+    return rng, data, graph
+
+
+class TestHotPathMatchesReference:
+    @pytest.mark.parametrize("world_seed", range(8))
+    def test_random_graphs_random_queries(self, world_seed):
+        rng, data, graph = random_world(world_seed)
+        ctx = SearchContext(data)
+        for trial in range(5):
+            query = rng.standard_normal(data.shape[1]).astype(np.float32)
+            seeds = rng.choice(graph.n, size=4, replace=False)
+            ef = int(rng.integers(1, 50))
+            counter = DistanceCounter()
+            got = best_first_search(
+                graph, data, query, seeds, ef, counter, ctx=ctx
+            )
+            ids, dists, ndc, hops, seen = reference_best_first(
+                graph, data, query, seeds, ef
+            )
+            np.testing.assert_array_equal(got.ids, ids)
+            np.testing.assert_array_equal(got.dists, dists)
+            assert counter.count == ndc
+            assert got.ndc == ndc
+            assert got.hops == hops
+            assert got.visited == seen
+
+    def test_context_reuse_does_not_leak_state(self):
+        """Back-to-back queries through one context match fresh searches."""
+        rng, data, graph = random_world(99)
+        ctx = SearchContext(data)
+        queries = rng.standard_normal((10, data.shape[1])).astype(np.float32)
+        for query in queries:
+            got = best_first_search(
+                graph, data, query, np.asarray([0, 1]), 20, ctx=ctx
+            )
+            ids, dists, ndc, hops, seen = reference_best_first(
+                graph, data, query, np.asarray([0, 1]), 20
+            )
+            np.testing.assert_array_equal(got.ids, ids)
+            assert (got.ndc, got.hops, got.visited) == (ndc, hops, seen)
+
+    def test_transient_context_matches_reuse(self):
+        """ctx=None (fresh scratch) and a reused context agree exactly."""
+        rng, data, graph = random_world(5)
+        ctx = SearchContext(data)
+        for _ in range(5):
+            query = rng.standard_normal(data.shape[1]).astype(np.float32)
+            with_ctx = best_first_search(
+                graph, data, query, np.asarray([3]), 25, ctx=ctx
+            )
+            without = best_first_search(graph, data, query, np.asarray([3]), 25)
+            np.testing.assert_array_equal(with_ctx.ids, without.ids)
+            np.testing.assert_array_equal(with_ctx.dists, without.dists)
+            assert with_ctx.hops == without.hops
+
+    def test_unfinalized_graph_matches_reference(self):
+        """The list-of-lists (Python) path obeys the same contract."""
+        rng, data, graph = random_world(17)
+        mutable = graph.copy()
+        mutable.add_edge(0, 99)  # drops back to list storage
+        assert not mutable.finalized
+        query = rng.standard_normal(data.shape[1]).astype(np.float32)
+        counter = DistanceCounter()
+        got = best_first_search(
+            mutable, data, query, np.asarray([7, 8]), 30, counter
+        )
+        ids, dists, ndc, hops, seen = reference_best_first(
+            mutable, data, query, np.asarray([7, 8]), 30
+        )
+        np.testing.assert_array_equal(got.ids, ids)
+        np.testing.assert_array_equal(got.dists, dists)
+        assert (counter.count, got.hops, got.visited) == (ndc, hops, seen)
+
+    def test_tied_distances_duplicate_rows(self):
+        """Exact distance ties (duplicated points) order identically."""
+        rng = np.random.default_rng(3)
+        base = rng.standard_normal((40, 4)).astype(np.float32)
+        data = np.ascontiguousarray(np.vstack([base, base]))  # every point twice
+        n = len(data)
+        lists = [rng.choice(n, size=5, replace=False).tolist() for _ in range(n)]
+        graph = Graph(n, lists)
+        graph.finalize()
+        ctx = SearchContext(data)
+        for _ in range(5):
+            query = rng.standard_normal(4).astype(np.float32)
+            got = best_first_search(
+                graph, data, query, np.asarray([0, 40]), 15, ctx=ctx
+            )
+            ids, dists, ndc, hops, seen = reference_best_first(
+                graph, data, query, np.asarray([0, 40]), 15
+            )
+            np.testing.assert_array_equal(got.ids, ids)
+            np.testing.assert_array_equal(got.dists, dists)
+            assert (got.ndc, got.hops, got.visited) == (ndc, hops, seen)
