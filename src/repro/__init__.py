@@ -20,6 +20,15 @@ from repro.advisor import Scenario, recommend, recommend_for_data
 from repro.algorithms import ALGORITHMS, ALL_ALGORITHMS, GraphANNS, create, info
 from repro.datasets import Dataset, load_dataset, available_datasets, make_clustered
 from repro.distance import DistanceCounter
+from repro.resilience import (
+    BudgetReport,
+    IndexFormatError,
+    IndexIntegrityError,
+    IntegrityReport,
+    InvalidQueryError,
+    QueryBudget,
+    verify_index,
+)
 
 __version__ = "1.0.0"
 
@@ -37,5 +46,12 @@ __all__ = [
     "Scenario",
     "recommend",
     "recommend_for_data",
+    "QueryBudget",
+    "BudgetReport",
+    "InvalidQueryError",
+    "IndexFormatError",
+    "IndexIntegrityError",
+    "IntegrityReport",
+    "verify_index",
     "__version__",
 ]

@@ -18,8 +18,10 @@ Compilation happens once per interpreter on first import: the source is
 written next to this file and built with the system C compiler into
 ``_native_build/`` (git-ignored, keyed by a source hash).  Anything
 going wrong — no compiler, read-only package dir, loading failure —
-degrades silently to ``LIB = None`` and the NumPy implementations take
-over.  No third-party packages are involved.
+degrades to ``LIB = None`` with a one-time ``RuntimeWarning`` (the
+reason is kept in ``LOAD_ERROR``) and the NumPy implementations take
+over; setting ``REPRO_NO_NATIVE`` opts out silently.  No third-party
+packages are involved.
 """
 
 from __future__ import annotations
@@ -143,26 +145,34 @@ static void res_push(double *hd, int32_t *hi, int64_t *len,
     hd[k] = d; hi[k] = id;
 }
 
-/* -- best-first search (Algorithm 1 / Definition 4.7) --------------- */
+/* -- best-first search (Algorithm 1 / Definition 4.7) ---------------
+   max_ndc / max_hops implement the QueryBudget caps: a negative value
+   means unlimited, in which case every budget branch below is dead and
+   the loop is byte-for-byte the unbudgeted Algorithm 1.  When a cap
+   fires the search stops where it stands and the current result heap
+   is returned as a degraded best-k; stats[3] records which cap fired
+   (0 none, 1 ndc, 2 hops) so Python can attach a BudgetReport. */
 
 int64_t best_first(
     const float *data, int64_t n, int64_t d, const double *norms,
     const int32_t *indptr, const int32_t *indices,
     const double *q, double qsq,
     const int64_t *seeds, int64_t nseeds, int64_t ef,
+    int64_t max_ndc, int64_t max_hops,
     int64_t *visit_gen, int64_t gen,
     double *cd, int32_t *ci,          /* candidate heap, capacity n  */
     double *rd, int32_t *ri,          /* result heap, capacity ef    */
     int32_t *out_ids, double *out_sq, /* capacity ef                 */
-    int64_t *stats)                   /* {ndc, hops, visited}        */
+    int64_t *stats)                   /* {ndc, hops, visited, fired} */
 {
     int64_t clen = 0, rlen = 0;
-    int64_t ndc = 0, hops = 0;
+    int64_t ndc = 0, hops = 0, fired = 0;
     (void)n;
 
     for (int64_t s = 0; s < nseeds; s++) {
         int64_t v = seeds[s];
         if (visit_gen[v] == gen) continue;
+        if (max_ndc >= 0 && ndc >= max_ndc) { fired = 1; break; }
         visit_gen[v] = gen;
         double sq = sq_dist(data + v * d, q, d, qsq, norms[v]);
         ndc++;
@@ -175,7 +185,9 @@ int64_t best_first(
         }
     }
 
-    while (clen > 0) {
+    while (clen > 0 && !fired) {
+        if (max_hops >= 0 && hops >= max_hops) { fired = 2; break; }
+        if (max_ndc >= 0 && ndc >= max_ndc) { fired = 1; break; }
         double du; int32_t u;
         cand_pop(cd, ci, &clen, &du, &u);
         if (rlen == ef && du > rd[0]) break;
@@ -184,6 +196,7 @@ int64_t best_first(
         for (int64_t k = indptr[u]; k < stop; k++) {
             int32_t v = indices[k];
             if (visit_gen[v] == gen) continue;
+            if (max_ndc >= 0 && ndc >= max_ndc) { fired = 1; break; }
             visit_gen[v] = gen;
             double sq = sq_dist(data + (int64_t)v * d, q, d, qsq, norms[v]);
             ndc++;
@@ -213,7 +226,7 @@ int64_t best_first(
         out_sq[j + 1] = dv; out_ids[j + 1] = iv;
     }
 
-    stats[0] = ndc; stats[1] = hops; stats[2] = ndc;
+    stats[0] = ndc; stats[1] = hops; stats[2] = ndc; stats[3] = fired;
     return rlen;
 }
 
@@ -222,6 +235,7 @@ void best_first_batch(
     const int32_t *indptr, const int32_t *indices,
     const double *queries, const double *qsqs, int64_t nq,
     const int64_t *seed_indptr, const int64_t *seeds, int64_t ef,
+    const int64_t *max_ndcs, int64_t max_hops,
     int64_t *visit_gen, int64_t gen,
     double *cd, int32_t *ci, double *rd, int32_t *ri,
     int32_t *out_ids, double *out_sq, int64_t *out_len,
@@ -232,8 +246,8 @@ void best_first_batch(
             data, n, d, norms, indptr, indices,
             queries + i * d, qsqs[i],
             seeds + seed_indptr[i], seed_indptr[i + 1] - seed_indptr[i],
-            ef, visit_gen, gen + i, cd, ci, rd, ri,
-            out_ids + i * ef, out_sq + i * ef, stats + i * 3);
+            ef, max_ndcs[i], max_hops, visit_gen, gen + i, cd, ci, rd, ri,
+            out_ids + i * ef, out_sq + i * ef, stats + i * 4);
     }
 }
 """
@@ -244,9 +258,15 @@ _PF64 = np.ctypeslib.ndpointer(np.float64, flags="C_CONTIGUOUS")
 _PI32 = np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS")
 _PI64 = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
 
+#: why the native kernel is unavailable (None when LIB loaded, or the
+#: deliberate-opt-out/compile/load failure reason otherwise)
+LOAD_ERROR: str | None = None
+
 
 def _build_library() -> ctypes.CDLL | None:
+    global LOAD_ERROR
     if os.environ.get("REPRO_NO_NATIVE"):
+        LOAD_ERROR = "disabled via REPRO_NO_NATIVE"
         return None
     digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
     build_dir = os.path.join(os.path.dirname(__file__), "_native_build")
@@ -267,12 +287,18 @@ def _build_library() -> ctypes.CDLL | None:
             )
             os.unlink(src_path)
             if result.returncode != 0:
+                LOAD_ERROR = (
+                    f"{compiler} failed with code {result.returncode}: "
+                    + result.stderr.decode(errors="replace")[:500]
+                )
                 return None
-        except (OSError, subprocess.SubprocessError):
+        except (OSError, subprocess.SubprocessError) as exc:
+            LOAD_ERROR = f"compilation failed: {exc}"
             return None
     try:
         lib = ctypes.CDLL(so_path)
-    except OSError:
+    except OSError as exc:
+        LOAD_ERROR = f"could not load {so_path}: {exc}"
         return None
     lib.sq_dists_to_rows.argtypes = [
         _PF32, _I64, _I64, _PF64, ctypes.c_double, _PF64, _PF64,
@@ -280,20 +306,33 @@ def _build_library() -> ctypes.CDLL | None:
     lib.sq_dists_to_rows.restype = None
     lib.best_first.argtypes = [
         _PF32, _I64, _I64, _PF64, _PI32, _PI32, _PF64, ctypes.c_double,
-        _PI64, _I64, _I64, _PI64, _I64,
+        _PI64, _I64, _I64, _I64, _I64, _PI64, _I64,
         _PF64, _PI32, _PF64, _PI32, _PI32, _PF64, _PI64,
     ]
     lib.best_first.restype = _I64
     lib.best_first_batch.argtypes = [
         _PF32, _I64, _I64, _PF64, _PI32, _PI32, _PF64, _PF64, _I64,
-        _PI64, _PI64, _I64, _PI64, _I64,
+        _PI64, _PI64, _I64, _PI64, _I64, _PI64, _I64,
         _PF64, _PI32, _PF64, _PI32, _PI32, _PF64, _PI64, _PI64,
     ]
     lib.best_first_batch.restype = None
+    LOAD_ERROR = None
     return lib
 
 
 LIB = _build_library()
+
+if LIB is None and not os.environ.get("REPRO_NO_NATIVE"):
+    # Degrading to NumPy is safe (identical results, slower), but a
+    # production operator should know it happened — warn exactly once.
+    import warnings
+
+    warnings.warn(
+        f"repro: native search kernel unavailable ({LOAD_ERROR}); "
+        "falling back to the pure-NumPy implementation",
+        RuntimeWarning,
+        stacklevel=2,
+    )
 
 
 def sq_dists_to_rows(
@@ -311,22 +350,25 @@ def sq_dists_to_rows(
     return out
 
 
-def best_first(ctx, graph, query64, query_sq, seeds, ef):
+def best_first(ctx, graph, query64, query_sq, seeds, ef,
+               max_ndc=-1, max_hops=-1):
     """Run the whole best-first search in C against a frozen CSR graph.
 
     ``ctx`` is a :class:`repro.components.context.SearchContext` whose
-    scratch buffers (epoch array, heaps) this call borrows.  Returns
-    ``(ids, sq_dists, ndc, hops, visited)``.
+    scratch buffers (epoch array, heaps) this call borrows.  Negative
+    ``max_ndc`` / ``max_hops`` mean unlimited (QueryBudget caps).
+    Returns ``(ids, sq_dists, ndc, hops, visited, budget_fired)`` where
+    ``budget_fired`` is ``None``, ``"ndc"`` or ``"hops"``.
     """
     indptr, indices = graph.csr()
     cd, ci, rd, ri = ctx.native_scratch(ef)
     out_ids = np.empty(ef, dtype=np.int32)
     out_sq = np.empty(ef, dtype=np.float64)
-    stats = np.empty(3, dtype=np.int64)
+    stats = np.empty(4, dtype=np.int64)
     rlen = LIB.best_first(
         ctx.data, len(ctx.data), ctx.data.shape[1], ctx.norms_sq,
         indptr, indices, query64, query_sq,
-        seeds, len(seeds), ef,
+        seeds, len(seeds), ef, max_ndc, max_hops,
         ctx.visit_gen, ctx.generation,
         cd, ci, rd, ri, out_ids, out_sq, stats,
     )
@@ -334,26 +376,35 @@ def best_first(ctx, graph, query64, query_sq, seeds, ef):
         out_ids[:rlen].astype(np.int64),
         out_sq[:rlen],
         int(stats[0]), int(stats[1]), int(stats[2]),
+        _FIRED_LABELS[int(stats[3])],
     )
 
 
-def best_first_batch(ctx, graph, queries64, qsqs, seed_indptr, seeds, ef):
+_FIRED_LABELS = {0: None, 1: "ndc", 2: "hops"}
+
+
+def best_first_batch(ctx, graph, queries64, qsqs, seed_indptr, seeds, ef,
+                     max_ndcs=None, max_hops=-1):
     """Batch counterpart of :func:`best_first`: one C call per chunk.
 
     Consumes ``len(queries64)`` visited generations from ``ctx`` and
-    returns ``(ids, sq, lengths, stats)`` with rows padded to ``ef``.
+    returns ``(ids, sq, lengths, stats)`` with rows padded to ``ef``;
+    ``stats`` columns are {ndc, hops, visited, budget_fired_code}.
+    ``max_ndcs`` is a per-query int64 NDC cap array (-1 = unlimited).
     """
     indptr, indices = graph.csr()
     cd, ci, rd, ri = ctx.native_scratch(ef)
     nq = len(queries64)
+    if max_ndcs is None:
+        max_ndcs = np.full(nq, -1, dtype=np.int64)
     out_ids = np.empty((nq, ef), dtype=np.int32)
     out_sq = np.empty((nq, ef), dtype=np.float64)
     out_len = np.empty(nq, dtype=np.int64)
-    stats = np.empty((nq, 3), dtype=np.int64)
+    stats = np.empty((nq, 4), dtype=np.int64)
     LIB.best_first_batch(
         ctx.data, len(ctx.data), ctx.data.shape[1], ctx.norms_sq,
         indptr, indices, queries64, qsqs, nq,
-        seed_indptr, seeds, ef,
+        seed_indptr, seeds, ef, max_ndcs, max_hops,
         ctx.visit_gen, ctx.generation + 1,
         cd, ci, rd, ri, out_ids, out_sq, out_len, stats,
     )

@@ -19,6 +19,7 @@ from repro.components.routing import SearchResult, best_first_search
 from repro.components.seeding import RandomSeeds, SeedProvider
 from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
+from repro.resilience import InvalidQueryError, QueryBudget, validate_query
 
 __all__ = ["BuildReport", "BatchStats", "GraphANNS"]
 
@@ -152,20 +153,32 @@ class GraphANNS:
         k: int = 10,
         ef: int | None = None,
         counter: DistanceCounter | None = None,
+        budget: QueryBudget | None = None,
     ) -> SearchResult:
         """Approximate k nearest neighbors for one query.
 
         ``ef`` is the candidate-set size (CS); seed-acquisition distance
-        evaluations are included in the reported NDC.
+        evaluations are included in the reported NDC.  Malformed
+        queries (wrong dtype/shape/dimension, NaN/Inf) raise
+        :class:`InvalidQueryError` before touching the index.  With a
+        :class:`QueryBudget`, a search that hits a limit returns its
+        current best-k flagged ``degraded=True`` instead of raising;
+        seed-acquisition NDC is charged against ``budget.max_ndc`` so
+        the reported total never exceeds the cap.
         """
         self._require_built()
+        reason = validate_query(query, self.data.shape[1])
+        if reason is not None:
+            raise InvalidQueryError(f"{self.name}: {reason}")
         ef = max(k, ef if ef is not None else self.default_ef)
         counter = counter if counter is not None else DistanceCounter()
         start = counter.count
         seeds = self.seed_provider.acquire(query, counter)
+        if budget is not None:
+            budget = budget.after_spending(counter.count - start)
         result = self._route(
             query, np.asarray(seeds, dtype=np.int64), ef, counter,
-            ctx=self._context(),
+            ctx=self._context(), budget=budget,
         )
         result.ndc = counter.count - start
         if self.num_deleted and len(result.ids):
@@ -183,10 +196,12 @@ class GraphANNS:
         ef: int,
         counter: DistanceCounter,
         ctx: SearchContext | None = None,
+        budget: QueryBudget | None = None,
     ) -> SearchResult:
         """Default C7: best-first search; algorithms override as needed."""
         return best_first_search(
-            self.graph, self.data, query, seeds, ef, counter, ctx=ctx
+            self.graph, self.data, query, seeds, ef, counter, ctx=ctx,
+            budget=budget,
         )
 
     def batch_search(

@@ -53,8 +53,8 @@ class FANNG(GraphANNS):
             graph.set_neighbors(p, selected)
         self.graph = graph
 
-    def _route(self, query, seeds, ef, counter, ctx=None):
+    def _route(self, query, seeds, ef, counter, ctx=None, budget=None):
         return backtracking_search(
             self.graph, self.data, query, seeds, ef, counter,
-            backtracks=self.backtracks, ctx=ctx,
+            backtracks=self.backtracks, ctx=ctx, budget=budget,
         )

@@ -70,7 +70,8 @@ class HCNNG(GraphANNS):
             graph.set_neighbors(v, [u for _, u in incident[: self.max_degree]])
         self.graph = graph
 
-    def _route(self, query, seeds, ef, counter, ctx=None) -> SearchResult:
+    def _route(self, query, seeds, ef, counter, ctx=None, budget=None) -> SearchResult:
         return guided_search(
-            self.graph, self.data, query, seeds, ef, counter, ctx=ctx
+            self.graph, self.data, query, seeds, ef, counter, ctx=ctx,
+            budget=budget,
         )

@@ -172,15 +172,22 @@ class HNSW(GraphANNS):
         ef: int,
         counter: DistanceCounter,
         ctx=None,
+        budget=None,
     ) -> SearchResult:
         entry = int(seeds[0])
         hops = 0
+        descent_start = counter.count
         for layer in range(self.max_level, 0, -1):
             entry = self._greedy_step(layer, entry, query, counter)
             hops += 1
+        if budget is not None:
+            # the upper-layer descent spent NDC too; charge it so the
+            # base-layer search cannot blow the per-query cap
+            budget = budget.after_spending(counter.count - descent_start)
         result = best_first_search(
             self.graph, self.data, query,
             np.asarray([entry], dtype=np.int64), ef, counter, ctx=ctx,
+            budget=budget,
         )
         result.hops += hops
         return result

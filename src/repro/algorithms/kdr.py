@@ -57,11 +57,11 @@ class KDR(GraphANNS):
             pruned.add_edge(v, u)
         self.graph = pruned
 
-    def _route(self, query, seeds, ef, counter, ctx=None) -> SearchResult:
+    def _route(self, query, seeds, ef, counter, ctx=None, budget=None) -> SearchResult:
         # the paper lists "BFS or RS" for k-DR (Table 9)
         if self.routing == "rs":
             return range_search(
                 self.graph, self.data, query, seeds, ef, counter,
-                epsilon=self.epsilon, ctx=ctx,
+                epsilon=self.epsilon, ctx=ctx, budget=budget,
             )
-        return super()._route(query, seeds, ef, counter, ctx=ctx)
+        return super()._route(query, seeds, ef, counter, ctx=ctx, budget=budget)

@@ -70,10 +70,10 @@ class _NGTBase(GraphANNS):
             inserted.append(p)
         return graph
 
-    def _route(self, query, seeds, ef, counter, ctx=None) -> SearchResult:
+    def _route(self, query, seeds, ef, counter, ctx=None, budget=None) -> SearchResult:
         return range_search(
             self.graph, self.data, query, seeds, ef, counter,
-            epsilon=self.epsilon, ctx=ctx,
+            epsilon=self.epsilon, ctx=ctx, budget=budget,
         )
 
 

@@ -76,7 +76,8 @@ class OptimizedAlgorithm(GraphANNS):
         self.graph = graph
         self.seed_provider = FixedSeeds(entries)
 
-    def _route(self, query, seeds, ef, counter, ctx=None) -> SearchResult:
+    def _route(self, query, seeds, ef, counter, ctx=None, budget=None) -> SearchResult:
         return two_stage_search(
-            self.graph, self.data, query, seeds, ef, counter, ctx=ctx
+            self.graph, self.data, query, seeds, ef, counter, ctx=ctx,
+            budget=budget,
         )

@@ -114,7 +114,7 @@ class _SPTAGBase(GraphANNS):
         )
         return result.ids, result.dists
 
-    def _route(self, query, seeds, ef, counter, ctx=None) -> SearchResult:
+    def _route(self, query, seeds, ef, counter, ctx=None, budget=None) -> SearchResult:
         provider = self.seed_provider
 
         def batches(restart: int) -> np.ndarray:
@@ -124,7 +124,7 @@ class _SPTAGBase(GraphANNS):
 
         return iterated_search(
             self.graph, self.data, query, batches, ef, counter,
-            max_restarts=self.max_restarts, ctx=ctx,
+            max_restarts=self.max_restarts, ctx=ctx, budget=budget,
         )
 
 

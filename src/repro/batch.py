@@ -29,14 +29,15 @@ from __future__ import annotations
 import heapq
 import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import _native
+from repro import _native, faults
 from repro.algorithms.base import GraphANNS
 from repro.components.context import SearchContext
 from repro.distance import DistanceCounter, sq_dists_to_rows, squared_norms
+from repro.resilience import InvalidQueryError, QueryBudget
 
 __all__ = [
     "BatchSearchResult",
@@ -71,6 +72,12 @@ class BatchQueryResult:
     NDC (seed acquisition included, matching ``index.search``), hop and
     visited counts survive per query, so recall-vs-NDC curves computed
     from a batched run are identical to ones from a sequential loop.
+
+    Resilience telemetry: ``errors[i]`` is ``None`` for a healthy query
+    or a reason string when query ``i`` was rejected up front (NaN/Inf)
+    or failed even after the sequential retry — its result row stays
+    ``-1``/``inf`` padded.  ``degraded[i]`` marks queries cut short by
+    a :class:`QueryBudget` (their rows hold the best-k found so far).
     """
 
     ids: np.ndarray          # (Q, k) int64, -1-padded
@@ -80,6 +87,8 @@ class BatchQueryResult:
     visited: np.ndarray      # (Q,) int64
     elapsed_s: float
     workers: int
+    errors: list = field(default_factory=list)       # (Q,) str | None
+    degraded: np.ndarray = None                      # (Q,) bool
 
     @property
     def qps(self) -> float:
@@ -93,6 +102,14 @@ class BatchQueryResult:
     @property
     def mean_hops(self) -> float:
         return float(self.hops.mean()) if len(self.hops) else 0.0
+
+    @property
+    def num_errors(self) -> int:
+        return sum(1 for e in self.errors if e is not None)
+
+    @property
+    def num_degraded(self) -> int:
+        return 0 if self.degraded is None else int(self.degraded.sum())
 
 
 class _QueryState:
@@ -211,7 +228,7 @@ def batched_best_first_search(
         ids=ids,
         dists=out_dists,
         total_ndc=counter.count - start_ndc,
-        mean_hops=float(np.mean([s.hops for s in states])),
+        mean_hops=float(np.mean([s.hops for s in states])) if states else 0.0,
         elapsed_s=time.perf_counter() - started,
     )
 
@@ -244,7 +261,8 @@ def _uses_default_route(index: GraphANNS) -> bool:
     return type(index)._route is GraphANNS._route
 
 
-def _chunk_native(index, ctx, queries, seed_lists, chunk, ef):
+def _chunk_native(index, ctx, queries, seed_lists, chunk, ef,
+                  max_ndcs=None, max_hops=-1):
     """One native kernel call for a whole chunk of queries."""
     queries64 = np.ascontiguousarray(queries[chunk], dtype=np.float64)
     # per-row np.dot to match SearchContext.begin_query bit for bit
@@ -260,7 +278,8 @@ def _chunk_native(index, ctx, queries, seed_lists, chunk, ef):
         np.concatenate(uniq) if uniq else np.empty(0, dtype=np.int64)
     ).astype(np.int64, copy=False)
     return _native.best_first_batch(
-        ctx, index.graph, queries64, qsqs, seed_indptr, seeds, ef
+        ctx, index.graph, queries64, qsqs, seed_indptr, seeds, ef,
+        max_ndcs=max_ndcs, max_hops=max_hops,
     )
 
 
@@ -270,6 +289,7 @@ def search_batch(
     k: int = 10,
     ef: int | None = None,
     workers: int = 1,
+    budget: QueryBudget | None = None,
 ) -> BatchQueryResult:
     """Answer a query batch with a pool of ``workers`` search contexts.
 
@@ -280,12 +300,35 @@ def search_batch(
     :class:`SearchContext`, and default-routing indexes process each
     chunk in a single native kernel call, eliminating the per-query
     Python overhead the sequential loop pays.
+
+    Resilience semantics:
+
+    * Queries containing NaN/Inf are rejected *individually* — their
+      rows stay ``-1``/``inf`` padded and ``result.errors[i]`` records
+      the reason; the rest of the batch is unaffected.  A batch whose
+      dtype or dimensionality is wrong as a whole still raises, since
+      no per-query result is meaningful.
+    * ``budget`` applies per query (the ``max_ndc``/``max_hops`` caps
+      are *per query*, with each query's own seed-acquisition NDC
+      charged against it).  Budget-capped queries return their best-k
+      so far with ``result.degraded[i]`` set.
+    * A worker that raises mid-chunk does not sink the batch: the chunk
+      is retried once, sequentially and in pure NumPy.  Queries that
+      still fail get ``result.errors[i]`` set instead of propagating.
     """
     if index.graph is None or index.data is None:
         raise RuntimeError("build the index before batch searching")
-    queries = np.ascontiguousarray(queries, dtype=np.float32)
+    try:
+        queries = np.ascontiguousarray(queries, dtype=np.float32)
+    except (TypeError, ValueError) as exc:
+        raise InvalidQueryError(f"query batch is not numeric: {exc}") from None
     if queries.ndim != 2:
         raise ValueError(f"queries must be 2-D, got shape {queries.shape}")
+    if queries.shape[1] != index.data.shape[1]:
+        raise InvalidQueryError(
+            f"dimension mismatch: index is {index.data.shape[1]}-d, "
+            f"queries are {queries.shape[1]}-d"
+        )
     num_queries = len(queries)
     ef = max(k, ef if ef is not None else index.default_ef)
     started = time.perf_counter()
@@ -295,19 +338,30 @@ def search_batch(
     ndc = np.zeros(num_queries, dtype=np.int64)
     hops = np.zeros(num_queries, dtype=np.int64)
     visited = np.zeros(num_queries, dtype=np.int64)
+    errors: list = [None] * num_queries
+    degraded = np.zeros(num_queries, dtype=bool)
     if num_queries == 0:
-        return BatchQueryResult(ids, dists, ndc, hops, visited, 0.0, workers)
+        return BatchQueryResult(ids, dists, ndc, hops, visited, 0.0, workers,
+                                errors=errors, degraded=degraded)
+
+    # Per-query validation: a NaN/Inf query poisons only its own row.
+    finite = np.isfinite(queries).all(axis=1)
+    for i in np.flatnonzero(~finite):
+        errors[i] = "query contains non-finite values (NaN/Inf)"
 
     # Seed acquisition stays sequential and in query order: providers
     # may be stateful (RNG draws, restart counters), and this order is
     # the one the equivalent sequential loop would have used.
-    seed_lists = []
-    for i in range(num_queries):
+    seed_lists: list = [None] * num_queries
+    for i in np.flatnonzero(finite):
         acq = DistanceCounter()
-        seed_lists.append(
-            np.asarray(index.seed_provider.acquire(queries[i], acq), dtype=np.int64)
+        seed_lists[i] = np.asarray(
+            index.seed_provider.acquire(queries[i], acq), dtype=np.int64
         )
         ndc[i] = acq.count
+    # frozen copy of the acquisition cost so a chunk retry can restore
+    # per-query state idempotently
+    acq_ndc = ndc.copy()
 
     deleted = index._deleted if index.num_deleted else None
     native_ok = (
@@ -315,7 +369,13 @@ def search_batch(
         and _native.LIB is not None
         and index.graph.finalized
         and index.graph.n > 0
+        and (budget is None or budget.native_ok)
     )
+
+    def effective_budget(i: int) -> QueryBudget | None:
+        if budget is None:
+            return None
+        return budget.after_spending(int(acq_ndc[i]))
 
     def fill_query(i: int, res_ids: np.ndarray, res_dists: np.ndarray) -> None:
         if deleted is not None:
@@ -326,15 +386,44 @@ def search_batch(
         ids[i, :m] = res_ids[:m]
         dists[i, :m] = res_dists[:m]
 
-    def run_chunk(chunk: np.ndarray) -> None:
+    def run_query_python(i: int, ctx: SearchContext) -> None:
+        plan = faults.active()
+        if plan is not None:
+            plan.before_query(i)
+        route = DistanceCounter()
+        result = index._route(
+            queries[i], seed_lists[i], ef, route, ctx=ctx,
+            budget=effective_budget(i),
+        )
+        ndc[i] = acq_ndc[i] + route.count
+        hops[i] = result.hops
+        visited[i] = result.visited
+        degraded[i] = result.degraded
+        fill_query(i, result.ids, result.dists)
+
+    def run_chunk(worker_index: int, chunk: np.ndarray) -> None:
+        plan = faults.active()
+        if plan is not None:
+            plan.before_chunk(worker_index)
         ctx = SearchContext(index.data)
         if native_ok and ctx.native:
+            max_ndcs = None
+            max_hops = -1
+            if budget is not None:
+                if budget.max_ndc is not None:
+                    max_ndcs = np.maximum(
+                        budget.max_ndc - acq_ndc[chunk], 0
+                    ).astype(np.int64)
+                if budget.max_hops is not None:
+                    max_hops = int(budget.max_hops)
             out_ids, out_sq, out_len, stats = _chunk_native(
-                index, ctx, queries, seed_lists, chunk, ef
+                index, ctx, queries, seed_lists, chunk, ef,
+                max_ndcs=max_ndcs, max_hops=max_hops,
             )
-            ndc[chunk] += stats[:, 0]
+            ndc[chunk] = acq_ndc[chunk] + stats[:, 0]
             hops[chunk] = stats[:, 1]
             visited[chunk] = stats[:, 2]
+            degraded[chunk] = stats[:, 3] > 0
             if deleted is None and int(out_len.min()) >= k:
                 ids[chunk] = out_ids[:, :k]
                 dists[chunk] = np.sqrt(out_sq[:, :k])
@@ -344,20 +433,51 @@ def search_batch(
                            np.sqrt(out_sq[pos, : out_len[pos]]))
             return
         for i in chunk:
-            route = DistanceCounter()
-            result = index._route(queries[i], seed_lists[i], ef, route, ctx=ctx)
-            ndc[i] += route.count
-            hops[i] = result.hops
-            visited[i] = result.visited
-            fill_query(i, result.ids, result.dists)
+            run_query_python(i, ctx)
+
+    def run_chunk_isolated(worker_index: int, chunk: np.ndarray) -> None:
+        """Fault isolation: a chunk whose worker raises is reset and
+        retried once, query by query, in pure NumPy; queries that still
+        fail report an error string instead of sinking the batch."""
+        if len(chunk) == 0:
+            return
+        try:
+            run_chunk(worker_index, chunk)
+            return
+        except Exception:
+            # restore whatever partial per-query state the failed
+            # attempt may have written
+            ids[chunk] = -1
+            dists[chunk] = np.inf
+            ndc[chunk] = acq_ndc[chunk]
+            hops[chunk] = 0
+            visited[chunk] = 0
+            degraded[chunk] = False
+        ctx = SearchContext(index.data)
+        ctx.native = False   # retry on the always-available NumPy path
+        for i in chunk:
+            try:
+                run_query_python(i, ctx)
+            except Exception as exc:  # persistent per-query failure
+                errors[i] = f"{type(exc).__name__}: {exc}"
+                ids[i] = -1
+                dists[i] = np.inf
+                ndc[i] = acq_ndc[i]
+                hops[i] = 0
+                visited[i] = 0
+                degraded[i] = False
 
     workers = max(1, min(int(workers), num_queries))
-    chunks = np.array_split(np.arange(num_queries), workers)
+    chunks = np.array_split(np.flatnonzero(finite), workers)
     if workers == 1:
-        run_chunk(chunks[0])
+        run_chunk_isolated(0, chunks[0])
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            for future in [pool.submit(run_chunk, c) for c in chunks]:
+            futures = [
+                pool.submit(run_chunk_isolated, w, c)
+                for w, c in enumerate(chunks)
+            ]
+            for future in futures:
                 future.result()
     return BatchQueryResult(
         ids=ids,
@@ -367,4 +487,6 @@ def search_batch(
         visited=visited,
         elapsed_s=time.perf_counter() - started,
         workers=workers,
+        errors=errors,
+        degraded=degraded,
     )

@@ -10,8 +10,6 @@ and re-expand reachability.
 
 from __future__ import annotations
 
-from collections import deque
-
 import numpy as np
 
 from repro.components.routing import best_first_search
@@ -22,16 +20,7 @@ __all__ = ["ensure_reachable_from"]
 
 
 def _reachable_from(graph: Graph, roots: np.ndarray) -> np.ndarray:
-    seen = np.zeros(graph.n, dtype=bool)
-    queue = deque(int(r) for r in roots)
-    seen[list(queue)] = True
-    while queue:
-        u = queue.popleft()
-        for v in graph.neighbors(u):
-            if not seen[v]:
-                seen[v] = True
-                queue.append(v)
-    return seen
+    return graph.reachable_mask(roots)
 
 
 def ensure_reachable_from(

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import _native
+from repro import _native, faults
 from repro.distance import sq_dists_to_rows, squared_norms
 
 __all__ = ["SearchContext"]
@@ -91,6 +91,9 @@ class SearchContext:
 
     def sq_dists(self, ids: np.ndarray) -> np.ndarray:
         """Squared distances from the current query to ``data[ids]``."""
+        plan = faults.active()
+        if plan is not None:  # fault-injection seam; None in production
+            plan.before_distances()
         return sq_dists_to_rows(
             self.query64, self.data[ids], self.norms_sq[ids], self.query_sq
         )

@@ -20,6 +20,7 @@ transient context with identical semantics.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -28,6 +29,7 @@ from repro import _native
 from repro.components.context import SearchContext
 from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
+from repro.resilience import BudgetReport, BudgetTracker, QueryBudget
 
 __all__ = [
     "SearchResult",
@@ -43,7 +45,13 @@ __all__ = [
 
 @dataclass
 class SearchResult:
-    """Ids/distances in ascending distance order, plus search telemetry."""
+    """Ids/distances in ascending distance order, plus search telemetry.
+
+    ``degraded`` marks a search cut short by a :class:`QueryBudget`:
+    the ids/dists are the best-k found so far (never invalid, never
+    silently wrong), and ``budget`` says which limit fired and what was
+    spent.  Unbudgeted searches always report ``degraded=False``.
+    """
 
     ids: np.ndarray
     dists: np.ndarray
@@ -52,9 +60,24 @@ class SearchResult:
     visited: int = 0      # vertices whose distance was evaluated
     visited_ids: np.ndarray | None = None    # set by record_visited=True
     visited_dists: np.ndarray | None = None
+    degraded: bool = False
+    budget: BudgetReport | None = None
 
     def top(self, k: int) -> np.ndarray:
         return self.ids[:k]
+
+
+def _tracker_for(budget: QueryBudget | None, counter) -> BudgetTracker | None:
+    if budget is None or budget.unlimited:
+        return None
+    return BudgetTracker(budget, counter)
+
+
+def _attach_budget(result: SearchResult, tracker: BudgetTracker | None) -> SearchResult:
+    if tracker is not None and tracker.fired is not None:
+        result.degraded = True
+        result.budget = tracker.report(result.hops)
+    return result
 
 
 def _context_for(ctx: SearchContext | None, data: np.ndarray) -> SearchContext:
@@ -73,7 +96,7 @@ class _Frontier:
     *squared* distances; :meth:`finish` converts once.
     """
 
-    __slots__ = ("ef", "ctx", "candidates", "results", "visited", "log")
+    __slots__ = ("ef", "ctx", "candidates", "results", "visited", "log", "tracker")
 
     def __init__(
         self,
@@ -81,6 +104,7 @@ class _Frontier:
         query: np.ndarray,
         ef: int,
         record_visited: bool = False,
+        tracker: BudgetTracker | None = None,
     ):
         self.ef = ef
         self.ctx = ctx
@@ -89,6 +113,7 @@ class _Frontier:
         self.results = ctx.results
         self.visited = 0
         self.log: list[tuple[float, int]] | None = [] if record_visited else None
+        self.tracker = tracker
 
     def worst(self) -> float:
         return -self.results[0][0] if len(self.results) == self.ef else np.inf
@@ -120,6 +145,8 @@ class _Frontier:
     def seed(self, seeds: np.ndarray, counter: DistanceCounter) -> None:
         seeds = np.unique(np.asarray(seeds, dtype=np.int64))
         seeds = self.ctx.fresh(seeds)
+        if self.tracker is not None:
+            seeds = self.tracker.clip(seeds)
         if len(seeds) == 0:
             return
         counter.count += len(seeds)
@@ -139,6 +166,8 @@ class _Frontier:
         if len(nbrs) == 0:
             return
         nbrs = self.ctx.fresh(nbrs)
+        if self.tracker is not None:
+            nbrs = self.tracker.clip(nbrs)
         if len(nbrs) == 0:
             return
         counter.count += len(nbrs)
@@ -165,21 +194,34 @@ def _native_best_first(
     seeds: np.ndarray,
     ef: int,
     counter: DistanceCounter,
+    budget: QueryBudget | None = None,
 ) -> SearchResult:
     """Whole-loop C fast path: identical bookkeeping, no Python frontier."""
+    started = time.perf_counter()
     ctx.begin_query(query)
     seeds = np.unique(np.asarray(seeds, dtype=np.int64))
     if len(seeds) and (seeds[0] < 0 or seeds[-1] >= graph.n):
         raise IndexError(
             f"seed ids must lie in [0, {graph.n}), got {seeds[0]}..{seeds[-1]}"
         )
-    ids, sq, ndc, hops, visited = _native.best_first(
-        ctx, graph, ctx.query64, ctx.query_sq, seeds, ef
+    max_ndc = max_hops = -1
+    if budget is not None:
+        max_ndc = -1 if budget.max_ndc is None else budget.max_ndc
+        max_hops = -1 if budget.max_hops is None else budget.max_hops
+    ids, sq, ndc, hops, visited, fired = _native.best_first(
+        ctx, graph, ctx.query64, ctx.query_sq, seeds, ef, max_ndc, max_hops
     )
     counter.count += ndc
-    return SearchResult(
+    result = SearchResult(
         ids, np.sqrt(sq), ndc=ndc, hops=hops, visited=visited
     )
+    if fired is not None:
+        result.degraded = True
+        result.budget = BudgetReport(
+            limit=fired, ndc=ndc, hops=hops,
+            elapsed_s=time.perf_counter() - started,
+        )
+    return result
 
 
 def best_first_search(
@@ -191,6 +233,7 @@ def best_first_search(
     counter: DistanceCounter | None = None,
     record_visited: bool = False,
     ctx: SearchContext | None = None,
+    budget: QueryBudget | None = None,
 ) -> SearchResult:
     """Best First Search (Algorithm 1 / Definition 4.7).
 
@@ -198,23 +241,33 @@ def best_first_search(
     Vamana.  ``ef`` is the candidate-set size ``c``.  With
     ``record_visited`` the full evaluated set is returned — builders use
     it as the candidate pool (NSG/Vamana keep every vertex the search
-    touched, which is where their long-range edges come from).
+    touched, which is where their long-range edges come from).  A
+    ``budget`` with NDC/hop caps runs natively; a wall-clock deadline
+    can only be enforced by the Python loop, so it forces the NumPy
+    path.
     """
     counter = counter if counter is not None else DistanceCounter()
     ctx = _context_for(ctx, data)
-    if ctx.native and not record_visited and graph.finalized and graph.n > 0:
-        return _native_best_first(ctx, graph, query, seeds, ef, counter)
+    if (
+        ctx.native and not record_visited and graph.finalized and graph.n > 0
+        and (budget is None or budget.native_ok)
+    ):
+        return _native_best_first(ctx, graph, query, seeds, ef, counter, budget)
     start_ndc = counter.count
-    frontier = _Frontier(ctx, query, ef, record_visited=record_visited)
+    tracker = _tracker_for(budget, counter)
+    frontier = _Frontier(ctx, query, ef, record_visited=record_visited,
+                         tracker=tracker)
     frontier.seed(seeds, counter)
     hops = 0
     while frontier.candidates:
+        if tracker is not None and tracker.stop_before_hop(hops):
+            break
         dist, u = heapq.heappop(frontier.candidates)
         if dist > frontier.worst():
             break
         hops += 1
         frontier.expand(u, graph, counter)
-    return frontier.finish(counter.count - start_ndc, hops)
+    return _attach_budget(frontier.finish(counter.count - start_ndc, hops), tracker)
 
 
 def range_search(
@@ -226,6 +279,7 @@ def range_search(
     counter: DistanceCounter | None = None,
     epsilon: float = 0.1,
     ctx: SearchContext | None = None,
+    budget: QueryBudget | None = None,
 ) -> SearchResult:
     """NGT's range search: BFS whose exploration radius is ``(1+ε)·r``.
 
@@ -236,18 +290,21 @@ def range_search(
     counter = counter if counter is not None else DistanceCounter()
     ctx = _context_for(ctx, data)
     start_ndc = counter.count
-    frontier = _Frontier(ctx, query, ef)
+    tracker = _tracker_for(budget, counter)
+    frontier = _Frontier(ctx, query, ef, tracker=tracker)
     frontier.seed(seeds, counter)
     hops = 0
     # (1+ε)·r on true distances == (1+ε)²·r² in the squared domain
     factor = (1.0 + epsilon) ** 2
     while frontier.candidates:
+        if tracker is not None and tracker.stop_before_hop(hops):
+            break
         dist, u = heapq.heappop(frontier.candidates)
         if dist > frontier.worst() * factor:
             break
         hops += 1
         frontier.expand(u, graph, counter)
-    return frontier.finish(counter.count - start_ndc, hops)
+    return _attach_budget(frontier.finish(counter.count - start_ndc, hops), tracker)
 
 
 def backtracking_search(
@@ -259,6 +316,7 @@ def backtracking_search(
     counter: DistanceCounter | None = None,
     backtracks: int = 10,
     ctx: SearchContext | None = None,
+    budget: QueryBudget | None = None,
 ) -> SearchResult:
     """FANNG's BFS with backtracking.
 
@@ -269,19 +327,22 @@ def backtracking_search(
     counter = counter if counter is not None else DistanceCounter()
     ctx = _context_for(ctx, data)
     start_ndc = counter.count
-    frontier = _Frontier(ctx, query, ef)
+    tracker = _tracker_for(budget, counter)
+    frontier = _Frontier(ctx, query, ef, tracker=tracker)
     frontier.seed(seeds, counter)
     hops = 0
-    budget = backtracks
+    remaining_backtracks = backtracks
     while frontier.candidates:
+        if tracker is not None and tracker.stop_before_hop(hops):
+            break
         dist, u = heapq.heappop(frontier.candidates)
         if dist > frontier.worst():
-            if budget == 0:
+            if remaining_backtracks == 0:
                 break
-            budget -= 1  # backtrack: expand a non-improving vertex anyway
+            remaining_backtracks -= 1  # backtrack: expand anyway
         hops += 1
         frontier.expand(u, graph, counter)
-    return frontier.finish(counter.count - start_ndc, hops)
+    return _attach_budget(frontier.finish(counter.count - start_ndc, hops), tracker)
 
 
 def _toward_query(
@@ -302,6 +363,7 @@ def guided_search(
     counter: DistanceCounter | None = None,
     min_keep: int = 2,
     ctx: SearchContext | None = None,
+    budget: QueryBudget | None = None,
 ) -> SearchResult:
     """HCNNG's guided search: skip neighbors pointing away from the query.
 
@@ -314,10 +376,13 @@ def guided_search(
     counter = counter if counter is not None else DistanceCounter()
     ctx = _context_for(ctx, data)
     start_ndc = counter.count
-    frontier = _Frontier(ctx, query, ef)
+    tracker = _tracker_for(budget, counter)
+    frontier = _Frontier(ctx, query, ef, tracker=tracker)
     frontier.seed(seeds, counter)
     hops = 0
     while frontier.candidates:
+        if tracker is not None and tracker.stop_before_hop(hops):
+            break
         dist, u = heapq.heappop(frontier.candidates)
         if dist > frontier.worst():
             break
@@ -329,7 +394,7 @@ def guided_search(
                 frontier.expand(u, graph, counter, keep=toward)
                 continue
         frontier.expand(u, graph, counter)
-    return frontier.finish(counter.count - start_ndc, hops)
+    return _attach_budget(frontier.finish(counter.count - start_ndc, hops), tracker)
 
 
 def iterated_search(
@@ -341,6 +406,7 @@ def iterated_search(
     counter: DistanceCounter | None = None,
     max_restarts: int = 4,
     ctx: SearchContext | None = None,
+    budget: QueryBudget | None = None,
 ) -> SearchResult:
     """SPTAG's iterated BFS: restart from fresh tree seeds when stuck.
 
@@ -351,22 +417,27 @@ def iterated_search(
     counter = counter if counter is not None else DistanceCounter()
     ctx = _context_for(ctx, data)
     start_ndc = counter.count
-    frontier = _Frontier(ctx, query, ef)
+    tracker = _tracker_for(budget, counter)
+    frontier = _Frontier(ctx, query, ef, tracker=tracker)
     hops = 0
     for restart in range(max_restarts):
         seeds = np.asarray(seed_batches(restart), dtype=np.int64)
         before = -frontier.results[0][0] if len(frontier.results) == ef else np.inf
         frontier.seed(seeds, counter)
         while frontier.candidates:
+            if tracker is not None and tracker.stop_before_hop(hops):
+                break
             dist, u = heapq.heappop(frontier.candidates)
             if dist > frontier.worst():
                 break
             hops += 1
             frontier.expand(u, graph, counter)
+        if tracker is not None and tracker.fired is not None:
+            break
         after = -frontier.results[0][0] if len(frontier.results) == ef else np.inf
         if after >= before:  # local optimum not escaped; stop restarting
             break
-    return frontier.finish(counter.count - start_ndc, hops)
+    return _attach_budget(frontier.finish(counter.count - start_ndc, hops), tracker)
 
 
 def two_stage_search(
@@ -379,6 +450,7 @@ def two_stage_search(
     guided_hops: int | None = None,
     min_keep: int = 2,
     ctx: SearchContext | None = None,
+    budget: QueryBudget | None = None,
 ) -> SearchResult:
     """The optimized algorithm's routing (§6 Improvement).
 
@@ -393,10 +465,13 @@ def two_stage_search(
     start_ndc = counter.count
     if guided_hops is None:
         guided_hops = max(4, ef // 2)
-    frontier = _Frontier(ctx, query, ef)
+    tracker = _tracker_for(budget, counter)
+    frontier = _Frontier(ctx, query, ef, tracker=tracker)
     frontier.seed(seeds, counter)
     hops = 0
     while frontier.candidates:
+        if tracker is not None and tracker.stop_before_hop(hops):
+            break
         dist, u = heapq.heappop(frontier.candidates)
         if dist > frontier.worst():
             break
@@ -409,4 +484,4 @@ def two_stage_search(
                     frontier.expand(u, graph, counter, keep=toward)
                     continue
         frontier.expand(u, graph, counter)
-    return frontier.finish(counter.count - start_ndc, hops)
+    return _attach_budget(frontier.finish(counter.count - start_ndc, hops), tracker)

@@ -24,6 +24,7 @@ __all__ = [
     "l2_batch",
     "pairwise_l2",
     "squared_norms",
+    "invalidate_norms",
     "sq_dists_to_rows",
     "DistanceCounter",
 ]
@@ -81,6 +82,17 @@ def squared_norms(points: np.ndarray) -> np.ndarray:
         return norms
     _NORM_CACHE[key] = (ref, norms)
     return norms
+
+
+def invalidate_norms(points: np.ndarray) -> None:
+    """Drop the cached squared norms of ``points``.
+
+    Required after mutating a data array in place (integrity repair
+    zeroes non-finite rows): the cache is keyed by array identity, so
+    without eviction every later search would keep using norms of the
+    pre-repair contents.
+    """
+    _NORM_CACHE.pop(id(points), None)
 
 
 def sq_dists_to_rows(

@@ -1,0 +1,164 @@
+"""Deterministic fault injection for the resilience test suite.
+
+Production failure modes — a corrupted index file, a worker thread
+dying mid-batch, distance evaluations slowing down under memory
+pressure — are rare and non-deterministic in the wild, which makes
+"the query path survives them" an untestable claim unless the faults
+can be *scheduled*.  This module provides two kinds of tooling:
+
+* **corruption factories** (:func:`corrupt_adjacency`,
+  :func:`corrupt_vectors`, :func:`truncate_file`) — pure, seeded
+  functions that produce a damaged copy of a graph / dataset / index
+  file, used to exercise :func:`repro.resilience.verify_index` and the
+  :func:`repro.io.load_index` error paths;
+* an **injection plan** (:class:`FaultPlan` + :func:`inject`) — a
+  context manager that arms hooks consulted by the batched query
+  engine (:func:`repro.batch.search_batch`) and the search context:
+  raise in chosen worker chunks or for chosen query indexes, or delay
+  every bulk distance evaluation by a fixed amount (which makes
+  deadline budgets testable without timing races).
+
+When no plan is armed the hooks are a single ``is None`` check — the
+hot path stays bit-identical and effectively free.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "FaultPlan",
+    "InjectedFault",
+    "inject",
+    "active",
+    "corrupt_adjacency",
+    "corrupt_vectors",
+    "truncate_file",
+]
+
+
+class InjectedFault(RuntimeError):
+    """The exception an armed :class:`FaultPlan` raises by default."""
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of failures.
+
+    ``fail_workers`` names worker indexes whose first chunk attempt
+    raises (exercising the chunk-retry path); ``fail_queries`` names
+    query indexes that raise every time they are searched (exercising
+    per-query error reporting, since the retry hits them again);
+    ``distance_delay_s`` sleeps before every bulk distance evaluation
+    routed through a :class:`~repro.components.context.SearchContext`.
+    """
+
+    fail_workers: frozenset[int] = frozenset()
+    fail_queries: frozenset[int] = frozenset()
+    distance_delay_s: float = 0.0
+    exc_type: type = InjectedFault
+    #: workers that already raised once (chunk faults are transient:
+    #: the retry succeeds, like a worker that died and was replaced)
+    tripped_workers: set[int] = field(default_factory=set)
+
+    def before_chunk(self, worker_index: int) -> None:
+        if worker_index in self.fail_workers and worker_index not in self.tripped_workers:
+            self.tripped_workers.add(worker_index)
+            raise self.exc_type(f"injected fault in worker {worker_index}")
+
+    def before_query(self, query_index: int) -> None:
+        if query_index in self.fail_queries:
+            raise self.exc_type(f"injected fault for query {query_index}")
+
+    def before_distances(self) -> None:
+        if self.distance_delay_s > 0.0:
+            time.sleep(self.distance_delay_s)
+
+
+_ACTIVE: FaultPlan | None = None
+
+
+def active() -> FaultPlan | None:
+    """The currently armed plan, or ``None`` (the production state)."""
+    return _ACTIVE
+
+
+@contextmanager
+def inject(plan: FaultPlan):
+    """Arm ``plan`` for the duration of the ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = plan
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+# -- corruption factories ----------------------------------------------
+
+
+def corrupt_adjacency(
+    graph: Graph,
+    seed: int = 0,
+    n_edges: int = 4,
+    mode: str = "out_of_range",
+) -> Graph:
+    """A copy of ``graph`` with ``n_edges`` randomly chosen CSR slots
+    damaged.
+
+    ``mode="out_of_range"`` rewrites neighbor ids to ``>= n`` (the
+    classic torn-write corruption); ``mode="self_loop"`` points edges
+    back at their source vertex; ``mode="negative"`` writes ``-1``.
+    The copy bypasses :meth:`Graph.from_csr` validation on purpose —
+    it exists to be caught by ``verify_index``.
+    """
+    indptr, indices = graph.csr()
+    indptr = indptr.copy()
+    indices = indices.copy()
+    if len(indices) == 0:
+        return Graph.from_csr(indptr, indices)
+    rng = np.random.default_rng(seed)
+    slots = rng.choice(len(indices), size=min(n_edges, len(indices)), replace=False)
+    if mode == "out_of_range":
+        indices[slots] = graph.n + rng.integers(0, 1000, size=len(slots))
+    elif mode == "negative":
+        indices[slots] = -1
+    elif mode == "self_loop":
+        owner = np.repeat(np.arange(graph.n, dtype=np.int64), np.diff(indptr))
+        indices[slots] = owner[slots]
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return Graph.from_csr(indptr, indices, validate=False)
+
+
+def corrupt_vectors(
+    data: np.ndarray,
+    seed: int = 0,
+    n_rows: int = 2,
+    kind: str = "nan",
+) -> np.ndarray:
+    """A copy of ``data`` with ``n_rows`` rows poisoned by NaN or Inf."""
+    out = np.array(data, copy=True)
+    rng = np.random.default_rng(seed)
+    rows = rng.choice(len(out), size=min(n_rows, len(out)), replace=False)
+    out[rows] = np.nan if kind == "nan" else np.inf
+    return out
+
+
+def truncate_file(path, keep_fraction: float = 0.5) -> int:
+    """Truncate a file in place to ``keep_fraction`` of its bytes
+    (simulating a torn write / partial upload).  Returns the new size."""
+    path = Path(path)
+    size = path.stat().st_size
+    keep = int(size * keep_fraction)
+    with open(path, "r+b") as handle:
+        handle.truncate(keep)
+    return keep

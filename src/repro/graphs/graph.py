@@ -49,7 +49,9 @@ class Graph:
         self._indices: np.ndarray | None = None
 
     @classmethod
-    def from_csr(cls, indptr: np.ndarray, indices: np.ndarray) -> "Graph":
+    def from_csr(
+        cls, indptr: np.ndarray, indices: np.ndarray, validate: bool = True
+    ) -> "Graph":
         """Build a graph directly in the frozen CSR layout.
 
         ``indptr`` has ``n + 1`` monotone offsets into ``indices``; the
@@ -57,22 +59,28 @@ class Graph:
         The adjacency lists are materialized lazily, only if the graph
         is mutated — a deserialized index searches straight from the
         arrays it was stored as.
+
+        ``validate=False`` skips the invariant checks; it exists for
+        the fault-injection harness, which deliberately constructs
+        damaged graphs for :func:`repro.resilience.verify_index` to
+        catch.  Searching an unvalidated graph is undefined behaviour.
         """
         indptr = np.ascontiguousarray(indptr, dtype=np.int32)
         indices = np.ascontiguousarray(indices, dtype=np.int32)
-        if len(indptr) == 0 or indptr[0] != 0:
-            raise ValueError("indptr must start at 0")
-        if np.any(np.diff(indptr) < 0):
-            raise ValueError("indptr must be non-decreasing")
-        if int(indptr[-1]) != len(indices):
-            raise ValueError(
-                f"indptr[-1]={int(indptr[-1])} != len(indices)={len(indices)}"
-            )
-        n = len(indptr) - 1
-        if len(indices) and (indices.min() < 0 or indices.max() >= n):
-            raise ValueError(f"neighbor ids must lie in [0, {n})")
+        if validate:
+            if len(indptr) == 0 or indptr[0] != 0:
+                raise ValueError("indptr must start at 0")
+            if np.any(np.diff(indptr) < 0):
+                raise ValueError("indptr must be non-decreasing")
+            if int(indptr[-1]) != len(indices):
+                raise ValueError(
+                    f"indptr[-1]={int(indptr[-1])} != len(indices)={len(indices)}"
+                )
+            n = len(indptr) - 1
+            if len(indices) and (indices.min() < 0 or indices.max() >= n):
+                raise ValueError(f"neighbor ids must lie in [0, {n})")
         graph = cls.__new__(cls)
-        graph.n = n
+        graph.n = max(len(indptr) - 1, 0)
         graph._adj = None
         graph._indptr = indptr
         graph._indices = indices
@@ -223,6 +231,78 @@ class Graph:
         if self.n == 0:
             return 0
         return int(self._degrees().min())
+
+    def reachable_mask(self, roots) -> np.ndarray:
+        """Boolean mask of vertices reachable from ``roots`` (directed).
+
+        This is the invariant the C5 connectivity component maintains
+        and :func:`repro.resilience.verify_index` checks: a vertex
+        outside the mask can never be returned for any query entering
+        at ``roots``.  Runs a frontier-at-a-time BFS straight over the
+        CSR arrays, so verifying a loaded index costs O(edges) with no
+        Python adjacency materialization.
+        """
+        seen = np.zeros(self.n, dtype=bool)
+        roots = np.asarray(roots, dtype=np.int64).reshape(-1)
+        roots = roots[(roots >= 0) & (roots < self.n)]
+        if len(roots) == 0:
+            return seen
+        seen[roots] = True
+        if self._indptr is not None:
+            indptr, indices = self._indptr, self._indices
+            frontier = np.unique(roots)
+            while len(frontier):
+                counts = indptr[frontier + 1] - indptr[frontier]
+                if int(counts.sum()) == 0:
+                    break
+                nbrs = np.concatenate([
+                    indices[indptr[u]:indptr[u + 1]] for u in frontier.tolist()
+                ])
+                fresh = np.unique(nbrs[~seen[nbrs]])
+                seen[fresh] = True
+                frontier = fresh
+            return seen
+        queue = deque(int(r) for r in roots)
+        while queue:
+            u = queue.popleft()
+            for v in self._adj[u]:
+                if not seen[v]:
+                    seen[v] = True
+                    queue.append(v)
+        return seen
+
+    def sanitize(self) -> int:
+        """Drop out-of-range neighbor ids and self-loops in place.
+
+        Returns how many edges were removed.  This is the in-memory
+        half of integrity repair; damaged CSR *offsets* (which cannot
+        be fixed edge-by-edge) go through
+        :func:`repro.resilience.repair_csr_arrays` instead.
+        """
+        if self._adj is None:
+            indptr, indices = self._indptr, self._indices
+            owner = np.repeat(
+                np.arange(self.n, dtype=np.int64), np.diff(indptr)
+            )
+            keep = (indices >= 0) & (indices < self.n) & (indices != owner)
+            dropped = int(len(indices) - keep.sum())
+            if dropped:
+                counts = np.zeros(self.n, dtype=np.int64)
+                np.add.at(counts, owner[keep], 1)
+                new_indptr = np.zeros(self.n + 1, dtype=np.int32)
+                np.cumsum(counts, out=new_indptr[1:])
+                self._indptr = new_indptr
+                self._indices = indices[keep]
+            return dropped
+        dropped = 0
+        for u, lst in enumerate(self._adj):
+            clean = [v for v in lst if 0 <= v < self.n and v != u]
+            dropped += len(lst) - len(clean)
+            if len(clean) != len(lst):
+                self._adj[u] = clean
+        if dropped:
+            self._invalidate()
+        return dropped
 
     def num_connected_components(self) -> int:
         """Weakly connected components (edges treated as undirected).

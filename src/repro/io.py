@@ -16,6 +16,9 @@ random seeds otherwise.
 
 from __future__ import annotations
 
+import hashlib
+import zipfile
+import zlib
 from pathlib import Path
 
 import numpy as np
@@ -24,10 +27,26 @@ from repro.algorithms.base import GraphANNS
 from repro.components.seeding import FixedSeeds
 from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
+from repro.resilience import IndexFormatError, repair_csr_arrays, verify_index
 
 __all__ = ["save_index", "load_index", "StaticGraphIndex"]
 
 _FORMAT_VERSION = 1
+
+_REQUIRED_KEYS = frozenset(
+    {"format_version", "algorithm", "data", "offsets", "neighbors", "seeds"}
+)
+
+
+def _content_checksum(data, offsets, neighbors, seeds, deleted) -> str:
+    """sha256 over the payload arrays (bytes + dtype + shape)."""
+    digest = hashlib.sha256()
+    for array in (data, offsets, neighbors, seeds, deleted):
+        array = np.ascontiguousarray(array)
+        digest.update(str(array.dtype).encode())
+        digest.update(str(array.shape).encode())
+        digest.update(array.tobytes())
+    return digest.hexdigest()
 
 
 def save_index(
@@ -61,6 +80,9 @@ def save_index(
         neighbors=neighbors,
         seeds=seeds,
         deleted=deleted,
+        checksum=np.asarray(
+            _content_checksum(index.data, offsets, neighbors, seeds, deleted)
+        ),
     )
 
 
@@ -92,22 +114,69 @@ class StaticGraphIndex(GraphANNS):
         raise NotImplementedError
 
 
-def load_index(path: str | Path) -> StaticGraphIndex:
-    """Restore a :class:`StaticGraphIndex` saved by :func:`save_index`."""
-    with np.load(Path(path), allow_pickle=False) as archive:
-        version = int(archive["format_version"])
-        if version != _FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported index format {version}; "
-                f"this build reads version {_FORMAT_VERSION}"
+def load_index(
+    path: str | Path,
+    verify: bool = True,
+    repair: bool = False,
+) -> StaticGraphIndex:
+    """Restore a :class:`StaticGraphIndex` saved by :func:`save_index`.
+
+    File-level problems (truncation, bad zip, missing keys, version or
+    checksum mismatch) raise :class:`~repro.resilience.IndexFormatError`
+    naming the path and the reason.  With ``verify=True`` (the default)
+    the restored index additionally passes
+    :func:`~repro.resilience.verify_index`, which raises
+    :class:`~repro.resilience.IndexIntegrityError` on structural damage
+    the checksum cannot explain; ``repair=True`` fixes what it can
+    (dropping bad edges, reconnecting stranded vertices, tombstoning
+    non-finite rows) instead of raising.
+    """
+    path = Path(path)
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            files = set(archive.files)
+            missing = _REQUIRED_KEYS - files
+            if missing:
+                raise IndexFormatError(
+                    path, f"missing keys {sorted(missing)}"
+                )
+            version = int(archive["format_version"])
+            if version != _FORMAT_VERSION:
+                raise IndexFormatError(
+                    path,
+                    f"unsupported index format {version}; "
+                    f"this build reads version {_FORMAT_VERSION}",
+                )
+            data = archive["data"]
+            offsets = archive["offsets"]
+            neighbors = archive["neighbors"]
+            seeds = archive["seeds"]
+            source = str(archive["algorithm"])
+            deleted = archive["deleted"] if "deleted" in files else None
+            stored_sum = str(archive["checksum"]) if "checksum" in files else None
+    except IndexFormatError:
+        raise
+    except (OSError, EOFError, KeyError, ValueError,
+            zipfile.BadZipFile, zlib.error) as exc:
+        raise IndexFormatError(path, f"{type(exc).__name__}: {exc}") from exc
+    if stored_sum is not None:  # absent in pre-checksum files
+        actual = _content_checksum(
+            data, offsets, neighbors, seeds,
+            deleted if deleted is not None else np.zeros(0, dtype=bool),
+        )
+        if actual != stored_sum:
+            raise IndexFormatError(
+                path,
+                f"checksum mismatch (stored {stored_sum[:12]}..., "
+                f"computed {actual[:12]}...): payload is corrupt",
             )
-        data = archive["data"]
-        offsets = archive["offsets"]
-        neighbors = archive["neighbors"]
-        seeds = archive["seeds"]
-        source = str(archive["algorithm"])
-        deleted = archive["deleted"] if "deleted" in archive.files else None
-    return StaticGraphIndex(
-        data, Graph.from_csr(offsets, neighbors), seeds,
-        source=source, deleted=deleted,
+    if repair:
+        offsets, neighbors, _ = repair_csr_arrays(offsets, neighbors, len(data))
+    index = StaticGraphIndex(
+        data,
+        Graph.from_csr(offsets, neighbors, validate=not (verify or repair)),
+        seeds, source=source, deleted=deleted,
     )
+    if verify or repair:
+        verify_index(index, repair=repair)
+    return index

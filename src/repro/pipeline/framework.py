@@ -259,24 +259,28 @@ class BenchmarkAlgorithm(GraphANNS):
 
     # -- C7 -----------------------------------------------------------------
 
-    def _route(self, query, seeds, ef, counter, ctx=None) -> SearchResult:
+    def _route(self, query, seeds, ef, counter, ctx=None, budget=None) -> SearchResult:
         if self.c7 == "ngt":
             return range_search(
                 self.graph, self.data, query, seeds, ef, counter,
-                epsilon=self.epsilon, ctx=ctx,
+                epsilon=self.epsilon, ctx=ctx, budget=budget,
             )
         if self.c7 == "fanng":
             return backtracking_search(
-                self.graph, self.data, query, seeds, ef, counter, ctx=ctx
+                self.graph, self.data, query, seeds, ef, counter, ctx=ctx,
+                budget=budget,
             )
         if self.c7 == "hcnng":
             return guided_search(
-                self.graph, self.data, query, seeds, ef, counter, ctx=ctx
+                self.graph, self.data, query, seeds, ef, counter, ctx=ctx,
+                budget=budget,
             )
         if self.c7 == "oa":
             return two_stage_search(
-                self.graph, self.data, query, seeds, ef, counter, ctx=ctx
+                self.graph, self.data, query, seeds, ef, counter, ctx=ctx,
+                budget=budget,
             )
         return best_first_search(
-            self.graph, self.data, query, seeds, ef, counter, ctx=ctx
+            self.graph, self.data, query, seeds, ef, counter, ctx=ctx,
+            budget=budget,
         )

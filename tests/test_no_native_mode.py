@@ -1,0 +1,58 @@
+"""Dual-mode guard: the routing/batch/resilience suites must pass with
+the native kernel disabled (``REPRO_NO_NATIVE=1``).
+
+The pure-NumPy path is the fallback every resilience feature leans on
+(deadline budgets, worker-chunk retries, kernels that fail to compile),
+so it is exercised here as a first-class configuration, not a fallback
+that only sees production traffic.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+DUAL_MODE_SUITES = [
+    "tests/test_routing.py",
+    "tests/test_batch.py",
+    "tests/test_resilience.py",
+    "tests/test_faults.py",
+]
+
+
+@pytest.mark.faults
+def test_suites_pass_without_native_kernel():
+    env = dict(os.environ)
+    env["REPRO_NO_NATIVE"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-p", "no:cacheprovider",
+         *DUAL_MODE_SUITES],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=900,
+    )
+    assert proc.returncode == 0, (
+        f"pure-NumPy mode failed:\n{proc.stdout}\n{proc.stderr}"
+    )
+
+
+@pytest.mark.faults
+def test_no_native_env_disables_library():
+    env = dict(os.environ)
+    env["REPRO_NO_NATIVE"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "from repro import _native; "
+         "assert _native.LIB is None; "
+         "assert _native.LOAD_ERROR is not None; "
+         "print('ok')"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "ok" in proc.stdout
