@@ -1,0 +1,133 @@
+"""Microbenchmark for the construction hot path: serial vs parallel build.
+
+Builds each algorithm over a medium synthetic dataset at every worker
+count, timing the build and recording the per-phase breakdown the build
+engine reports.  Because construction is deterministic, the adjacency
+produced at every worker count must be bit-identical — the script
+verifies that and refuses to report a speedup obtained by divergence.
+
+Writes ``BENCH_build.json`` next to the repository root and a plain
+table to ``benchmarks/results/build_hotpath.txt``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_build_hotpath.py
+
+Scale knobs: ``REPRO_BENCH_BUILD_N`` (points, default 2000),
+``REPRO_BENCH_BUILD_ALGOS`` (comma list, default nsg,vamana,nssg,oa),
+``REPRO_BENCH_BUILD_WORKERS`` (comma list, default 1,4).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import create
+
+N = int(os.environ.get("REPRO_BENCH_BUILD_N", "2000"))
+DIM = int(os.environ.get("REPRO_BENCH_BUILD_DIM", "32"))
+ALGOS = os.environ.get("REPRO_BENCH_BUILD_ALGOS", "nsg,vamana,nssg,oa").split(",")
+WORKER_COUNTS = tuple(
+    int(w) for w in os.environ.get("REPRO_BENCH_BUILD_WORKERS", "1,4").split(",")
+)
+
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_build.json"
+RESULTS = Path(__file__).resolve().parent / "results" / "build_hotpath.txt"
+
+
+def adjacency_hash(graph) -> str:
+    indptr, indices = graph.csr()
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(indptr).tobytes())
+    digest.update(np.ascontiguousarray(indices).tobytes())
+    return digest.hexdigest()
+
+
+def bench_algorithm(name: str, data: np.ndarray) -> dict:
+    runs = []
+    for workers in WORKER_COUNTS:
+        index = create(name, seed=0, n_workers=workers)
+        started = time.perf_counter()
+        report = index.build(data)
+        wall_s = time.perf_counter() - started
+        runs.append({
+            "workers": workers,
+            "wall_s": wall_s,
+            "build_ndc": int(report.build_ndc),
+            "phases": {
+                label: {"wall_s": stats.wall_s, "ndc": int(stats.ndc)}
+                for label, stats in report.phases.items()
+            },
+            "graph_bytes": int(report.graph_bytes),
+            "aux_bytes": int(report.aux_bytes),
+            "adjacency": adjacency_hash(index.graph),
+        })
+    reference = runs[0]
+    for run in runs[1:]:
+        if run["adjacency"] != reference["adjacency"]:
+            raise SystemExit(
+                f"{name}: adjacency diverged at n_workers={run['workers']} — "
+                "a parallel speedup only counts if the output is identical"
+            )
+        if run["build_ndc"] != reference["build_ndc"]:
+            raise SystemExit(
+                f"{name}: build NDC diverged at n_workers={run['workers']}"
+            )
+    return {
+        "algorithm": name,
+        "runs": runs,
+        "speedup": reference["wall_s"] / runs[-1]["wall_s"],
+    }
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    data = rng.standard_normal((N, DIM)).astype(np.float32)
+
+    results = [bench_algorithm(name.strip(), data) for name in ALGOS if name.strip()]
+
+    report = {
+        "n": N,
+        "dim": DIM,
+        "worker_counts": list(WORKER_COUNTS),
+        "algorithms": results,
+    }
+    OUTPUT.write_text(json.dumps(report, indent=2) + "\n")
+
+    lines = [
+        f"build hot path (n={N}, d={DIM}, workers={list(WORKER_COUNTS)})",
+        f"{'algorithm':<10} {'workers':>7} {'wall_s':>8} {'ndc':>12} "
+        f"{'c1_s':>7} {'c2+c3_s':>8} {'c4_s':>7} {'c5_s':>7}",
+    ]
+    for entry in results:
+        for run in entry["runs"]:
+            phases = run["phases"]
+
+            def wall(label):
+                return phases.get(label, {}).get("wall_s", 0.0)
+
+            lines.append(
+                f"{entry['algorithm']:<10} {run['workers']:>7} "
+                f"{run['wall_s']:>8.2f} {run['build_ndc']:>12} "
+                f"{wall('c1'):>7.2f} {wall('c2+c3'):>8.2f} "
+                f"{wall('c4'):>7.2f} {wall('c5'):>7.2f}"
+            )
+        lines.append(
+            f"{entry['algorithm']:<10} speedup x{entry['speedup']:.2f} "
+            f"(adjacency identical across worker counts)"
+        )
+    table = "\n".join(lines)
+    RESULTS.parent.mkdir(parents=True, exist_ok=True)
+    RESULTS.write_text(table + "\n")
+    print(table)
+    print(f"wrote {OUTPUT}")
+    print(f"wrote {RESULTS}")
+
+
+if __name__ == "__main__":
+    main()

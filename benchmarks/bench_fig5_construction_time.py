@@ -36,6 +36,10 @@ def test_construction_time(benchmark, algorithm_name, dataset_name):
     common._index_cache.setdefault((algorithm_name, dataset_name), index)
     benchmark.extra_info["dataset"] = dataset_name
     benchmark.extra_info["build_ndc"] = index.build_report.build_ndc
+    benchmark.extra_info["phases"] = {
+        label: {"wall_s": stats.wall_s, "ndc": stats.ndc}
+        for label, stats in index.build_report.phases.items()
+    }
 
 
 def test_zzz_report(benchmark):

@@ -19,6 +19,9 @@ def test_index_size(benchmark, algorithm_name, dataset_name):
     size = benchmark.pedantic(index.index_size_bytes, rounds=1, iterations=1)
     _sizes[(algorithm_name, dataset_name)] = size
     benchmark.extra_info["index_size_bytes"] = size
+    # graph vs auxiliary-structure split (C4 trees/tables/upper layers)
+    benchmark.extra_info["graph_bytes"] = index.graph.index_size_bytes()
+    benchmark.extra_info["aux_bytes"] = index.aux_size_bytes()
 
 
 def test_zzz_report(benchmark):

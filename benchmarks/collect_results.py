@@ -20,6 +20,7 @@ RESULTS = Path(__file__).resolve().parent / "results"
 ORDER = [
     "fig5_construction_time",
     "fig6_index_size",
+    "build_hotpath",
     "table4_graph_stats",
     "fig7_qps_recall",
     "fig8_speedup_recall",

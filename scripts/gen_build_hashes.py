@@ -1,0 +1,91 @@
+"""Record pinned adjacency hashes for the build-determinism regression test.
+
+Builds every registry algorithm (plus the §5.4 framework default) on the
+small fixed synthetic dataset used by ``tests/test_build_engine.py`` and
+writes a ``{mode: {algorithm: {"adjacency": sha256, "ndc": int}}}`` map to
+``tests/data/build_hashes.json``.  Run once per *reference* machine per
+mode::
+
+    PYTHONPATH=src python scripts/gen_build_hashes.py
+    REPRO_NO_NATIVE=1 PYTHONPATH=src python scripts/gen_build_hashes.py
+
+The hashes pin the construction output of the serial (``n_workers=1``)
+path: any refactor of the build layer must keep them stable at the same
+seed.  They are BLAS-rounding-sensitive, so they hold on machines whose
+NumPy produces bit-identical float32 matmuls (in practice: same NumPy
+wheel family); the cross-``n_workers`` equality tests are machine-
+independent and run everywhere.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import _native  # noqa: E402
+from repro.algorithms.registry import ALGORITHMS, create  # noqa: E402
+from repro.pipeline.framework import BenchmarkAlgorithm  # noqa: E402
+
+OUT = Path(__file__).resolve().parent.parent / "tests" / "data" / "build_hashes.json"
+
+#: the dataset every determinism test builds on
+DATASET_N, DATASET_D, DATASET_SEED = 300, 24, 7
+
+
+def pinned_dataset() -> np.ndarray:
+    rng = np.random.default_rng(DATASET_SEED)
+    return rng.standard_normal((DATASET_N, DATASET_D)).astype(np.float32)
+
+
+def adjacency_hash(graph) -> str:
+    indptr, indices = graph.csr()
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(indptr).tobytes())
+    digest.update(np.ascontiguousarray(indices).tobytes())
+    return digest.hexdigest()
+
+
+def build_all() -> dict[str, dict]:
+    data = pinned_dataset()
+    out: dict[str, dict] = {}
+    for name in sorted(ALGORITHMS):
+        algo = create(name, seed=0)
+        report = algo.build(data)
+        out[name] = {
+            "adjacency": adjacency_hash(algo.graph),
+            "ndc": int(report.build_ndc),
+        }
+        print(f"{name:12s} {out[name]['adjacency'][:16]} ndc={out[name]['ndc']}")
+    bench = BenchmarkAlgorithm(seed=0)
+    report = bench.build(data)
+    out["framework"] = {
+        "adjacency": adjacency_hash(bench.graph),
+        "ndc": int(report.build_ndc),
+    }
+    print(f"{'framework':12s} {out['framework']['adjacency'][:16]} "
+          f"ndc={out['framework']['ndc']}")
+    return out
+
+
+def main() -> None:
+    mode = "no_native" if os.environ.get("REPRO_NO_NATIVE") else "native"
+    if mode == "native" and _native.LIB is None:
+        raise SystemExit("native mode requested but the kernel failed to load")
+    recorded = {}
+    if OUT.exists():
+        recorded = json.loads(OUT.read_text())
+    recorded[mode] = build_all()
+    OUT.parent.mkdir(parents=True, exist_ok=True)
+    OUT.write_text(json.dumps(recorded, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {mode} hashes to {OUT}")
+
+
+if __name__ == "__main__":
+    main()

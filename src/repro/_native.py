@@ -5,14 +5,25 @@ hardware-independent cost of a search — which licenses making the
 wall-clock side as fast as the machine allows without touching the
 algorithm.  This module compiles a small C library implementing
 
-* ``sq_dists_to_rows`` — the expanded-form distance kernel,
-* ``best_first``       — Algorithm 1 over the frozen CSR layout, and
-* ``best_first_batch`` — the same loop over a whole query block,
+* ``sq_dists_to_rows``  — the expanded-form distance kernel,
+* ``best_first``        — Algorithm 1 over the frozen CSR layout,
+* ``best_first_batch``  — the same loop over a whole query block,
+* ``best_first_build``  — the construction-side variant: records every
+  evaluated ``(vertex, distance)`` pair (the *visited set* that C2
+  candidate acquisition pools) and optionally walks a padded adjacency
+  matrix instead of CSR, so it can search a graph that is still being
+  mutated (Vamana's evolving graph), and
+* ``select_rng``        — the RNG-heuristic selection scan over a
+  NumPy-computed cross-distance matrix,
 
 with bookkeeping (visited epochs, candidate/result heaps, tie-breaking
 on ``(distance, id)``) that matches the pure-Python frontier exactly, so
 NDC, hop counts, visited counts and returned ids are identical whether
-or not the native path is active.
+or not the native path is active.  ``select_rng`` deliberately consumes
+the same float32 distance matrix NumPy computed (rather than
+recomputing distances in C) and replicates the comparison's IEEE
+semantics, so its accept/reject decisions are provably identical to the
+Python scan's.
 
 Compilation happens once per interpreter on first import: the source is
 written next to this file and built with the system C compiler into
@@ -35,7 +46,14 @@ import tempfile
 
 import numpy as np
 
-__all__ = ["LIB", "sq_dists_to_rows", "best_first", "best_first_batch"]
+__all__ = [
+    "LIB",
+    "sq_dists_to_rows",
+    "best_first",
+    "best_first_batch",
+    "best_first_build",
+    "select_rng_scan",
+]
 
 _C_SOURCE = r"""
 #include <math.h>
@@ -153,9 +171,19 @@ static void res_push(double *hd, int32_t *hi, int64_t *len,
    is returned as a degraded best-k; stats[3] records which cap fired
    (0 none, 1 ndc, 2 hops) so Python can attach a BudgetReport. */
 
-int64_t best_first(
-    const float *data, int64_t n, int64_t d, const double *norms,
-    const int32_t *indptr, const int32_t *indices,
+/* The shared search core.  ``counts`` selects the adjacency layout:
+   NULL walks the frozen CSR arrays (indptr[u]..indptr[u+1]); non-NULL
+   walks a padded matrix flattened into ``indices`` where row u starts
+   at indptr[u] and holds counts[u] live entries — that is how the
+   construction path searches a graph that is still being mutated
+   without re-freezing it per point.  ``vis_ids``/``vis_sq`` (NULL to
+   skip) record every evaluated (vertex, squared distance) pair in
+   evaluation order — the visited set that C2 candidate acquisition
+   pools; the order is irrelevant because Python re-sorts by
+   (distance, id), exactly like the pure-Python frontier's finish(). */
+static int64_t bf_core(
+    const float *data, int64_t d, const double *norms,
+    const int32_t *indptr, const int32_t *indices, const int32_t *counts,
     const double *q, double qsq,
     const int64_t *seeds, int64_t nseeds, int64_t ef,
     int64_t max_ndc, int64_t max_hops,
@@ -163,11 +191,11 @@ int64_t best_first(
     double *cd, int32_t *ci,          /* candidate heap, capacity n  */
     double *rd, int32_t *ri,          /* result heap, capacity ef    */
     int32_t *out_ids, double *out_sq, /* capacity ef                 */
+    int32_t *vis_ids, double *vis_sq, /* capacity n, NULL to skip    */
     int64_t *stats)                   /* {ndc, hops, visited, fired} */
 {
     int64_t clen = 0, rlen = 0;
     int64_t ndc = 0, hops = 0, fired = 0;
-    (void)n;
 
     for (int64_t s = 0; s < nseeds; s++) {
         int64_t v = seeds[s];
@@ -175,6 +203,7 @@ int64_t best_first(
         if (max_ndc >= 0 && ndc >= max_ndc) { fired = 1; break; }
         visit_gen[v] = gen;
         double sq = sq_dist(data + v * d, q, d, qsq, norms[v]);
+        if (vis_ids) { vis_ids[ndc] = (int32_t)v; vis_sq[ndc] = sq; }
         ndc++;
         if (rlen < ef) {
             res_push(rd, ri, &rlen, sq, (int32_t)v);
@@ -192,13 +221,15 @@ int64_t best_first(
         cand_pop(cd, ci, &clen, &du, &u);
         if (rlen == ef && du > rd[0]) break;
         hops++;
-        int64_t stop = indptr[u + 1];
-        for (int64_t k = indptr[u]; k < stop; k++) {
+        int64_t start = indptr[u];
+        int64_t stop = counts ? start + counts[u] : indptr[u + 1];
+        for (int64_t k = start; k < stop; k++) {
             int32_t v = indices[k];
             if (visit_gen[v] == gen) continue;
             if (max_ndc >= 0 && ndc >= max_ndc) { fired = 1; break; }
             visit_gen[v] = gen;
             double sq = sq_dist(data + (int64_t)v * d, q, d, qsq, norms[v]);
+            if (vis_ids) { vis_ids[ndc] = v; vis_sq[ndc] = sq; }
             ndc++;
             if (rlen < ef) {
                 res_push(rd, ri, &rlen, sq, v);
@@ -228,6 +259,72 @@ int64_t best_first(
 
     stats[0] = ndc; stats[1] = hops; stats[2] = ndc; stats[3] = fired;
     return rlen;
+}
+
+int64_t best_first(
+    const float *data, int64_t n, int64_t d, const double *norms,
+    const int32_t *indptr, const int32_t *indices,
+    const double *q, double qsq,
+    const int64_t *seeds, int64_t nseeds, int64_t ef,
+    int64_t max_ndc, int64_t max_hops,
+    int64_t *visit_gen, int64_t gen,
+    double *cd, int32_t *ci,
+    double *rd, int32_t *ri,
+    int32_t *out_ids, double *out_sq,
+    int64_t *stats)
+{
+    (void)n;
+    return bf_core(data, d, norms, indptr, indices, 0,
+                   q, qsq, seeds, nseeds, ef, max_ndc, max_hops,
+                   visit_gen, gen, cd, ci, rd, ri, out_ids, out_sq,
+                   0, 0, stats);
+}
+
+/* Construction-side entry point: unbudgeted, visited-recording, and
+   layout-flexible via ``counts`` (see bf_core). */
+int64_t best_first_build(
+    const float *data, int64_t d, const double *norms,
+    const int32_t *indptr, const int32_t *indices, const int32_t *counts,
+    const double *q, double qsq,
+    const int64_t *seeds, int64_t nseeds, int64_t ef,
+    int64_t *visit_gen, int64_t gen,
+    double *cd, int32_t *ci,
+    double *rd, int32_t *ri,
+    int32_t *out_ids, double *out_sq,
+    int32_t *vis_ids, double *vis_sq,
+    int64_t *stats)
+{
+    return bf_core(data, d, norms, indptr, indices, counts,
+                   q, qsq, seeds, nseeds, ef, -1, -1,
+                   visit_gen, gen, cd, ci, rd, ri, out_ids, out_sq,
+                   vis_ids, vis_sq, stats);
+}
+
+/* -- RNG-heuristic selection scan (C3) -------------------------------
+   ``cross`` is the float32 pairwise distance matrix NumPy computed for
+   the sorted candidate list; candidate pos is accepted iff no already
+   selected s occludes it, i.e. no (float)(alpha*cross[pos][s]) strictly
+   below cand_d[pos].  The float multiply then double compare replicates
+   NumPy's scalar-times-float32-array promotion followed by the mixed
+   float32/float64 comparison, so every accept/reject bit matches the
+   Python scan.  Returns the number of selected positions in out. */
+int64_t select_rng(
+    const float *cross, int64_t m, int64_t stride,
+    const double *cand_d, int64_t max_degree, double alpha,
+    int64_t *out)
+{
+    float alpha_f = (float)alpha;
+    int64_t nsel = 0;
+    for (int64_t pos = 0; pos < m && nsel < max_degree; pos++) {
+        const float *row = cross + pos * stride;
+        int occluded = 0;
+        for (int64_t s = 0; s < nsel; s++) {
+            float scaled = alpha_f * row[out[s]];
+            if ((double)scaled < cand_d[pos]) { occluded = 1; break; }
+        }
+        if (!occluded) out[nsel++] = pos;
+    }
+    return nsel;
 }
 
 void best_first_batch(
@@ -316,6 +413,16 @@ def _build_library() -> ctypes.CDLL | None:
         _PF64, _PI32, _PF64, _PI32, _PI32, _PF64, _PI64, _PI64,
     ]
     lib.best_first_batch.restype = None
+    lib.best_first_build.argtypes = [
+        _PF32, _I64, _PF64, _PI32, _PI32, ctypes.c_void_p,
+        _PF64, ctypes.c_double, _PI64, _I64, _I64, _PI64, _I64,
+        _PF64, _PI32, _PF64, _PI32, _PI32, _PF64, _PI32, _PF64, _PI64,
+    ]
+    lib.best_first_build.restype = _I64
+    lib.select_rng.argtypes = [
+        _PF32, _I64, _I64, _PF64, _I64, ctypes.c_double, _PI64,
+    ]
+    lib.select_rng.restype = _I64
     LOAD_ERROR = None
     return lib
 
@@ -410,3 +517,51 @@ def best_first_batch(ctx, graph, queries64, qsqs, seed_indptr, seeds, ef,
     )
     ctx.generation += nq
     return out_ids, out_sq, out_len, stats
+
+
+def best_first_build(ctx, indptr, indices, counts, query64, query_sq,
+                     seeds, ef):
+    """Visited-recording best-first search for the construction path.
+
+    ``indptr``/``indices`` are either a frozen CSR pair (``counts`` is
+    None) or, with an int32 ``counts`` array, per-row offsets into a
+    flattened padded adjacency matrix — the layout Vamana uses while its
+    graph is still evolving.  ``seeds`` must be unique int64 ids (the
+    Python frontier uniques them too).  Consumes one visited generation
+    from ``ctx``.  Returns ``(visited_ids, visited_sq, ndc)`` in
+    evaluation order; callers sort by ``(sq, id)`` to match the Python
+    frontier's output.
+    """
+    cd, ci, rd, ri = ctx.native_scratch(ef)
+    vis_ids, vis_sq = ctx.visited_scratch()
+    out_ids = np.empty(ef, dtype=np.int32)
+    out_sq = np.empty(ef, dtype=np.float64)
+    stats = np.empty(4, dtype=np.int64)
+    ctx.generation += 1
+    LIB.best_first_build(
+        ctx.data, ctx.data.shape[1], ctx.norms_sq,
+        indptr, indices,
+        counts.ctypes.data if counts is not None else None,
+        query64, query_sq, seeds, len(seeds), ef,
+        ctx.visit_gen, ctx.generation,
+        cd, ci, rd, ri, out_ids, out_sq, vis_ids, vis_sq, stats,
+    )
+    nvis = int(stats[2])
+    return vis_ids[:nvis], vis_sq[:nvis], int(stats[0])
+
+
+def select_rng_scan(cross, cand_dists, max_degree, alpha=1.0):
+    """C scan of the RNG-heuristic occlusion rule.
+
+    ``cross`` is the float32 pairwise matrix for the (sorted) candidate
+    list and ``cand_dists`` their float64 distances to the point being
+    linked.  Returns the selected *positions* (int64) in selection
+    order; decisions are bit-identical to the Python scan because the
+    comparison floats are the same objects.
+    """
+    m = len(cand_dists)
+    out = np.empty(m, dtype=np.int64)
+    nsel = LIB.select_rng(
+        cross, m, cross.shape[1], cand_dists, max_degree, alpha, out,
+    )
+    return out[:nsel]

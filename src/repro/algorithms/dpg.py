@@ -12,9 +12,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import GraphANNS
+from repro.components.refinement import map_refine
 from repro.components.selection import select_angle_sum
 from repro.components.seeding import RandomSeeds
-from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 from repro.nndescent import nn_descent
 
@@ -32,25 +32,51 @@ class DPG(GraphANNS):
         iterations: int = 8,
         num_seeds: int = 8,
         seed: int = 0,
+        n_workers: int = 1,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.k = k
         self.iterations = iterations
         self.seed_provider = RandomSeeds(count=num_seeds, seed=seed)
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
-        result = nn_descent(
-            data, self.k, iterations=self.iterations, counter=counter,
-            seed=self.seed,
-        )
-        keep = max(1, self.k // 2)
-        graph = Graph(len(data))
-        for p in range(len(data)):
-            selected = select_angle_sum(
-                data[p], result.ids[p], result.dists[p], data, keep
+    def _build_phases(self, data: np.ndarray, bctx):
+        state: dict = {}
+
+        def init_phase():
+            state["knn"] = nn_descent(
+                data, self.k, iterations=self.iterations,
+                counter=bctx.counter, seed=self.seed, bctx=bctx,
             )
-            graph.set_neighbors(p, selected)
-        # add reverse edges: DPG keeps bi-directed edges (§3.2 A9)
-        for u, v in list(graph.edges()):
-            graph.add_edge(v, u)
-        self.graph = graph
+
+        def diversify_phase():
+            result = state["knn"]
+            keep = max(1, self.k // 2)
+            graph = Graph(len(data))
+            if bctx.parallel:
+                def refine_point(p, worker):
+                    return select_angle_sum(
+                        data[p], result.ids[p], result.dists[p], data, keep
+                    )
+
+                map_refine(bctx, len(data), refine_point,
+                           lambda p, sel: graph.set_neighbors(p, sel))
+            else:
+                for p in range(len(data)):
+                    selected = select_angle_sum(
+                        data[p], result.ids[p], result.dists[p], data, keep
+                    )
+                    graph.set_neighbors(p, selected)
+            state["graph"] = graph
+
+        def undirect_phase():
+            graph = state["graph"]
+            # add reverse edges: DPG keeps bi-directed edges (§3.2 A9)
+            for u, v in list(graph.edges()):
+                graph.add_edge(v, u)
+            self.graph = graph
+
+        return [
+            ("c1", init_phase),
+            ("c2+c3", diversify_phase),
+            ("c5", undirect_phase),
+        ]

@@ -13,7 +13,6 @@ import numpy as np
 from repro.algorithms.base import GraphANNS
 from repro.components.initialization import kdtree_neighbor_lists
 from repro.components.seeding import KDTreeSeeds
-from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 from repro.nndescent import nn_descent
 
@@ -32,8 +31,9 @@ class EFANNA(GraphANNS):
         num_trees: int = 4,
         num_seeds: int = 8,
         seed: int = 0,
+        n_workers: int = 1,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.k = k
         self.iterations = iterations
         self.num_trees = num_trees
@@ -41,18 +41,23 @@ class EFANNA(GraphANNS):
             num_trees=num_trees, count=num_seeds, seed=seed
         )
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
-        initial = kdtree_neighbor_lists(
-            data, self.k, num_trees=self.num_trees, counter=counter, seed=self.seed
-        )
-        result = nn_descent(
-            data,
-            self.k,
-            iterations=self.iterations,
-            counter=counter,
-            seed=self.seed,
-            initial_ids=initial,
-        )
-        self.graph = Graph(len(data), result.ids.tolist())
-        self.knn_ids = result.ids
-        self.knn_dists = result.dists
+    def _build_phases(self, data: np.ndarray, bctx):
+        def init_phase():
+            initial = kdtree_neighbor_lists(
+                data, self.k, num_trees=self.num_trees, counter=bctx.counter,
+                seed=self.seed,
+            )
+            result = nn_descent(
+                data,
+                self.k,
+                iterations=self.iterations,
+                counter=bctx.counter,
+                seed=self.seed,
+                initial_ids=initial,
+                bctx=bctx,
+            )
+            self.graph = Graph(len(data), result.ids.tolist())
+            self.knn_ids = result.ids
+            self.knn_dists = result.dists
+
+        return [("c1", init_phase)]

@@ -12,10 +12,11 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import GraphANNS
+from repro.components.refinement import map_refine
+from repro.components.refinement import select_rng as fast_select_rng
 from repro.components.routing import backtracking_search
 from repro.components.selection import select_rng_heuristic
 from repro.components.seeding import RandomSeeds
-from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 from repro.graphs.knng import exact_knn_lists
 
@@ -34,24 +35,47 @@ class FANNG(GraphANNS):
         backtracks: int = 10,
         num_seeds: int = 8,
         seed: int = 0,
+        n_workers: int = 1,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.max_degree = max_degree
         self.scan_limit = scan_limit
         self.backtracks = backtracks
         self.seed_provider = RandomSeeds(count=num_seeds, seed=seed)
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+    def _build_phases(self, data: np.ndarray, bctx):
+        counter = bctx.counter
         n = len(data)
-        scan = min(self.scan_limit, n - 1)
-        ids, dists = exact_knn_lists(data, scan, counter=counter)
-        graph = Graph(n)
-        for p in range(n):
-            selected = select_rng_heuristic(
-                data[p], ids[p], dists[p], data, self.max_degree, counter=counter
+        state: dict = {}
+
+        def init_phase():
+            scan = min(self.scan_limit, n - 1)
+            state["ids"], state["dists"] = exact_knn_lists(
+                data, scan, counter=counter
             )
-            graph.set_neighbors(p, selected)
-        self.graph = graph
+
+        def prune_phase():
+            ids, dists = state["ids"], state["dists"]
+            graph = Graph(n)
+            if bctx.parallel:
+                def refine_point(p, worker):
+                    return fast_select_rng(
+                        data[p], ids[p], dists[p], data, self.max_degree,
+                        counter=worker.counter,
+                    )
+
+                map_refine(bctx, n, refine_point,
+                           lambda p, sel: graph.set_neighbors(p, sel))
+            else:
+                for p in range(n):
+                    selected = select_rng_heuristic(
+                        data[p], ids[p], dists[p], data, self.max_degree,
+                        counter=counter,
+                    )
+                    graph.set_neighbors(p, selected)
+            self.graph = graph
+
+        return [("c1", init_phase), ("c2+c3", prune_phase)]
 
     def _route(self, query, seeds, ef, counter, ctx=None, budget=None):
         return backtracking_search(

@@ -16,7 +16,6 @@ from repro.algorithms.base import GraphANNS
 from repro.clustering import hierarchical_two_pivot_clusters
 from repro.components.routing import SearchResult, guided_search
 from repro.components.seeding import KDTreeDescendSeeds
-from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 from repro.graphs.mst import euclidean_mst
 
@@ -36,8 +35,9 @@ class HCNNG(GraphANNS):
         num_trees: int = 3,
         num_seeds: int = 8,
         seed: int = 0,
+        n_workers: int = 1,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.num_clusterings = num_clusterings
         self.min_cluster_size = min_cluster_size
         self.max_degree = max_degree
@@ -45,30 +45,45 @@ class HCNNG(GraphANNS):
             num_trees=num_trees, count=num_seeds, seed=seed
         )
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+    def _build_phases(self, data: np.ndarray, bctx):
+        counter = bctx.counter
         n = len(data)
-        rng = np.random.default_rng(self.seed)
-        edge_weights: dict[tuple[int, int], float] = {}
-        for _ in range(self.num_clusterings):
-            clusters = hierarchical_two_pivot_clusters(
-                data, self.min_cluster_size, rng, counter=counter
-            )
-            for cluster in clusters:
-                if len(cluster) < 2:
-                    continue
-                for u, v, w in euclidean_mst(data[cluster], counter=counter):
-                    a, b = int(cluster[u]), int(cluster[v])
-                    key = (a, b) if a < b else (b, a)
-                    edge_weights.setdefault(key, w)
-        per_vertex: list[list[tuple[float, int]]] = [[] for _ in range(n)]
-        for (a, b), w in edge_weights.items():
-            per_vertex[a].append((w, b))
-            per_vertex[b].append((w, a))
-        graph = Graph(n)
-        for v, incident in enumerate(per_vertex):
-            incident.sort()
-            graph.set_neighbors(v, [u for _, u in incident[: self.max_degree]])
-        self.graph = graph
+        state: dict = {}
+
+        def cluster_phase():
+            # the shared rng threads through all clusterings, so this loop
+            # is inherently sequential; n_workers is a no-op for HCNNG
+            rng = np.random.default_rng(self.seed)
+            edge_weights: dict[tuple[int, int], float] = {}
+            for _ in range(self.num_clusterings):
+                clusters = hierarchical_two_pivot_clusters(
+                    data, self.min_cluster_size, rng, counter=counter
+                )
+                for cluster in clusters:
+                    if len(cluster) < 2:
+                        continue
+                    for u, v, w in euclidean_mst(
+                        data[cluster], counter=counter
+                    ):
+                        a, b = int(cluster[u]), int(cluster[v])
+                        key = (a, b) if a < b else (b, a)
+                        edge_weights.setdefault(key, w)
+            state["edge_weights"] = edge_weights
+
+        def cap_phase():
+            per_vertex: list[list[tuple[float, int]]] = [[] for _ in range(n)]
+            for (a, b), w in state["edge_weights"].items():
+                per_vertex[a].append((w, b))
+                per_vertex[b].append((w, a))
+            graph = Graph(n)
+            for v, incident in enumerate(per_vertex):
+                incident.sort()
+                graph.set_neighbors(
+                    v, [u for _, u in incident[: self.max_degree]]
+                )
+            self.graph = graph
+
+        return [("c2+c3", cluster_phase), ("c2+c3", cap_phase)]
 
     def _route(self, query, seeds, ef, counter, ctx=None, budget=None) -> SearchResult:
         return guided_search(

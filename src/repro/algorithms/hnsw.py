@@ -35,8 +35,9 @@ class HNSW(GraphANNS):
         m: int = 10,
         ef_construction: int = 40,
         seed: int = 0,
+        n_workers: int = 1,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.m = m
         self.m0 = 2 * m           # base-layer degree bound, per the paper
         self.ef_construction = ef_construction
@@ -47,32 +48,49 @@ class HNSW(GraphANNS):
 
     # -- construction ---------------------------------------------------
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+    def _build_phases(self, data: np.ndarray, bctx):
+        # incremental insertion is inherently sequential (each point
+        # searches the graph every earlier point mutated), so the
+        # refinement loop runs on one thread at any worker count
+        counter = bctx.counter
         n = len(data)
-        rng = np.random.default_rng(self.seed)
-        levels = np.minimum(
-            (-np.log(rng.random(n)) * self.level_mult).astype(np.int64), 12
-        )
-        self.max_level = int(levels.max())
-        self.layers = [Graph(n) for _ in range(self.max_level + 1)]
-        order = rng.permutation(n)
-        # start with the first point as the global entry
-        first = int(order[0])
-        self.entry_point = first
-        current_max = int(levels[first])
-        inserted_any = False
-        for p in order:
-            p = int(p)
-            if not inserted_any:
-                inserted_any = True
-                continue
-            self._insert(p, int(levels[p]), data, counter)
-            if levels[p] > current_max:
-                current_max = int(levels[p])
-                self.entry_point = p
-        self.graph = self.layers[0]
-        self.seed_provider = FixedSeeds(np.asarray([self.entry_point]))
-        self._rng = rng
+        state: dict = {}
+
+        def init_phase():
+            rng = np.random.default_rng(self.seed)
+            levels = np.minimum(
+                (-np.log(rng.random(n)) * self.level_mult).astype(np.int64),
+                12,
+            )
+            self.max_level = int(levels.max())
+            self.layers = [Graph(n) for _ in range(self.max_level + 1)]
+            order = rng.permutation(n)
+            # start with the first point as the global entry
+            first = int(order[0])
+            self.entry_point = first
+            state["levels"] = levels
+            state["order"] = order
+            state["current_max"] = int(levels[first])
+            state["rng"] = rng
+
+        def insert_phase():
+            levels = state["levels"]
+            current_max = state["current_max"]
+            inserted_any = False
+            for p in state["order"]:
+                p = int(p)
+                if not inserted_any:
+                    inserted_any = True
+                    continue
+                self._insert(p, int(levels[p]), data, counter)
+                if levels[p] > current_max:
+                    current_max = int(levels[p])
+                    self.entry_point = p
+            self.graph = self.layers[0]
+            self.seed_provider = FixedSeeds(np.asarray([self.entry_point]))
+            self._rng = state["rng"]
+
+        return [("c1", init_phase), ("c2+c3", insert_phase)]
 
     def insert(self, vector: np.ndarray) -> int:
         """Incremental insertion — HNSW's native construction step."""
@@ -192,10 +210,8 @@ class HNSW(GraphANNS):
         result.hops += hops
         return result
 
-    def index_size_bytes(self) -> int:
-        """Base layer plus the hierarchy's upper layers (the paper's
-        memory-usage caveat for HNSW)."""
-        if self.graph is None:
-            return 0
+    def aux_size_bytes(self) -> int:
+        """The hierarchy's upper layers (the paper's memory-usage caveat
+        for HNSW) — the C4 auxiliary structure over the base graph."""
         upper = sum(g.index_size_bytes() for g in self.layers[1:])
-        return self.graph.index_size_bytes() + upper
+        return upper + self.seed_provider.extra_bytes

@@ -12,7 +12,6 @@ import numpy as np
 
 from repro.algorithms.base import GraphANNS
 from repro.components.seeding import LSHSeeds
-from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 from repro.graphs.knng import exact_knn_lists
 
@@ -24,13 +23,17 @@ class IEH(GraphANNS):
 
     name = "ieh"
 
-    def __init__(self, k: int = 20, num_seeds: int = 10, seed: int = 0):
-        super().__init__(seed=seed)
+    def __init__(self, k: int = 20, num_seeds: int = 10, seed: int = 0,
+                 n_workers: int = 1):
+        super().__init__(seed=seed, n_workers=n_workers)
         self.k = k
         self.seed_provider = LSHSeeds(count=num_seeds, seed=seed)
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
-        ids, dists = exact_knn_lists(data, self.k, counter=counter)
-        self.graph = Graph(len(data), ids.tolist())
-        self.knn_ids = ids
-        self.knn_dists = dists
+    def _build_phases(self, data: np.ndarray, bctx):
+        def init_phase():
+            ids, dists = exact_knn_lists(data, self.k, counter=bctx.counter)
+            self.graph = Graph(len(data), ids.tolist())
+            self.knn_ids = ids
+            self.knn_dists = dists
+
+        return [("c1", init_phase)]

@@ -15,7 +15,6 @@ from repro.algorithms.base import GraphANNS
 from repro.components.routing import SearchResult, range_search
 from repro.components.selection import path_adjustment
 from repro.components.seeding import RandomSeeds
-from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 from repro.graphs.knng import exact_knn_lists
 
@@ -35,27 +34,44 @@ class KDR(GraphANNS):
         routing: str = "bfs",
         epsilon: float = 0.1,
         seed: int = 0,
+        n_workers: int = 1,
     ):
         if routing not in ("bfs", "rs"):
             raise ValueError(f"routing must be 'bfs' or 'rs', got {routing!r}")
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.k = k
         self.max_degree = max_degree
         self.routing = routing
         self.epsilon = epsilon
         self.seed_provider = RandomSeeds(count=num_seeds, seed=seed)
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
-        ids, _ = exact_knn_lists(data, self.k, counter=counter)
-        knng = Graph(len(data), ids.tolist())
-        pruned = path_adjustment(
-            knng, data, self.max_degree, counter=counter, strict=True
-        )
-        # reverse edges are added back (Appendix H: "the actual number
-        # of neighbors may exceed R due to the addition of reverse edges")
-        for u, v in list(pruned.edges()):
-            pruned.add_edge(v, u)
-        self.graph = pruned
+    def _build_phases(self, data: np.ndarray, bctx):
+        counter = bctx.counter
+        state: dict = {}
+
+        def init_phase():
+            ids, _ = exact_knn_lists(data, self.k, counter=counter)
+            state["knng"] = Graph(len(data), ids.tolist())
+
+        def prune_phase():
+            state["pruned"] = path_adjustment(
+                state["knng"], data, self.max_degree, counter=counter,
+                strict=True,
+            )
+
+        def undirect_phase():
+            pruned = state["pruned"]
+            # reverse edges are added back (Appendix H: "the actual number
+            # of neighbors may exceed R due to the addition of reverse edges")
+            for u, v in list(pruned.edges()):
+                pruned.add_edge(v, u)
+            self.graph = pruned
+
+        return [
+            ("c1", init_phase),
+            ("c2+c3", prune_phase),
+            ("c5", undirect_phase),
+        ]
 
     def _route(self, query, seeds, ef, counter, ctx=None, budget=None) -> SearchResult:
         # the paper lists "BFS or RS" for k-DR (Table 9)

@@ -10,7 +10,6 @@ import numpy as np
 
 from repro.algorithms.base import GraphANNS
 from repro.components.seeding import RandomSeeds
-from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 from repro.nndescent import nn_descent
 
@@ -29,22 +28,27 @@ class KGraph(GraphANNS):
         sample_rate: float = 1.0,
         num_seeds: int = 8,
         seed: int = 0,
+        n_workers: int = 1,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.k = k
         self.iterations = iterations
         self.sample_rate = sample_rate
         self.seed_provider = RandomSeeds(count=num_seeds, seed=seed)
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
-        result = nn_descent(
-            data,
-            self.k,
-            iterations=self.iterations,
-            counter=counter,
-            seed=self.seed,
-            sample_rate=self.sample_rate,
-        )
-        self.graph = Graph(len(data), result.ids.tolist())
-        self.knn_ids = result.ids
-        self.knn_dists = result.dists
+    def _build_phases(self, data: np.ndarray, bctx):
+        def init_phase():
+            result = nn_descent(
+                data,
+                self.k,
+                iterations=self.iterations,
+                counter=bctx.counter,
+                seed=self.seed,
+                sample_rate=self.sample_rate,
+                bctx=bctx,
+            )
+            self.graph = Graph(len(data), result.ids.tolist())
+            self.knn_ids = result.ids
+            self.knn_dists = result.dists
+
+        return [("c1", init_phase)]

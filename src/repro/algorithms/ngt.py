@@ -37,8 +37,9 @@ class _NGTBase(GraphANNS):
         epsilon: float = 0.1,
         num_seeds: int = 4,
         seed: int = 0,
+        n_workers: int = 1,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.k = k
         self.ef_construction = ef_construction
         self.max_degree = max_degree
@@ -82,11 +83,19 @@ class NGTPanng(_NGTBase):
 
     name = "ngt-panng"
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
-        anng = self._build_anng(data, counter)
-        self.graph = path_adjustment(
-            anng, data, self.max_degree, counter=counter
-        )
+    def _build_phases(self, data: np.ndarray, bctx):
+        counter = bctx.counter
+        state: dict = {}
+
+        def init_phase():
+            state["anng"] = self._build_anng(data, counter)
+
+        def adjust_phase():
+            self.graph = path_adjustment(
+                state["anng"], data, self.max_degree, counter=counter
+            )
+
+        return [("c1", init_phase), ("c2+c3", adjust_phase)]
 
 
 class NGTOnng(_NGTBase):
@@ -99,35 +108,44 @@ class NGTOnng(_NGTBase):
         self.out_edges = out_edges
         self.in_edges = in_edges
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
-        anng = self._build_anng(data, counter)
-        adjusted = Graph(anng.n)
-        # out-degree adjustment: keep each vertex's closest out_edges
-        for p in range(anng.n):
-            nbrs = anng.neighbor_array(p)
-            if len(nbrs) == 0:
-                continue
-            dists = counter.one_to_many(data[p], data[nbrs])
-            order = np.argsort(dists, kind="stable")[: self.out_edges]
-            adjusted.set_neighbors(p, nbrs[order])
-        # in-degree adjustment: ensure each vertex receives in_edges edges
-        in_degree = np.zeros(anng.n, dtype=np.int64)
-        for _, v in adjusted.edges():
-            in_degree[v] += 1
-        for v in range(anng.n):
-            if in_degree[v] >= self.in_edges:
-                continue
-            nbrs = anng.neighbor_array(v)
-            if len(nbrs) == 0:
-                continue
-            dists = counter.one_to_many(data[v], data[nbrs])
-            for u in nbrs[np.argsort(dists, kind="stable")]:
+    def _build_phases(self, data: np.ndarray, bctx):
+        counter = bctx.counter
+        state: dict = {}
+
+        def init_phase():
+            state["anng"] = self._build_anng(data, counter)
+
+        def adjust_phase():
+            anng = state["anng"]
+            adjusted = Graph(anng.n)
+            # out-degree adjustment: keep each vertex's closest out_edges
+            for p in range(anng.n):
+                nbrs = anng.neighbor_array(p)
+                if len(nbrs) == 0:
+                    continue
+                dists = counter.one_to_many(data[p], data[nbrs])
+                order = np.argsort(dists, kind="stable")[: self.out_edges]
+                adjusted.set_neighbors(p, nbrs[order])
+            # in-degree adjustment: ensure each vertex receives in_edges edges
+            in_degree = np.zeros(anng.n, dtype=np.int64)
+            for _, v in adjusted.edges():
+                in_degree[v] += 1
+            for v in range(anng.n):
                 if in_degree[v] >= self.in_edges:
-                    break
-                u = int(u)
-                if v not in adjusted.neighbors(u):
-                    adjusted.add_edge(u, v)
-                    in_degree[v] += 1
-        self.graph = path_adjustment(
-            adjusted, data, self.max_degree, counter=counter
-        )
+                    continue
+                nbrs = anng.neighbor_array(v)
+                if len(nbrs) == 0:
+                    continue
+                dists = counter.one_to_many(data[v], data[nbrs])
+                for u in nbrs[np.argsort(dists, kind="stable")]:
+                    if in_degree[v] >= self.in_edges:
+                        break
+                    u = int(u)
+                    if v not in adjusted.neighbors(u):
+                        adjusted.add_edge(u, v)
+                        in_degree[v] += 1
+            self.graph = path_adjustment(
+                adjusted, data, self.max_degree, counter=counter
+            )
+
+        return [("c1", init_phase), ("c2+c3", adjust_phase)]

@@ -15,6 +15,9 @@ import numpy as np
 from repro.algorithms.base import GraphANNS
 from repro.components.candidates import candidates_by_search
 from repro.components.connectivity import ensure_reachable_from
+from repro.components.context import BuildContext
+from repro.components.refinement import map_refine, search_candidates
+from repro.components.refinement import select_rng as fast_select_rng
 from repro.components.selection import select_rng_heuristic
 from repro.components.seeding import CentroidSeeds
 from repro.distance import DistanceCounter, l2_batch
@@ -36,40 +39,82 @@ class NSG(GraphANNS):
         candidate_ef: int = 40,
         max_degree: int = 20,
         seed: int = 0,
+        n_workers: int = 1,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.init_k = init_k
         self.iterations = iterations
         self.candidate_ef = candidate_ef
         self.max_degree = max_degree
         self.seed_provider = CentroidSeeds()
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+    def _build_phases(self, data: np.ndarray, bctx: BuildContext):
+        counter = bctx.counter
         n = len(data)
-        init = nn_descent(
-            data, self.init_k, iterations=self.iterations, counter=counter,
-            seed=self.seed,
-        )
-        init_graph = Graph(n, init.ids.tolist()).finalize()
-        mean = data.mean(axis=0)
-        medoid = int(np.argmin(counter.one_to_many(mean, data)))
+        state: dict = {}
 
-        graph = Graph(n)
-        entry = np.asarray([medoid], dtype=np.int64)
-        for p in range(n):
-            found_ids, found_dists = candidates_by_search(
-                init_graph, data, p, self.candidate_ef, entry, counter=counter
+        def init_phase():
+            init = nn_descent(
+                data, self.init_k, iterations=self.iterations,
+                counter=counter, seed=self.seed, bctx=bctx,
             )
-            # NSG pools the search results with the point's KNN list
-            pool = np.unique(np.concatenate([found_ids, init.ids[p]]))
-            pool = pool[pool != p]
-            pool_dists = counter.one_to_many(data[p], data[pool])
-            order = np.argsort(pool_dists, kind="stable")
-            selected = select_rng_heuristic(
-                data[p], pool[order], pool_dists[order], data,
-                self.max_degree, counter=counter,
+            state["init"] = init
+            state["init_graph"] = Graph(n, init.ids.tolist()).finalize()
+
+        def entry_phase():
+            mean = data.mean(axis=0)
+            state["medoid"] = int(np.argmin(counter.one_to_many(mean, data)))
+
+        def refine_phase():
+            init = state["init"]
+            init_graph = state["init_graph"]
+            graph = Graph(n)
+            entry = np.asarray([state["medoid"]], dtype=np.int64)
+            if bctx.parallel:
+                def refine_point(p, worker):
+                    found_ids, found_dists = search_candidates(
+                        worker, init_graph, data, p, self.candidate_ef, entry
+                    )
+                    pool = np.unique(np.concatenate([found_ids, init.ids[p]]))
+                    pool = pool[pool != p]
+                    pool_dists = worker.counter.one_to_many(data[p], data[pool])
+                    order = np.argsort(pool_dists, kind="stable")
+                    return fast_select_rng(
+                        data[p], pool[order], pool_dists[order], data,
+                        self.max_degree, counter=worker.counter,
+                    )
+
+                map_refine(bctx, n, refine_point,
+                           lambda p, selected: graph.set_neighbors(p, selected))
+            else:
+                for p in range(n):
+                    found_ids, found_dists = candidates_by_search(
+                        init_graph, data, p, self.candidate_ef, entry,
+                        counter=counter,
+                    )
+                    # NSG pools the search results with the point's KNN list
+                    pool = np.unique(np.concatenate([found_ids, init.ids[p]]))
+                    pool = pool[pool != p]
+                    pool_dists = counter.one_to_many(data[p], data[pool])
+                    order = np.argsort(pool_dists, kind="stable")
+                    selected = select_rng_heuristic(
+                        data[p], pool[order], pool_dists[order], data,
+                        self.max_degree, counter=counter,
+                    )
+                    graph.set_neighbors(p, selected)
+            state["graph"] = graph
+
+        def connect_phase():
+            ensure_reachable_from(
+                state["graph"], data, state["medoid"], counter=counter,
+                ctx=bctx.search_context(),
             )
-            graph.set_neighbors(p, selected)
-        ensure_reachable_from(graph, data, medoid, counter=counter)
-        self.graph = graph
-        self.medoid = medoid
+            self.graph = state["graph"]
+            self.medoid = state["medoid"]
+
+        return [
+            ("c1", init_phase),
+            ("c4", entry_phase),
+            ("c2+c3", refine_phase),
+            ("c5", connect_phase),
+        ]

@@ -14,9 +14,9 @@ import numpy as np
 from repro.algorithms.base import GraphANNS
 from repro.components.candidates import candidates_by_expansion
 from repro.components.connectivity import ensure_reachable_from
+from repro.components.refinement import map_refine
 from repro.components.selection import select_angle_threshold
 from repro.components.seeding import RandomSeeds
-from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 from repro.nndescent import nn_descent
 
@@ -37,8 +37,9 @@ class NSSG(GraphANNS):
         min_angle_deg: float = 60.0,
         num_seeds: int = 8,
         seed: int = 0,
+        n_workers: int = 1,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.init_k = init_k
         self.iterations = iterations
         self.candidate_limit = candidate_limit
@@ -46,22 +47,57 @@ class NSSG(GraphANNS):
         self.min_angle_deg = min_angle_deg
         self.seed_provider = RandomSeeds(count=num_seeds, seed=seed)
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+    def _build_phases(self, data: np.ndarray, bctx):
+        counter = bctx.counter
         n = len(data)
-        init = nn_descent(
-            data, self.init_k, iterations=self.iterations, counter=counter,
-            seed=self.seed,
-        )
-        graph = Graph(n)
-        for p in range(n):
-            cand_ids, cand_dists = candidates_by_expansion(
-                init.ids, data, p, self.candidate_limit, counter=counter
+        state: dict = {}
+
+        def init_phase():
+            state["init"] = nn_descent(
+                data, self.init_k, iterations=self.iterations,
+                counter=counter, seed=self.seed, bctx=bctx,
             )
-            selected = select_angle_threshold(
-                data[p], cand_ids, cand_dists, data,
-                self.max_degree, min_angle_deg=self.min_angle_deg,
+
+        def refine_phase():
+            init = state["init"]
+            graph = Graph(n)
+            if bctx.parallel:
+                def refine_point(p, worker):
+                    cand_ids, cand_dists = candidates_by_expansion(
+                        init.ids, data, p, self.candidate_limit,
+                        counter=worker.counter,
+                    )
+                    return select_angle_threshold(
+                        data[p], cand_ids, cand_dists, data,
+                        self.max_degree, min_angle_deg=self.min_angle_deg,
+                    )
+
+                map_refine(bctx, n, refine_point,
+                           lambda p, sel: graph.set_neighbors(p, sel))
+            else:
+                for p in range(n):
+                    cand_ids, cand_dists = candidates_by_expansion(
+                        init.ids, data, p, self.candidate_limit,
+                        counter=counter,
+                    )
+                    selected = select_angle_threshold(
+                        data[p], cand_ids, cand_dists, data,
+                        self.max_degree, min_angle_deg=self.min_angle_deg,
+                    )
+                    graph.set_neighbors(p, selected)
+            state["graph"] = graph
+
+        def connect_phase():
+            graph = state["graph"]
+            root = int(np.random.default_rng(self.seed).integers(n))
+            ensure_reachable_from(
+                graph, data, root, counter=counter,
+                ctx=bctx.search_context(),
             )
-            graph.set_neighbors(p, selected)
-        root = int(np.random.default_rng(self.seed).integers(n))
-        ensure_reachable_from(graph, data, root, counter=counter)
-        self.graph = graph
+            self.graph = graph
+
+        return [
+            ("c1", init_phase),
+            ("c2+c3", refine_phase),
+            ("c5", connect_phase),
+        ]

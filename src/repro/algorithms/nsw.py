@@ -32,36 +32,51 @@ class NSW(GraphANNS):
         ef_construction: int = 40,
         num_seeds: int = 4,
         seed: int = 0,
+        n_workers: int = 1,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.max_m = max_m
         self.ef_construction = ef_construction
         self.seed_provider = RandomSeeds(count=num_seeds, seed=seed)
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+    def _build_phases(self, data: np.ndarray, bctx):
+        # sequential by nature: each insertion searches the graph built
+        # by all previous ones, so n_workers has no effect here
+        counter = bctx.counter
         n = len(data)
-        rng = np.random.default_rng(self.seed)
-        order = rng.permutation(n)
-        graph = Graph(n)
-        inserted: list[int] = []
-        for pos, p in enumerate(order):
-            p = int(p)
-            if pos == 0:
+        state: dict = {}
+
+        def init_phase():
+            rng = np.random.default_rng(self.seed)
+            state["rng"] = rng
+            state["order"] = rng.permutation(n)
+            state["graph"] = Graph(n)
+
+        def insert_phase():
+            rng = state["rng"]
+            graph = state["graph"]
+            inserted: list[int] = []
+            for pos, p in enumerate(state["order"]):
+                p = int(p)
+                if pos == 0:
+                    inserted.append(p)
+                    continue
+                m = min(self.max_m, len(inserted))
+                entry = np.asarray(
+                    [inserted[int(rng.integers(len(inserted)))]],
+                    dtype=np.int64,
+                )
+                result = best_first_search(
+                    graph, data, data[p], entry,
+                    ef=max(self.ef_construction, m), counter=counter,
+                )
+                for neighbor in result.ids[:m]:
+                    graph.add_undirected_edge(p, int(neighbor))
                 inserted.append(p)
-                continue
-            m = min(self.max_m, len(inserted))
-            entry = np.asarray(
-                [inserted[int(rng.integers(len(inserted)))]], dtype=np.int64
-            )
-            result = best_first_search(
-                graph, data, data[p], entry,
-                ef=max(self.ef_construction, m), counter=counter,
-            )
-            for neighbor in result.ids[:m]:
-                graph.add_undirected_edge(p, int(neighbor))
-            inserted.append(p)
-        self.graph = graph
-        self._rng = rng
+            self.graph = graph
+            self._rng = rng
+
+        return [("c1", init_phase), ("c2+c3", insert_phase)]
 
     def insert(self, vector: np.ndarray) -> int:
         """Incremental insertion — NSW's native construction step."""

@@ -19,6 +19,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.algorithms.base import GraphANNS
+from repro.components.refinement import map_refine
+from repro.components.refinement import select_rng as fast_select_rng
 from repro.components.routing import SearchResult, iterated_search
 from repro.components.selection import select_rng_heuristic
 from repro.components.seeding import KDTreeSeeds, KMeansTreeSeeds
@@ -40,8 +42,9 @@ class _SPTAGBase(GraphANNS):
         propagation_rounds: int = 1,
         max_restarts: int = 4,
         seed: int = 0,
+        n_workers: int = 1,
     ):
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.k = k
         self.num_divisions = num_divisions
         self.leaf_size = leaf_size
@@ -104,13 +107,14 @@ class _SPTAGBase(GraphANNS):
         dists: np.ndarray,
         data: np.ndarray,
         counter: DistanceCounter,
+        bctx=None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Neighborhood propagation: one NN-expansion round per call."""
         from repro.nndescent import nn_descent
 
         result = nn_descent(
             data, self.k, iterations=self.propagation_rounds,
-            counter=counter, seed=self.seed, initial_ids=ids,
+            counter=counter, seed=self.seed, initial_ids=ids, bctx=bctx,
         )
         return result.ids, result.dists
 
@@ -139,10 +143,22 @@ class SPTAGKDT(_SPTAGBase):
             num_trees=num_trees, count=num_seeds, seed=self.seed
         )
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
-        ids, dists = self._merged_knn_lists(data, counter)
-        ids, dists = self._propagate(ids, dists, data, counter)
-        self.graph = Graph(len(data), ids.tolist())
+    def _build_phases(self, data: np.ndarray, bctx):
+        counter = bctx.counter
+        state: dict = {}
+
+        def init_phase():
+            state["ids"], state["dists"] = self._merged_knn_lists(
+                data, counter
+            )
+
+        def propagate_phase():
+            ids, _ = self._propagate(
+                state["ids"], state["dists"], data, counter, bctx=bctx
+            )
+            self.graph = Graph(len(data), ids.tolist())
+
+        return [("c1", init_phase), ("c2+c3", propagate_phase)]
 
 
 class SPTAGBKT(_SPTAGBase):
@@ -155,16 +171,39 @@ class SPTAGBKT(_SPTAGBase):
         self.rng_prune = rng_prune
         self.seed_provider = KMeansTreeSeeds(count=num_seeds, seed=self.seed)
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
-        ids, dists = self._merged_knn_lists(data, counter)
-        ids, dists = self._propagate(ids, dists, data, counter)
-        graph = Graph(len(data))
-        if self.rng_prune:
-            for p in range(len(data)):
-                selected = select_rng_heuristic(
-                    data[p], ids[p], dists[p], data, self.k, counter=counter
-                )
-                graph.set_neighbors(p, selected)
-        else:
-            graph = Graph(len(data), ids.tolist())
-        self.graph = graph
+    def _build_phases(self, data: np.ndarray, bctx):
+        counter = bctx.counter
+        state: dict = {}
+
+        def init_phase():
+            state["ids"], state["dists"] = self._merged_knn_lists(
+                data, counter
+            )
+
+        def refine_phase():
+            ids, dists = self._propagate(
+                state["ids"], state["dists"], data, counter, bctx=bctx
+            )
+            if not self.rng_prune:
+                self.graph = Graph(len(data), ids.tolist())
+                return
+            graph = Graph(len(data))
+            if bctx.parallel:
+                def prune_point(p, worker):
+                    return fast_select_rng(
+                        data[p], ids[p], dists[p], data, self.k,
+                        counter=worker.counter,
+                    )
+
+                map_refine(bctx, len(data), prune_point,
+                           lambda p, sel: graph.set_neighbors(p, sel))
+            else:
+                for p in range(len(data)):
+                    selected = select_rng_heuristic(
+                        data[p], ids[p], dists[p], data, self.k,
+                        counter=counter,
+                    )
+                    graph.set_neighbors(p, selected)
+            self.graph = graph
+
+        return [("c1", init_phase), ("c2+c3", refine_phase)]

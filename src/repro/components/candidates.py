@@ -33,6 +33,7 @@ def candidates_by_search(
     ef: int,
     seeds: np.ndarray,
     counter: DistanceCounter | None = None,
+    ctx=None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """ANNS on the (partial) graph with the point itself as the query.
 
@@ -46,7 +47,7 @@ def candidates_by_search(
     """
     result = best_first_search(
         graph, data, data[point_id], seeds, ef=ef, counter=counter,
-        record_visited=True,
+        record_visited=True, ctx=ctx,
     )
     mask = result.visited_ids != point_id
     return result.visited_ids[mask], result.visited_dists[mask]

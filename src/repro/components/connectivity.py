@@ -29,6 +29,7 @@ def ensure_reachable_from(
     root: int,
     counter: DistanceCounter | None = None,
     ef: int = 32,
+    ctx=None,
 ) -> Graph:
     """Make every vertex reachable from ``root`` (directed), in place.
 
@@ -42,7 +43,8 @@ def ensure_reachable_from(
         graph.finalize()
         stranded = int(np.flatnonzero(~seen)[0])
         result = best_first_search(
-            graph, data, data[stranded], np.asarray([root]), ef=ef, counter=counter
+            graph, data, data[stranded], np.asarray([root]), ef=ef,
+            counter=counter, ctx=ctx,
         )
         attach = next((int(i) for i in result.ids if seen[i]), root)
         graph.add_edge(attach, stranded)

@@ -30,7 +30,7 @@ import numpy as np
 from repro import _native, faults
 from repro.distance import sq_dists_to_rows, squared_norms
 
-__all__ = ["SearchContext"]
+__all__ = ["SearchContext", "BuildContext", "PhaseStats"]
 
 
 class SearchContext:
@@ -39,7 +39,7 @@ class SearchContext:
     __slots__ = (
         "data", "norms_sq", "visit_gen", "generation",
         "candidates", "results", "query64", "query_sq", "native",
-        "_cand_d", "_cand_i", "_res_d", "_res_i",
+        "_cand_d", "_cand_i", "_res_d", "_res_i", "_vis_i", "_vis_d",
     )
 
     def __init__(self, data: np.ndarray, norms_sq: np.ndarray | None = None):
@@ -61,6 +61,8 @@ class SearchContext:
         self._cand_i: np.ndarray | None = None
         self._res_d: np.ndarray | None = None
         self._res_i: np.ndarray | None = None
+        self._vis_i: np.ndarray | None = None
+        self._vis_d: np.ndarray | None = None
 
     def compatible(self, data: np.ndarray) -> bool:
         """Whether this context's scratch belongs to ``data``."""
@@ -110,3 +112,87 @@ class SearchContext:
             self._res_d = np.empty(max(ef, 64), dtype=np.float64)
             self._res_i = np.empty(max(ef, 64), dtype=np.int32)
         return self._cand_d, self._cand_i, self._res_d, self._res_i
+
+    def visited_scratch(self):
+        """Buffers the build kernel fills with every evaluated (id, sq)."""
+        if self._vis_i is None or len(self._vis_i) < len(self.data):
+            self._vis_i = np.empty(len(self.data), dtype=np.int32)
+            self._vis_d = np.empty(len(self.data), dtype=np.float64)
+        return self._vis_i, self._vis_d
+
+
+class PhaseStats:
+    """Wall-clock + NDC accumulated for one build phase (C1..C5 label)."""
+
+    __slots__ = ("wall_s", "ndc")
+
+    def __init__(self, wall_s: float = 0.0, ndc: int = 0):
+        self.wall_s = wall_s
+        self.ndc = ndc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PhaseStats(wall_s={self.wall_s:.4f}, ndc={self.ndc})"
+
+
+class BuildContext:
+    """Shared construction-time state threaded through every builder.
+
+    Construction mirrors what :class:`SearchContext` did for routing:
+    one object owns the distance counter, the cached squared norms, a
+    reusable search context and (for ``n_workers > 1``) a worker pool,
+    so the per-point refinement loop never re-creates scratch state.
+    :meth:`run_phase` executes one declarative phase (see
+    ``GraphANNS._build_phases``) and charges its wall-clock and NDC to
+    the phase's C1–C5 label; repeated labels accumulate, so the recorded
+    phases always sum exactly to the build totals.
+    """
+
+    def __init__(self, data: np.ndarray, seed: int = 0, n_workers: int = 1,
+                 counter=None):
+        from repro.distance import DistanceCounter
+
+        self.data = data
+        self.seed = seed
+        self.n_workers = max(1, int(n_workers))
+        self.counter = DistanceCounter() if counter is None else counter
+        self.norms_sq = squared_norms(data)
+        self.phases: dict[str, PhaseStats] = {}
+        self._ctx: SearchContext | None = None
+        self._pool = None
+
+    @property
+    def parallel(self) -> bool:
+        """Whether the batched/parallel refinement engine is engaged."""
+        return self.n_workers > 1
+
+    def search_context(self) -> SearchContext:
+        """The build's reusable main-thread search context."""
+        if self._ctx is None:
+            self._ctx = SearchContext(self.data, norms_sq=self.norms_sq)
+        return self._ctx
+
+    def run_phase(self, label: str, fn) -> None:
+        """Execute ``fn()`` and charge its wall/NDC to phase ``label``."""
+        from time import perf_counter
+
+        start_wall = perf_counter()
+        start_ndc = self.counter.count
+        fn()
+        stats = self.phases.setdefault(label, PhaseStats())
+        stats.wall_s += perf_counter() - start_wall
+        stats.ndc += self.counter.count - start_ndc
+
+    def pool(self):
+        """The lazily-created refinement thread pool (n_workers wide)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.n_workers, thread_name_prefix="repro-build"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None

@@ -28,13 +28,15 @@ __all__ = [
     "VPTreeSeeds",
     "KMeansTreeSeeds",
     "LSHSeeds",
+    "provider_from_spec",
 ]
 
 
 class SeedProvider:
     """Base class: C4 = :meth:`prepare`, C6 = :meth:`acquire`."""
 
-    #: preprocessing bytes beyond the graph itself (Table 5 MO driver)
+    #: preprocessing bytes beyond the graph itself (Table 5 MO driver);
+    #: measured from the actual auxiliary structure during :meth:`prepare`
     extra_bytes: int = 0
 
     def prepare(self, data: np.ndarray, graph: Graph) -> None:
@@ -46,12 +48,23 @@ class SeedProvider:
         """Return the seed ids for one query."""
         raise NotImplementedError
 
+    def spec(self) -> dict:
+        """JSON-safe construction recipe (kind + parameters).
+
+        ``provider_from_spec`` inverts this, so a persisted index can
+        reconstruct the provider — including its stochastic state — by
+        calling :meth:`prepare` on the loaded data, instead of freezing
+        a snapshot of seeds at save time.
+        """
+        raise NotImplementedError
+
 
 class RandomSeeds(SeedProvider):
     """KGraph/FANNG/NSW/DPG: random entries, no preprocessing."""
 
     def __init__(self, count: int = 8, seed: int = 0):
         self.count = count
+        self.seed = seed
         self._rng = np.random.default_rng(seed)
         self._n = 0
 
@@ -60,6 +73,9 @@ class RandomSeeds(SeedProvider):
 
     def acquire(self, query, counter=None) -> np.ndarray:
         return self._rng.integers(0, self._n, size=min(self.count, self._n))
+
+    def spec(self) -> dict:
+        return {"kind": "random", "count": self.count, "seed": self.seed}
 
 
 class FixedSeeds(SeedProvider):
@@ -70,6 +86,9 @@ class FixedSeeds(SeedProvider):
 
     def acquire(self, query, counter=None) -> np.ndarray:
         return self._ids
+
+    def spec(self) -> dict:
+        return {"kind": "fixed", "ids": [int(i) for i in self._ids]}
 
 
 class CentroidSeeds(SeedProvider):
@@ -89,6 +108,9 @@ class CentroidSeeds(SeedProvider):
     def acquire(self, query, counter=None) -> np.ndarray:
         return np.asarray([self._medoid], dtype=np.int64)
 
+    def spec(self) -> dict:
+        return {"kind": "centroid"}
+
 
 class KDTreeSeeds(SeedProvider):
     """EFANNA/SPTAG-KDT: ANNS over randomized KD-trees (pays NDC)."""
@@ -103,7 +125,7 @@ class KDTreeSeeds(SeedProvider):
         self._trees = [
             KDTree(data, seed=self.seed + t) for t in range(self.num_trees)
         ]
-        self.extra_bytes = len(data) * 8 * self.num_trees
+        self.extra_bytes = sum(tree.nbytes() for tree in self._trees)
 
     def acquire(self, query, counter=None) -> np.ndarray:
         per_tree = max(1, self.count // len(self._trees))
@@ -112,6 +134,14 @@ class KDTreeSeeds(SeedProvider):
             for tree in self._trees
         ]
         return np.unique(np.concatenate(found))[: self.count]
+
+    def spec(self) -> dict:
+        return {
+            "kind": "kdtree",
+            "num_trees": self.num_trees,
+            "count": self.count,
+            "seed": self.seed,
+        }
 
 
 class KDTreeDescendSeeds(SeedProvider):
@@ -132,7 +162,7 @@ class KDTreeDescendSeeds(SeedProvider):
         self._trees = [
             KDTree(data, seed=self.seed + t) for t in range(self.num_trees)
         ]
-        self.extra_bytes = len(data) * 8 * self.num_trees
+        self.extra_bytes = sum(tree.nbytes() for tree in self._trees)
 
     def acquire(self, query, counter=None) -> np.ndarray:
         buckets = [tree.descend(query) for tree in self._trees]
@@ -140,6 +170,14 @@ class KDTreeDescendSeeds(SeedProvider):
         if len(pool) <= self.count:
             return pool
         return self._rng.choice(pool, size=self.count, replace=False)
+
+    def spec(self) -> dict:
+        return {
+            "kind": "kdtree-descend",
+            "num_trees": self.num_trees,
+            "count": self.count,
+            "seed": self.seed,
+        }
 
 
 class VPTreeSeeds(SeedProvider):
@@ -152,10 +190,13 @@ class VPTreeSeeds(SeedProvider):
 
     def prepare(self, data: np.ndarray, graph: Graph) -> None:
         self._tree = VPTree(data, seed=self.seed)
-        self.extra_bytes = len(data) * 12
+        self.extra_bytes = self._tree.nbytes()
 
     def acquire(self, query, counter=None) -> np.ndarray:
         return self._tree.search(query, self.count, counter=counter, max_nodes=24)
+
+    def spec(self) -> dict:
+        return {"kind": "vptree", "count": self.count, "seed": self.seed}
 
 
 class KMeansTreeSeeds(SeedProvider):
@@ -168,10 +209,13 @@ class KMeansTreeSeeds(SeedProvider):
 
     def prepare(self, data: np.ndarray, graph: Graph) -> None:
         self._tree = BalancedKMeansTree(data, seed=self.seed)
-        self.extra_bytes = len(data) * 16
+        self.extra_bytes = self._tree.nbytes()
 
     def acquire(self, query, counter=None) -> np.ndarray:
         return self._tree.search(query, self.count, counter=counter)
+
+    def spec(self) -> dict:
+        return {"kind": "kmeans-tree", "count": self.count, "seed": self.seed}
 
 
 class LSHSeeds(SeedProvider):
@@ -184,7 +228,34 @@ class LSHSeeds(SeedProvider):
 
     def prepare(self, data: np.ndarray, graph: Graph) -> None:
         self._lsh = RandomHyperplaneLSH(data, seed=self.seed)
-        self.extra_bytes = len(data) * 8 * self._lsh.num_tables
+        self.extra_bytes = self._lsh.nbytes()
 
     def acquire(self, query, counter=None) -> np.ndarray:
         return self._lsh.search(query, self.count, counter=counter)
+
+    def spec(self) -> dict:
+        return {"kind": "lsh", "count": self.count, "seed": self.seed}
+
+
+_SPEC_KINDS = {
+    "random": lambda s: RandomSeeds(count=s["count"], seed=s["seed"]),
+    "fixed": lambda s: FixedSeeds(np.asarray(s["ids"], dtype=np.int64)),
+    "centroid": lambda s: CentroidSeeds(),
+    "kdtree": lambda s: KDTreeSeeds(
+        num_trees=s["num_trees"], count=s["count"], seed=s["seed"]
+    ),
+    "kdtree-descend": lambda s: KDTreeDescendSeeds(
+        num_trees=s["num_trees"], count=s["count"], seed=s["seed"]
+    ),
+    "vptree": lambda s: VPTreeSeeds(count=s["count"], seed=s["seed"]),
+    "kmeans-tree": lambda s: KMeansTreeSeeds(count=s["count"], seed=s["seed"]),
+    "lsh": lambda s: LSHSeeds(count=s["count"], seed=s["seed"]),
+}
+
+
+def provider_from_spec(spec: dict) -> SeedProvider:
+    """Reconstruct a provider from its :meth:`SeedProvider.spec` recipe."""
+    kind = spec.get("kind")
+    if kind not in _SPEC_KINDS:
+        raise ValueError(f"unknown seed-provider kind {kind!r}")
+    return _SPEC_KINDS[kind](spec)

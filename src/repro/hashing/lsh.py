@@ -54,6 +54,15 @@ class RandomHyperplaneLSH:
         weights = 1 << np.arange(self.num_bits)
         return bits @ weights
 
+    def nbytes(self) -> int:
+        """Measured payload size: hyperplanes, center, and table entries."""
+        entries = sum(
+            len(bucket) for table in self._tables for bucket in table.values()
+        )
+        buckets = sum(len(table) for table in self._tables)
+        # 8 bytes per stored id, 8 per bucket key
+        return self._planes.nbytes + self._center.nbytes + 8 * (entries + buckets)
+
     def candidates(self, query: np.ndarray) -> np.ndarray:
         """Union of the query's buckets across tables (zero NDC)."""
         shifted = (query - self._center)[None, :]

@@ -8,15 +8,19 @@ neighbor array) and the entry points to a single ``.npz``;
 queries with best-first search from the stored entries.
 
 Auxiliary seed structures (KD-trees, LSH tables, ...) are *not*
-serialized — the stored entry points are the seeds that were fixed at
-save time — so the loaded index is search-equivalent for fixed-seed
-algorithms (HNSW entry, NSG medoid, OA entries) and uses the saved
-random seeds otherwise.
+serialized as bytes; instead the provider's construction recipe
+(kind + parameters, :meth:`SeedProvider.spec`) is stored and the
+structure is rebuilt deterministically on load.  Stochastic providers
+(e.g. random entries) therefore stay stochastic after a round-trip
+instead of being frozen into a fixed seed snapshot.  A seed snapshot
+is still stored as a fallback for providers without a recipe and for
+version-1 files.
 """
 
 from __future__ import annotations
 
 import hashlib
+import json
 import zipfile
 import zlib
 from pathlib import Path
@@ -24,14 +28,15 @@ from pathlib import Path
 import numpy as np
 
 from repro.algorithms.base import GraphANNS
-from repro.components.seeding import FixedSeeds
+from repro.components.seeding import FixedSeeds, provider_from_spec
 from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 from repro.resilience import IndexFormatError, repair_csr_arrays, verify_index
 
 __all__ = ["save_index", "load_index", "StaticGraphIndex"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = frozenset({1, 2})
 
 _REQUIRED_KEYS = frozenset(
     {"format_version", "algorithm", "data", "offsets", "neighbors", "seeds"}
@@ -71,6 +76,13 @@ def save_index(
         if index._deleted is not None
         else np.zeros(graph.n, dtype=bool)
     )
+    extra: dict[str, np.ndarray] = {}
+    try:
+        spec = index.seed_provider.spec()
+    except NotImplementedError:
+        spec = None  # provider has no recipe; loader falls back to snapshot
+    if spec is not None:
+        extra["seed_spec"] = np.asarray(json.dumps(spec))
     np.savez_compressed(
         Path(path),
         format_version=np.asarray(_FORMAT_VERSION),
@@ -83,6 +95,7 @@ def save_index(
         checksum=np.asarray(
             _content_checksum(index.data, offsets, neighbors, seeds, deleted)
         ),
+        **extra,
     )
 
 
@@ -92,11 +105,16 @@ class StaticGraphIndex(GraphANNS):
     name = "static"
 
     def __init__(self, data: np.ndarray, graph: Graph, seeds: np.ndarray,
-                 source: str = "?", deleted: np.ndarray | None = None):
+                 source: str = "?", deleted: np.ndarray | None = None,
+                 provider=None):
         super().__init__()
         self.data = np.ascontiguousarray(data, dtype=np.float32)
         self.graph = graph.finalize()
-        self.seed_provider = FixedSeeds(seeds)
+        if provider is not None:
+            provider.prepare(self.data, self.graph)
+            self.seed_provider = provider
+        else:
+            self.seed_provider = FixedSeeds(seeds)
         self.source_algorithm = source
         self._deleted = (
             deleted.astype(bool)
@@ -141,11 +159,12 @@ def load_index(
                     path, f"missing keys {sorted(missing)}"
                 )
             version = int(archive["format_version"])
-            if version != _FORMAT_VERSION:
+            if version not in _READABLE_VERSIONS:
                 raise IndexFormatError(
                     path,
                     f"unsupported index format {version}; "
-                    f"this build reads version {_FORMAT_VERSION}",
+                    f"this build reads versions "
+                    f"{sorted(_READABLE_VERSIONS)}",
                 )
             data = archive["data"]
             offsets = archive["offsets"]
@@ -154,6 +173,9 @@ def load_index(
             source = str(archive["algorithm"])
             deleted = archive["deleted"] if "deleted" in files else None
             stored_sum = str(archive["checksum"]) if "checksum" in files else None
+            seed_spec = (
+                str(archive["seed_spec"]) if "seed_spec" in files else None
+            )
     except IndexFormatError:
         raise
     except (OSError, EOFError, KeyError, ValueError,
@@ -172,10 +194,18 @@ def load_index(
             )
     if repair:
         offsets, neighbors, _ = repair_csr_arrays(offsets, neighbors, len(data))
+    provider = None
+    if seed_spec is not None:
+        try:
+            provider = provider_from_spec(json.loads(seed_spec))
+        except (ValueError, KeyError, TypeError) as exc:
+            raise IndexFormatError(
+                path, f"bad seed_spec: {type(exc).__name__}: {exc}"
+            ) from exc
     index = StaticGraphIndex(
         data,
         Graph.from_csr(offsets, neighbors, validate=not (verify or repair)),
-        seeds, source=source, deleted=deleted,
+        seeds, source=source, deleted=deleted, provider=provider,
     )
     if verify or repair:
         verify_index(index, repair=repair)

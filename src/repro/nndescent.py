@@ -72,6 +72,7 @@ def nn_descent(
     initial_ids: np.ndarray | None = None,
     convergence_threshold: float = 0.001,
     chunk_rows: int | None = None,
+    bctx=None,
 ) -> NNDescentResult:
     """Build an approximate KNN graph.
 
@@ -80,6 +81,12 @@ def nn_descent(
     seed the lists from KD-tree ANNS instead of randomly (C1_EFANNA).
     Stops early when fewer than ``convergence_threshold * n * k``
     neighbor replacements happen in an iteration.
+
+    With a parallel :class:`~repro.components.context.BuildContext` the
+    Jacobi chunks of each iteration are evaluated in the build's worker
+    pool; results are applied in chunk order, so the output matches the
+    serial run bit-for-bit.  Sampling (``sample_rate < 1``) draws from
+    the shared rng per chunk and therefore stays serial.
     """
     n, dim = data.shape
     if n < 2:
@@ -91,6 +98,13 @@ def nn_descent(
         pool_width = k * k + 2 * k
         chunk_rows = max(16, int(16_000_000 / max(pool_width * dim, 1)))
     rng = np.random.default_rng(seed)
+    # with sample_rate >= 1 the pool never exceeds max_pool, so the
+    # chunk computation is rng-free and safe to fan out
+    executor = (
+        bctx.pool()
+        if bctx is not None and bctx.parallel and sample_rate >= 1.0
+        else None
+    )
 
     if initial_ids is None:
         ids = np.empty((n, k), dtype=np.int64)
@@ -101,7 +115,7 @@ def nn_descent(
     else:
         ids = _pad_initial(initial_ids, n, k, rng)
 
-    dists = _rows_distances(data, ids, counter, chunk_rows)
+    dists = _rows_distances(data, ids, counter, chunk_rows, executor)
     order = np.argsort(dists, axis=1, kind="stable")
     ids = np.take_along_axis(ids, order, axis=1)
     dists = np.take_along_axis(dists, order, axis=1)
@@ -112,7 +126,8 @@ def nn_descent(
     for _ in range(iterations):
         reverse = _reverse_sample(result.ids, per_node=k, rng=rng)
         updates = _iterate(
-            data, result, reverse, max_pool, counter, rng, chunk_rows
+            data, result, reverse, max_pool, counter, rng, chunk_rows,
+            executor,
         )
         result.updates_per_iter.append(updates)
         result.iterations_run += 1
@@ -139,17 +154,72 @@ def _rows_distances(
     ids: np.ndarray,
     counter: DistanceCounter | None,
     chunk_rows: int,
+    executor=None,
 ) -> np.ndarray:
     """Distance from each point to each of its listed neighbors."""
     n, k = ids.shape
     out = np.empty((n, k), dtype=np.float64)
-    for start in range(0, n, chunk_rows):
+
+    def fill(start: int) -> None:
         stop = min(start + chunk_rows, n)
         block = data[ids[start:stop]] - data[start:stop, None, :]
         out[start:stop] = np.sqrt(np.einsum("ijk,ijk->ij", block, block))
+
+    starts = range(0, n, chunk_rows)
+    if executor is None:
+        for start in starts:
+            fill(start)
+    else:
+        list(executor.map(fill, starts))
     if counter is not None:
         counter.count += n * k
     return out
+
+
+def _iterate_chunk(
+    data: np.ndarray,
+    ids: np.ndarray,
+    reverse: np.ndarray,
+    start: int,
+    stop: int,
+    max_pool: int,
+    rng: np.random.Generator,
+):
+    """Candidate pooling + best-k for one Jacobi chunk of rows."""
+    rows = stop - start
+    k = ids.shape[1]
+    own = ids[start:stop]                              # (rows, k)
+    hop2 = ids[own].reshape(rows, k * k)               # neighbors of neighbors
+    rev = reverse[start:stop]                          # (rows, k), -1 padded
+    pool = np.concatenate([own, hop2, rev], axis=1)    # (rows, m)
+    self_col = np.arange(start, stop)[:, None]
+    pool = np.where(pool < 0, self_col, pool)          # -1 -> self (masked below)
+    if pool.shape[1] > max_pool:
+        cols = rng.choice(pool.shape[1] - k, size=max_pool - k, replace=False)
+        pool = np.concatenate([own, pool[:, k + cols]], axis=1)
+    # mask self and duplicates via row-wise sort
+    sort_idx = np.argsort(pool, axis=1, kind="stable")
+    sorted_pool = np.take_along_axis(pool, sort_idx, axis=1)
+    dup = np.zeros_like(pool, dtype=bool)
+    dup_sorted = np.zeros_like(pool, dtype=bool)
+    dup_sorted[:, 1:] = sorted_pool[:, 1:] == sorted_pool[:, :-1]
+    np.put_along_axis(dup, sort_idx, dup_sorted, axis=1)
+    invalid = dup | (pool == self_col)
+
+    diff = data[pool] - data[start:stop, None, :]
+    dmat = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    ndc = int((~invalid).sum())
+    dmat[invalid] = np.inf
+
+    part = np.argpartition(dmat, k - 1, axis=1)[:, :k]
+    part_d = np.take_along_axis(dmat, part, axis=1)
+    order = np.argsort(part_d, axis=1, kind="stable")
+    new_ids = np.take_along_axis(
+        np.take_along_axis(pool, part, axis=1), order, axis=1
+    )
+    new_d = np.take_along_axis(part_d, order, axis=1)
+    changed = int((new_ids != ids[start:stop]).sum())
+    return new_ids, new_d, changed, ndc
 
 
 def _iterate(
@@ -160,52 +230,33 @@ def _iterate(
     counter: DistanceCounter | None,
     rng: np.random.Generator,
     chunk_rows: int,
+    executor=None,
 ) -> int:
     """One propagation round; returns the number of list replacements.
 
     Reads from a snapshot of the lists (Jacobi-style) so the outcome is
     independent of ``chunk_rows`` — and therefore reproducible across
-    machines regardless of the memory-based auto chunking.
+    machines regardless of the memory-based auto chunking, and safe to
+    evaluate chunk-parallel (callers only pass an executor when the
+    rng-consuming sampling branch is provably dead).
     """
     n, k = result.ids.shape
     ids = result.ids.copy()
-    updates = 0
-    for start in range(0, n, chunk_rows):
-        stop = min(start + chunk_rows, n)
-        rows = stop - start
-        own = ids[start:stop]                              # (rows, k)
-        hop2 = ids[own].reshape(rows, k * k)               # neighbors of neighbors
-        rev = reverse[start:stop]                          # (rows, k), -1 padded
-        pool = np.concatenate([own, hop2, rev], axis=1)    # (rows, m)
-        self_col = np.arange(start, stop)[:, None]
-        pool = np.where(pool < 0, self_col, pool)          # -1 -> self (masked below)
-        if pool.shape[1] > max_pool:
-            cols = rng.choice(pool.shape[1] - k, size=max_pool - k, replace=False)
-            pool = np.concatenate([own, pool[:, k + cols]], axis=1)
-        # mask self and duplicates via row-wise sort
-        sort_idx = np.argsort(pool, axis=1, kind="stable")
-        sorted_pool = np.take_along_axis(pool, sort_idx, axis=1)
-        dup = np.zeros_like(pool, dtype=bool)
-        dup_sorted = np.zeros_like(pool, dtype=bool)
-        dup_sorted[:, 1:] = sorted_pool[:, 1:] == sorted_pool[:, :-1]
-        np.put_along_axis(dup, sort_idx, dup_sorted, axis=1)
-        invalid = dup | (pool == self_col)
+    starts = list(range(0, n, chunk_rows))
 
-        diff = data[pool] - data[start:stop, None, :]
-        dmat = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
-        if counter is not None:
-            counter.count += int((~invalid).sum())
-        dmat[invalid] = np.inf
-
-        part = np.argpartition(dmat, k - 1, axis=1)[:, :k]
-        part_d = np.take_along_axis(dmat, part, axis=1)
-        order = np.argsort(part_d, axis=1, kind="stable")
-        new_ids = np.take_along_axis(
-            np.take_along_axis(pool, part, axis=1), order, axis=1
+    def chunk(start: int):
+        return _iterate_chunk(
+            data, ids, reverse, start, min(start + chunk_rows, n),
+            max_pool, rng,
         )
-        new_d = np.take_along_axis(part_d, order, axis=1)
-        changed = new_ids != ids[start:stop]
-        updates += int(changed.sum())
+
+    outputs = executor.map(chunk, starts) if executor else map(chunk, starts)
+    updates = 0
+    for start, (new_ids, new_d, changed, ndc) in zip(starts, outputs):
+        stop = start + len(new_ids)
         result.ids[start:stop] = new_ids
         result.dists[start:stop] = new_d
+        updates += changed
+        if counter is not None:
+            counter.count += ndc
     return updates

@@ -20,8 +20,6 @@ lower-cased (e.g. ``c3="dpg"`` is the paper's *C3_DPG*).
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro.algorithms.base import GraphANNS
@@ -31,6 +29,8 @@ from repro.components.candidates import (
     candidates_direct,
 )
 from repro.components.connectivity import ensure_reachable_from
+from repro.components.refinement import map_refine, search_candidates
+from repro.components.refinement import select_rng as fast_select_rng
 from repro.components.initialization import (
     kdtree_neighbor_lists,
     random_neighbor_lists,
@@ -103,6 +103,7 @@ class BenchmarkAlgorithm(GraphANNS):
         min_angle_deg: float = 60.0,
         epsilon: float = 0.1,
         seed: int = 0,
+        n_workers: int = 1,
     ):
         for label, value, choices in (
             ("c1", c1, C1_CHOICES), ("c2", c2, C2_CHOICES),
@@ -111,7 +112,7 @@ class BenchmarkAlgorithm(GraphANNS):
         ):
             if value not in choices:
                 raise ValueError(f"{label}={value!r} not in {choices}")
-        super().__init__(seed=seed)
+        super().__init__(seed=seed, n_workers=n_workers)
         self.c1, self.c2, self.c3 = c1, c2, c3
         self.c4, self.c5, self.c7 = c4, c5, c7
         self.init_k = init_k
@@ -122,13 +123,22 @@ class BenchmarkAlgorithm(GraphANNS):
         self.alpha = alpha
         self.min_angle_deg = min_angle_deg
         self.epsilon = epsilon
-        self.phase_times: dict[str, float] = {}
         self.name = f"bench[{c1}|{c2}|{c3}|{c4}|{c5}|{c7}]"
+
+    @property
+    def phase_times(self) -> dict[str, float]:
+        """Wall-clock seconds per build phase (from the last ``build``)."""
+        if self.build_report is None:
+            return {}
+        return {
+            label: stats.wall_s
+            for label, stats in self.build_report.phases.items()
+        }
 
     # -- C1 ---------------------------------------------------------------
 
     def _initialize(
-        self, data: np.ndarray, counter: DistanceCounter
+        self, data: np.ndarray, counter: DistanceCounter, bctx=None
     ) -> tuple[np.ndarray, np.ndarray]:
         rng = np.random.default_rng(self.seed)
         n = len(data)
@@ -151,11 +161,13 @@ class BenchmarkAlgorithm(GraphANNS):
             result = nn_descent(
                 data, k, iterations=max(2, self.iterations // 2),
                 counter=counter, seed=self.seed, initial_ids=initial,
+                bctx=bctx,
             )
             return result.ids, result.dists
         # "nsg": NN-Descent from random start
         result = nn_descent(
-            data, k, iterations=self.iterations, counter=counter, seed=self.seed
+            data, k, iterations=self.iterations, counter=counter,
+            seed=self.seed, bctx=bctx,
         )
         return result.ids, result.dists
 
@@ -227,35 +239,81 @@ class BenchmarkAlgorithm(GraphANNS):
 
     # -- build --------------------------------------------------------------
 
-    def _build(self, data: np.ndarray, counter: DistanceCounter) -> None:
+    def _build_phases(self, data: np.ndarray, bctx):
+        counter = bctx.counter
         n = len(data)
-        started = time.perf_counter()
-        init_ids, init_dists = self._initialize(data, counter)
-        self.phase_times["c1"] = time.perf_counter() - started
+        state: dict = {}
 
-        init_graph = Graph(n, init_ids.tolist()).finalize()
-        rng = np.random.default_rng(self.seed)
-        entry = np.asarray([int(rng.integers(n))], dtype=np.int64)
-
-        started = time.perf_counter()
-        graph = Graph(n)
-        for p in range(n):
-            cand_ids, cand_dists = self._candidates(
-                p, init_ids, init_dists, init_graph, data, counter, entry
+        def init_phase():
+            state["init_ids"], state["init_dists"] = self._initialize(
+                data, counter, bctx=bctx
             )
-            selected = self._select(p, cand_ids, cand_dists, data, counter)
-            graph.set_neighbors(p, selected)
-        self.phase_times["c2+c3"] = time.perf_counter() - started
 
-        started = time.perf_counter()
-        if self.c5 == "nsg":
-            ensure_reachable_from(graph, data, int(entry[0]), counter=counter)
-        self.phase_times["c5"] = time.perf_counter() - started
+        def refine_phase():
+            init_ids, init_dists = state["init_ids"], state["init_dists"]
+            init_graph = Graph(n, init_ids.tolist()).finalize()
+            rng = np.random.default_rng(self.seed)
+            entry = np.asarray([int(rng.integers(n))], dtype=np.int64)
+            state["entry"] = entry
+            graph = Graph(n)
+            if bctx.parallel:
+                fast_c3 = self.c3 in ("hnsw", "nsg", "vamana")
+                alpha = self.alpha if self.c3 == "vamana" else 1.0
 
-        self.graph = graph
-        started = time.perf_counter()
-        self.seed_provider = self._make_seed_provider()
-        self.phase_times["c4"] = time.perf_counter() - started
+                def refine_point(p, worker):
+                    if self.c2 == "nsw":
+                        ids, dists = search_candidates(
+                            worker, init_graph, data, p,
+                            self.candidate_limit, entry,
+                        )
+                        cand_ids = ids[: self.candidate_limit]
+                        cand_dists = dists[: self.candidate_limit]
+                    else:
+                        cand_ids, cand_dists = self._candidates(
+                            p, init_ids, init_dists, init_graph, data,
+                            worker.counter, entry,
+                        )
+                    if fast_c3:
+                        return fast_select_rng(
+                            data[p], cand_ids, cand_dists, data,
+                            self.max_degree, counter=worker.counter,
+                            alpha=alpha,
+                        )
+                    return self._select(
+                        p, cand_ids, cand_dists, data, worker.counter
+                    )
+
+                map_refine(bctx, n, refine_point,
+                           lambda p, sel: graph.set_neighbors(p, sel))
+            else:
+                for p in range(n):
+                    cand_ids, cand_dists = self._candidates(
+                        p, init_ids, init_dists, init_graph, data, counter,
+                        entry,
+                    )
+                    selected = self._select(
+                        p, cand_ids, cand_dists, data, counter
+                    )
+                    graph.set_neighbors(p, selected)
+            state["graph"] = graph
+
+        def connect_phase():
+            if self.c5 == "nsg":
+                ensure_reachable_from(
+                    state["graph"], data, int(state["entry"][0]),
+                    counter=counter, ctx=bctx.search_context(),
+                )
+
+        def seed_phase():
+            self.graph = state["graph"]
+            self.seed_provider = self._make_seed_provider()
+
+        return [
+            ("c1", init_phase),
+            ("c2+c3", refine_phase),
+            ("c5", connect_phase),
+            ("c4", seed_phase),
+        ]
 
     # -- C7 -----------------------------------------------------------------
 

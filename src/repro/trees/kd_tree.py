@@ -75,6 +75,20 @@ class KDTree:
             right=self._build(right_ids),
         )
 
+    def nbytes(self) -> int:
+        """Measured payload size: leaf id buckets + split records."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.ids is not None:
+                total += node.ids.nbytes
+            else:
+                total += 12  # int32 dim + float64 threshold
+                stack.append(node.left)
+                stack.append(node.right)
+        return total
+
     # -- queries -------------------------------------------------------
 
     def descend(self, query: np.ndarray) -> np.ndarray:

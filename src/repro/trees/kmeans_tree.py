@@ -80,6 +80,19 @@ class BalancedKMeansTree:
             centroids=np.asarray(kept_centroids), children=children, bucket=None
         )
 
+    def nbytes(self) -> int:
+        """Measured payload size: leaf buckets + centroid matrices."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.bucket is not None:
+                total += node.bucket.nbytes
+            else:
+                total += node.centroids.nbytes
+                stack.extend(node.children)
+        return total
+
     def search(
         self,
         query: np.ndarray,

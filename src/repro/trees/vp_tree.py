@@ -59,6 +59,22 @@ class VPTree:
             bucket=None,
         )
 
+    def nbytes(self) -> int:
+        """Measured payload size: leaf buckets + vantage/radius records."""
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node is None:
+                continue
+            if node.bucket is not None:
+                total += node.bucket.nbytes
+            else:
+                total += 16  # int64 vantage + float64 radius
+                stack.append(node.inside)
+                stack.append(node.outside)
+        return total
+
     def search(
         self,
         query: np.ndarray,

@@ -28,9 +28,11 @@ from repro.resilience import repair_csr_arrays, validate_query
 @pytest.fixture(scope="module")
 def static_index(tmp_path_factory, built_indexes):
     """A loaded (fixed-seed, default-route) index: deterministic across
-    repeated searches, so budget runs can be compared call to call."""
-    path = tmp_path_factory.mktemp("resilience") / "nsw.npz"
-    save_index(built_indexes["nsw"], path)
+    repeated searches, so budget runs can be compared call to call.
+    nsg persists a centroid entry; stochastic providers (e.g. nsw's
+    random seeds) are reconstructed as stochastic on load."""
+    path = tmp_path_factory.mktemp("resilience") / "nsg.npz"
+    save_index(built_indexes["nsg"], path)
     return load_index(path)
 
 
