@@ -10,7 +10,14 @@ EXPERIMENTS.md with the recorded tables.
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.observability.slog import get_logger  # noqa: E402
+
+log = get_logger("repro.bench.collect")
 
 MARKER = "<!-- MEASURED_RESULTS -->"
 ROOT = Path(__file__).resolve().parent.parent
@@ -36,6 +43,7 @@ ORDER = [
     "table16_kdr_vs_ngt",
     "table23_randomness",
     "ablations",
+    "observability_overhead",
 ]
 
 
@@ -46,14 +54,22 @@ def main() -> None:
         raise SystemExit(f"marker {MARKER!r} missing from EXPERIMENTS.md")
     head = text.split(MARKER)[0] + MARKER + "\n"
     chunks = []
+    missing = []
     for name in ORDER:
         path = RESULTS / f"{name}.txt"
         if not path.exists():
+            missing.append(name)
             chunks.append(f"\n*(no recorded run for `{name}`)*\n")
             continue
         chunks.append("\n```\n" + path.read_text().rstrip() + "\n```\n")
     experiments.write_text(head + "".join(chunks))
-    print(f"embedded {len(chunks)} result tables into EXPERIMENTS.md")
+    if missing:
+        log.warning("collect.missing_results", count=len(missing),
+                    experiments=",".join(missing))
+    log.echo(
+        f"embedded {len(chunks)} result tables into EXPERIMENTS.md",
+        event="collect.done", tables=len(chunks), missing=len(missing),
+    )
 
 
 if __name__ == "__main__":

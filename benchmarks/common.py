@@ -24,6 +24,9 @@ from pathlib import Path
 from repro import create
 from repro.algorithms.base import GraphANNS
 from repro.datasets import Dataset, load_dataset
+from repro.observability.slog import get_logger
+
+log = get_logger("repro.bench")
 
 BENCH_N = int(os.environ.get("REPRO_BENCH_N", "600"))
 BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "16"))
@@ -72,11 +75,17 @@ def get_index(algorithm: str, dataset: str, **params) -> GraphANNS:
 
 
 def write_table(experiment: str, title: str, lines: list[str]) -> None:
-    """Persist one paper-style table and echo it."""
+    """Persist one paper-style table and echo it.
+
+    The table text goes to stdout verbatim (format-stable — downstream
+    tooling and ``collect_results.py`` consume it), while a structured
+    ``bench.table`` event carries the machine-readable fields.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     body = "\n".join([f"== {title} ==", *lines, ""])
     (RESULTS_DIR / f"{experiment}.txt").write_text(body)
-    print("\n" + body)
+    log.echo("\n" + body, event="bench.table", experiment=experiment,
+             title=title, rows=len(lines))
 
 
 def get_sweep(algorithm: str, dataset: str, ef_grid: tuple[int, ...]) -> list:

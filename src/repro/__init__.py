@@ -16,6 +16,7 @@ Quickstart::
     ids = index.search(ds.queries[0], k=10).ids
 """
 
+from repro import observability
 from repro.advisor import Scenario, recommend, recommend_for_data
 from repro.algorithms import ALGORITHMS, ALL_ALGORITHMS, GraphANNS, create, info
 from repro.datasets import Dataset, load_dataset, available_datasets, make_clustered
@@ -53,5 +54,6 @@ __all__ = [
     "IndexIntegrityError",
     "IntegrityReport",
     "verify_index",
+    "observability",
     "__version__",
 ]

@@ -5,8 +5,11 @@ Commands
 ``list``      — registered algorithms with their Table 2 taxonomy row.
 ``datasets``  — available dataset names (real-world stand-ins + synthetic).
 ``eval``      — build one algorithm on one dataset and print recall / QPS
-                / speedup at a given candidate-set size.
+                / speedup at a given candidate-set size; ``--trace`` /
+                ``--metrics`` dump the run's observability artifacts.
 ``recommend`` — Table 7 advice for a named dataset.
+``stats``     — summarize a JSONL query-trace file (total/mean NDC,
+                hops, degradations, termination reasons).
 """
 
 from __future__ import annotations
@@ -14,8 +17,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import ALGORITHMS, available_datasets, create, load_dataset
+from repro import ALGORITHMS, available_datasets, create, load_dataset, observability as obs
 from repro.advisor import recommend_for_data
+from repro.observability.exporters import format_stats, read_jsonl, summarize_traces
 
 
 def _cmd_list(_args) -> int:
@@ -35,6 +39,10 @@ def _cmd_datasets(_args) -> int:
 
 
 def _cmd_eval(args) -> int:
+    if args.trace:
+        obs.enable(metrics=True, trace=True)
+    elif args.metrics:
+        obs.enable(metrics=True, trace=False)
     dataset = load_dataset(args.dataset, cardinality=args.n, num_queries=args.queries)
     index = create(args.algorithm, seed=args.seed)
     report = index.build(dataset.base)
@@ -48,6 +56,22 @@ def _cmd_eval(args) -> int:
         f"recall@{args.k}={stats.recall:.3f} "
         f"qps={stats.qps:.0f} speedup={stats.speedup:.1f}x"
     )
+    if args.trace:
+        n = obs.dump_traces(args.trace)
+        print(f"wrote {n} traces to {args.trace}")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            fh.write(obs.prometheus_text())
+        print(f"wrote metrics to {args.metrics}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    traces = read_jsonl(args.trace_file)
+    if not traces:
+        print(f"no traces in {args.trace_file}", file=sys.stderr)
+        return 1
+    print(format_stats(summarize_traces(traces)))
     return 0
 
 
@@ -83,7 +107,21 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--k", type=int, default=10)
     evaluate.add_argument("--ef", type=int, default=60)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--trace", metavar="PATH",
+        help="enable tracing; write per-query JSONL traces here",
+    )
+    evaluate.add_argument(
+        "--metrics", metavar="PATH",
+        help="enable metrics; write a Prometheus text scrape here",
+    )
     evaluate.set_defaults(run=_cmd_eval)
+
+    stats = commands.add_parser(
+        "stats", help="summarize a JSONL query-trace file"
+    )
+    stats.add_argument("trace_file")
+    stats.set_defaults(run=_cmd_stats)
 
     advise = commands.add_parser("recommend", help="Table 7 advice for a dataset")
     advise.add_argument("dataset")

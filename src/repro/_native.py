@@ -366,7 +366,9 @@ def _build_library() -> ctypes.CDLL | None:
         LOAD_ERROR = "disabled via REPRO_NO_NATIVE"
         return None
     digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
-    build_dir = os.path.join(os.path.dirname(__file__), "_native_build")
+    build_dir = os.environ.get("REPRO_NATIVE_BUILD_DIR") or os.path.join(
+        os.path.dirname(__file__), "_native_build"
+    )
     so_path = os.path.join(build_dir, f"kernels-{digest}.so")
     if not os.path.exists(so_path):
         compiler = (
@@ -429,17 +431,48 @@ def _build_library() -> ctypes.CDLL | None:
 
 LIB = _build_library()
 
-if LIB is None and not os.environ.get("REPRO_NO_NATIVE"):
-    # Degrading to NumPy is safe (identical results, slower), but a
-    # production operator should know it happened — warn exactly once.
-    import warnings
 
-    warnings.warn(
-        f"repro: native search kernel unavailable ({LOAD_ERROR}); "
-        "falling back to the pure-NumPy implementation",
-        RuntimeWarning,
-        stacklevel=2,
-    )
+def _report_load_state() -> None:
+    """Expose the kernel's availability through the observability layer.
+
+    A serving deployment silently degrading to NumPy is the classic
+    invisible incident: results stay identical while throughput drops
+    ~8x.  The one-time ``RuntimeWarning`` is kept for interactive use,
+    but the durable signals are structural — the
+    ``repro_native_kernel_loaded`` gauge (scrapeable: alert on 0), a
+    ``repro_native_kernel_load_failures_total`` counter, and a
+    structured ``native.kernel_load_failed`` event carrying
+    ``LOAD_ERROR`` in the machine-readable log.
+    """
+    from repro import observability as obs
+
+    obs.REGISTRY.gauge(
+        "repro_native_kernel_loaded",
+        "Whether the C search kernel is active (1) or the pure-NumPy "
+        "fallback is serving (0).",
+    ).set(1 if LIB is not None else 0)
+    if LIB is None and not os.environ.get("REPRO_NO_NATIVE"):
+        obs.REGISTRY.counter(
+            "repro_native_kernel_load_failures_total",
+            "Times the C kernel failed to compile or load "
+            "(deliberate REPRO_NO_NATIVE opt-outs are not counted).",
+        ).inc()
+        obs.get_logger("repro.native").warning(
+            "native.kernel_load_failed", error=LOAD_ERROR or "unknown",
+        )
+        # Degrading to NumPy is safe (identical results, slower), but a
+        # production operator should know it happened — warn exactly once.
+        import warnings
+
+        warnings.warn(
+            f"repro: native search kernel unavailable ({LOAD_ERROR}); "
+            "falling back to the pure-NumPy implementation",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+
+
+_report_load_state()
 
 
 def sq_dists_to_rows(

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import observability as obs
 from repro.components.context import BuildContext, SearchContext
 from repro.components.routing import SearchResult, best_first_search
 from repro.components.seeding import RandomSeeds, SeedProvider
@@ -122,6 +123,17 @@ class GraphANNS:
             n_workers=bctx.n_workers,
             phases=bctx.phases,
         )
+        if obs.enabled():
+            handles = obs.instruments()
+            handles.builds_total.inc()
+            handles.build_seconds.observe(self.build_report.build_time_s)
+            obs.record_span(
+                "build", self.build_report.build_time_s,
+                algorithm=self.name, n=len(self.data),
+                ndc=self.build_report.build_ndc,
+                n_workers=bctx.n_workers,
+                index_size_bytes=self.build_report.index_size_bytes,
+            )
         return self.build_report
 
     def _finish_build(self) -> None:
@@ -218,6 +230,12 @@ class GraphANNS:
         current best-k flagged ``degraded=True`` instead of raising;
         seed-acquisition NDC is charged against ``budget.max_ndc`` so
         the reported total never exceeds the cap.
+
+        Observability: with metrics on, the query lands in the
+        ``repro_query_*`` instrument family; with tracing on, a
+        hop-level :class:`~repro.observability.QueryTrace` is recorded
+        and ``result.trace_id`` set.  Disabled mode costs two global
+        reads — ids, distances and NDC are bit-identical either way.
         """
         self._require_built()
         reason = validate_query(query, self.data.shape[1])
@@ -225,14 +243,27 @@ class GraphANNS:
             raise InvalidQueryError(f"{self.name}: {reason}")
         ef = max(k, ef if ef is not None else self.default_ef)
         counter = counter if counter is not None else DistanceCounter()
+        metrics = obs.enabled()
+        trace = obs.start_query_trace(self.name, k, ef) if obs.tracing() else None
+        started = time.perf_counter() if metrics else 0.0
         start = counter.count
-        seeds = self.seed_provider.acquire(query, counter)
-        if budget is not None:
-            budget = budget.after_spending(counter.count - start)
-        result = self._route(
-            query, np.asarray(seeds, dtype=np.int64), ef, counter,
-            ctx=self._context(), budget=budget,
-        )
+        ctx = self._context()
+        if trace is not None:
+            trace.attach(start)
+            ctx.trace = trace
+        try:
+            seeds = self.seed_provider.acquire(query, counter)
+            if trace is not None:
+                trace.record_seeds(seeds, counter.count)
+            if budget is not None:
+                budget = budget.after_spending(counter.count - start)
+            result = self._route(
+                query, np.asarray(seeds, dtype=np.int64), ef, counter,
+                ctx=ctx, budget=budget,
+            )
+        finally:
+            if trace is not None:
+                ctx.trace = None
         result.ndc = counter.count - start
         if self.num_deleted and len(result.ids):
             keep = ~self._deleted[result.ids]
@@ -240,6 +271,11 @@ class GraphANNS:
             result.dists = result.dists[keep]
         result.ids = result.ids[:k]
         result.dists = result.dists[:k]
+        if metrics:
+            elapsed = time.perf_counter() - started
+            if trace is not None:
+                obs.finish_query_trace(trace, result, elapsed)
+            obs.observe_query(result, elapsed)
         return result
 
     def _route(

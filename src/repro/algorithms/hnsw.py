@@ -195,9 +195,13 @@ class HNSW(GraphANNS):
         entry = int(seeds[0])
         hops = 0
         descent_start = counter.count
+        trace = ctx.trace if ctx is not None else None
         for layer in range(self.max_level, 0, -1):
+            before = counter.count
             entry = self._greedy_step(layer, entry, query, counter)
             hops += 1
+            if trace is not None:  # upper-layer descent is a hop too
+                trace.hop(entry, counter.count, counter.count - before)
         if budget is not None:
             # the upper-layer descent spent NDC too; charge it so the
             # base-layer search cannot blow the per-query cap

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro import _native, faults
+from repro import observability as obs
 from repro.algorithms.base import GraphANNS
 from repro.components.context import SearchContext
 from repro.distance import DistanceCounter, sq_dists_to_rows, squared_norms
@@ -78,6 +79,13 @@ class BatchQueryResult:
     or failed even after the sequential retry — its result row stays
     ``-1``/``inf`` padded.  ``degraded[i]`` marks queries cut short by
     a :class:`QueryBudget` (their rows hold the best-k found so far).
+
+    Observability: with hop-level tracing on, ``trace_ids[i]`` is the
+    stable id (``"<batch_id>/<i>"``) under which query ``i``'s trace was
+    recorded — joining a degraded row to its hop events — and
+    ``batch_id`` names the batch; both stay ``None`` when tracing is
+    off.  ``worker_utilization`` is the mean busy fraction of the
+    worker pool (0.0 when metrics are off).
     """
 
     ids: np.ndarray          # (Q, k) int64, -1-padded
@@ -89,6 +97,9 @@ class BatchQueryResult:
     workers: int
     errors: list = field(default_factory=list)       # (Q,) str | None
     degraded: np.ndarray = None                      # (Q,) bool
+    trace_ids: list | None = None                    # (Q,) str, tracing only
+    batch_id: str | None = None
+    worker_utilization: float = 0.0
 
     @property
     def qps(self) -> float:
@@ -331,6 +342,15 @@ def search_batch(
         )
     num_queries = len(queries)
     ef = max(k, ef if ef is not None else index.default_ef)
+    metrics = obs.enabled()
+    tracing = obs.tracing()
+    handles = obs.instruments() if metrics else None
+    batch_id = obs.new_batch_id() if metrics else None
+    # stable per-query trace ids: "<batch_id>/<row>" joins a degraded
+    # row (or its BudgetReport) to the hop-level trace recorded for it
+    trace_ids = (
+        [f"{batch_id}/{i}" for i in range(num_queries)] if tracing else None
+    )
     started = time.perf_counter()
 
     ids = np.full((num_queries, k), -1, dtype=np.int64)
@@ -342,7 +362,8 @@ def search_batch(
     degraded = np.zeros(num_queries, dtype=bool)
     if num_queries == 0:
         return BatchQueryResult(ids, dists, ndc, hops, visited, 0.0, workers,
-                                errors=errors, degraded=degraded)
+                                errors=errors, degraded=degraded,
+                                trace_ids=trace_ids, batch_id=batch_id)
 
     # Per-query validation: a NaN/Inf query poisons only its own row.
     finite = np.isfinite(queries).all(axis=1)
@@ -362,6 +383,8 @@ def search_batch(
     # frozen copy of the acquisition cost so a chunk retry can restore
     # per-query state idempotently
     acq_ndc = ndc.copy()
+    if handles is not None:
+        handles.batch_stage_seed_seconds.observe(time.perf_counter() - started)
 
     deleted = index._deleted if index.num_deleted else None
     native_ok = (
@@ -370,6 +393,9 @@ def search_batch(
         and index.graph.finalized
         and index.graph.n > 0
         and (budget is None or budget.native_ok)
+        # hop events are only observable on the Python path; it is
+        # bit-identical to the kernel, so traced results don't change
+        and not tracing
     )
 
     def effective_budget(i: int) -> QueryBudget | None:
@@ -391,15 +417,33 @@ def search_batch(
         if plan is not None:
             plan.before_query(i)
         route = DistanceCounter()
-        result = index._route(
-            queries[i], seed_lists[i], ef, route, ctx=ctx,
-            budget=effective_budget(i),
-        )
+        trace = None
+        if trace_ids is not None:
+            trace = obs.start_query_trace(index.name, k, ef,
+                                          trace_id=trace_ids[i])
+            # running NDC in hop events includes the up-front seed
+            # acquisition, matching the ndc[i] telemetry exactly
+            trace.attach(route.count, already_spent=int(acq_ndc[i]))
+            trace.record_seeds(seed_lists[i], route.count)
+            ctx.trace = trace
+        t0 = time.perf_counter() if trace is not None else 0.0
+        try:
+            result = index._route(
+                queries[i], seed_lists[i], ef, route, ctx=ctx,
+                budget=effective_budget(i),
+            )
+        finally:
+            if trace is not None:
+                ctx.trace = None
         ndc[i] = acq_ndc[i] + route.count
         hops[i] = result.hops
         visited[i] = result.visited
         degraded[i] = result.degraded
         fill_query(i, result.ids, result.dists)
+        if trace is not None:
+            result.ndc = int(ndc[i])
+            result.ids = ids[i][ids[i] >= 0]   # the row actually returned
+            obs.finish_query_trace(trace, result, time.perf_counter() - t0)
 
     def run_chunk(worker_index: int, chunk: np.ndarray) -> None:
         plan = faults.active()
@@ -453,6 +497,10 @@ def search_batch(
             hops[chunk] = 0
             visited[chunk] = 0
             degraded[chunk] = False
+            if trace_ids is not None:   # retry must not duplicate ids
+                obs.RECORDER.discard({trace_ids[i] for i in chunk})
+            if handles is not None:
+                handles.chunk_retries_total.inc()
         ctx = SearchContext(index.data)
         ctx.native = False   # retry on the always-available NumPy path
         for i in chunk:
@@ -466,27 +514,62 @@ def search_batch(
                 hops[i] = 0
                 visited[i] = 0
                 degraded[i] = False
+                if trace_ids is not None:
+                    obs.RECORDER.discard({trace_ids[i]})
 
     workers = max(1, min(int(workers), num_queries))
     chunks = np.array_split(np.flatnonzero(finite), workers)
+    busy = [0.0] * workers
+
+    def run_timed(worker_index: int, chunk: np.ndarray) -> None:
+        if handles is None:
+            run_chunk_isolated(worker_index, chunk)
+            return
+        t0 = time.perf_counter()
+        try:
+            run_chunk_isolated(worker_index, chunk)
+        finally:
+            busy[worker_index] = time.perf_counter() - t0
+
+    compute_started = time.perf_counter()
     if workers == 1:
-        run_chunk_isolated(0, chunks[0])
+        run_timed(0, chunks[0])
     else:
         with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [
-                pool.submit(run_chunk_isolated, w, c)
+                pool.submit(run_timed, w, c)
                 for w, c in enumerate(chunks)
             ]
             for future in futures:
                 future.result()
+    elapsed_s = time.perf_counter() - started
+    utilization = 0.0
+    if handles is not None:
+        compute_wall = max(time.perf_counter() - compute_started, 1e-9)
+        utilization = min(sum(busy) / (workers * compute_wall), 1.0)
+        handles.batch_stage_compute_seconds.observe(compute_wall)
+        for worker_busy in busy:
+            handles.batch_chunk_seconds.observe(worker_busy)
+        handles.batch_worker_utilization.set(utilization)
+        handles.batch_seconds.observe(elapsed_s)
+        handles.batch_queries_total.inc(num_queries)
+        num_degraded = int(degraded.sum())
+        if num_degraded:
+            handles.batch_degraded_total.inc(num_degraded)
+        num_errors = sum(1 for e in errors if e is not None)
+        if num_errors:
+            handles.batch_errors_total.inc(num_errors)
     return BatchQueryResult(
         ids=ids,
         dists=dists,
         ndc=ndc,
         hops=hops,
         visited=visited,
-        elapsed_s=time.perf_counter() - started,
+        elapsed_s=elapsed_s,
         workers=workers,
         errors=errors,
         degraded=degraded,
+        trace_ids=trace_ids,
+        batch_id=batch_id,
+        worker_utilization=utilization,
     )

@@ -28,6 +28,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro import _native, faults
+from repro import observability as obs
 from repro.distance import sq_dists_to_rows, squared_norms
 
 __all__ = ["SearchContext", "BuildContext", "PhaseStats"]
@@ -38,7 +39,7 @@ class SearchContext:
 
     __slots__ = (
         "data", "norms_sq", "visit_gen", "generation",
-        "candidates", "results", "query64", "query_sq", "native",
+        "candidates", "results", "query64", "query_sq", "native", "trace",
         "_cand_d", "_cand_i", "_res_d", "_res_i", "_vis_i", "_vis_d",
     )
 
@@ -51,6 +52,9 @@ class SearchContext:
         self.results: list[tuple[float, int]] = []
         self.query64: np.ndarray | None = None
         self.query_sq: float = 0.0
+        #: hop-level QueryTrace for the in-flight query (None = untraced;
+        #: set/cleared by GraphANNS.search and the batch engine)
+        self.trace = None
         self.native = (
             _native.LIB is not None
             and data.dtype == np.float32
@@ -172,15 +176,27 @@ class BuildContext:
         return self._ctx
 
     def run_phase(self, label: str, fn) -> None:
-        """Execute ``fn()`` and charge its wall/NDC to phase ``label``."""
+        """Execute ``fn()`` and charge its wall/NDC to phase ``label``.
+
+        With observability enabled, each phase is additionally recorded
+        as a ``build.<label>`` span and a per-phase histogram sample —
+        the same wall/NDC numbers ``BuildReport.phases`` reports, so
+        exported spans and the report agree by construction.
+        """
         from time import perf_counter
 
         start_wall = perf_counter()
         start_ndc = self.counter.count
         fn()
+        wall_s = perf_counter() - start_wall
+        ndc = self.counter.count - start_ndc
         stats = self.phases.setdefault(label, PhaseStats())
-        stats.wall_s += perf_counter() - start_wall
-        stats.ndc += self.counter.count - start_ndc
+        stats.wall_s += wall_s
+        stats.ndc += ndc
+        if obs.enabled():
+            obs.record_span(f"build.{label}", wall_s, ndc=ndc,
+                            n_workers=self.n_workers)
+            obs.instruments().build_phase_seconds(label).observe(wall_s)
 
     def pool(self):
         """The lazily-created refinement thread pool (n_workers wide)."""

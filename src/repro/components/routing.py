@@ -62,6 +62,7 @@ class SearchResult:
     visited_dists: np.ndarray | None = None
     degraded: bool = False
     budget: BudgetReport | None = None
+    trace_id: str | None = None   # joins a hop-level QueryTrace, if traced
 
     def top(self, k: int) -> np.ndarray:
         return self.ids[:k]
@@ -96,7 +97,8 @@ class _Frontier:
     *squared* distances; :meth:`finish` converts once.
     """
 
-    __slots__ = ("ef", "ctx", "candidates", "results", "visited", "log", "tracker")
+    __slots__ = ("ef", "ctx", "candidates", "results", "visited", "log",
+                 "tracker", "trace")
 
     def __init__(
         self,
@@ -114,6 +116,9 @@ class _Frontier:
         self.visited = 0
         self.log: list[tuple[float, int]] | None = [] if record_visited else None
         self.tracker = tracker
+        # hop-level trace attached by GraphANNS.search / the batch
+        # engine; None (the common case) costs one check per expansion
+        self.trace = ctx.trace
 
     def worst(self) -> float:
         return -self.results[0][0] if len(self.results) == self.ef else np.inf
@@ -150,6 +155,8 @@ class _Frontier:
         if len(seeds) == 0:
             return
         counter.count += len(seeds)
+        if self.trace is not None:
+            self.trace.seed_event(len(seeds), counter.count)
         self._offer_bulk(seeds, self.ctx.sq_dists(seeds))
 
     def expand(
@@ -164,13 +171,19 @@ class _Frontier:
         if keep is not None:
             nbrs = nbrs[keep[: len(nbrs)]] if keep.dtype == bool else nbrs[keep]
         if len(nbrs) == 0:
+            if self.trace is not None:
+                self.trace.hop(u, counter.count, 0)
             return
         nbrs = self.ctx.fresh(nbrs)
         if self.tracker is not None:
             nbrs = self.tracker.clip(nbrs)
         if len(nbrs) == 0:
+            if self.trace is not None:
+                self.trace.hop(u, counter.count, 0)
             return
         counter.count += len(nbrs)
+        if self.trace is not None:
+            self.trace.hop(u, counter.count, len(nbrs))
         self._offer_bulk(nbrs, self.ctx.sq_dists(nbrs))
 
     def finish(self, ndc: int, hops: int) -> SearchResult:
@@ -251,6 +264,9 @@ def best_first_search(
     if (
         ctx.native and not record_visited and graph.finalized and graph.n > 0
         and (budget is None or budget.native_ok)
+        # hop-level tracing needs the Python frontier; its ids/NDC are
+        # bit-identical to the kernel's, so traces never change results
+        and ctx.trace is None
     ):
         return _native_best_first(ctx, graph, query, seeds, ef, counter, budget)
     start_ndc = counter.count

@@ -1,0 +1,177 @@
+"""Exporters: Prometheus text exposition, JSON-lines, trace summaries.
+
+Three consumers, three formats:
+
+* a scraper pulls :func:`prometheus_text` (text exposition format
+  0.0.4 — ``# HELP``/``# TYPE`` headers, cumulative ``le`` buckets);
+* a log pipeline tails JSON lines written by :func:`write_jsonl`
+  (query traces, spans and structured log events all serialize to
+  dicts);
+* a human runs ``python -m repro stats trace.jsonl``, which feeds
+  :func:`summarize_traces` / :func:`format_stats`.
+
+The summary's NDC totals are exact sums over the per-query records —
+the same accounting the paper's Speedup definition uses — so a stats
+report, a Prometheus scrape and the in-process telemetry always agree.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.observability.registry import Histogram, MetricsRegistry
+
+__all__ = [
+    "prometheus_text",
+    "write_jsonl",
+    "read_jsonl",
+    "summarize_traces",
+    "format_stats",
+]
+
+
+def _fmt(value: float) -> str:
+    """Prometheus-friendly number rendering (no trailing zeros)."""
+    if isinstance(value, int):
+        return str(value)
+    as_float = float(value)
+    if as_float == int(as_float) and abs(as_float) < 1e15:
+        return str(int(as_float))
+    return f"{as_float:g}"
+
+
+def _label_str(labels: dict) -> str:
+    if not labels:
+        return ""
+    parts = []
+    for key, raw in sorted(labels.items()):
+        value = str(raw).replace("\\", r"\\").replace('"', r"\"")
+        value = value.replace("\n", r"\n")
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every instrument in text exposition format 0.0.4."""
+    lines: list[str] = []
+    seen_headers: set[str] = set()
+    for metric in registry.collect():
+        if metric.name not in seen_headers:
+            seen_headers.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        labels = metric.labels
+        if isinstance(metric, Histogram):
+            cumulative = metric.cumulative()
+            for edge, count in zip(metric.edges, cumulative):
+                lines.append(
+                    f"{metric.name}_bucket"
+                    f"{_label_str({**labels, 'le': _fmt(edge)})} {count}"
+                )
+            lines.append(
+                f"{metric.name}_bucket"
+                f"{_label_str({**labels, 'le': '+Inf'})} {cumulative[-1]}"
+            )
+            lines.append(f"{metric.name}_sum{_label_str(labels)} "
+                         f"{_fmt(metric.sum)}")
+            lines.append(f"{metric.name}_count{_label_str(labels)} "
+                         f"{metric.count}")
+        else:
+            lines.append(f"{metric.name}{_label_str(labels)} "
+                         f"{_fmt(metric.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(path, records) -> int:
+    """Write dict-like records (or objects with ``to_dict``) as JSON
+    lines; returns how many were written."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for record in records:
+            if hasattr(record, "to_dict"):
+                record = record.to_dict()
+            handle.write(json.dumps(record, separators=(",", ":")) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path) -> list[dict]:
+    records = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def summarize_traces(traces) -> dict:
+    """Aggregate a sequence of trace dicts (or :class:`QueryTrace`\\ s).
+
+    Every total is an exact sum over the per-query records; nothing is
+    sampled or approximated, so ``total_ndc`` here always equals the
+    sum of the matching per-query telemetry.
+    """
+    queries = 0
+    total_ndc = 0
+    total_hops = 0
+    total_visited = 0
+    degraded = 0
+    terminations: dict[str, int] = {}
+    algorithms: dict[str, int] = {}
+    budget_limits: dict[str, int] = {}
+    total_elapsed = 0.0
+    for trace in traces:
+        if hasattr(trace, "to_dict"):
+            trace = trace.to_dict()
+        queries += 1
+        total_ndc += int(trace.get("ndc", 0))
+        total_hops += int(trace.get("hops", 0))
+        total_visited += int(trace.get("visited", 0))
+        total_elapsed += float(trace.get("elapsed_s", 0.0))
+        term = trace.get("termination", "unknown")
+        terminations[term] = terminations.get(term, 0) + 1
+        algo = trace.get("algorithm") or "unknown"
+        algorithms[algo] = algorithms.get(algo, 0) + 1
+        if trace.get("degraded"):
+            degraded += 1
+            budget = trace.get("budget") or {}
+            limit = budget.get("limit", "unknown")
+            budget_limits[limit] = budget_limits.get(limit, 0) + 1
+    return {
+        "queries": queries,
+        "total_ndc": total_ndc,
+        "mean_ndc": total_ndc / queries if queries else 0.0,
+        "total_hops": total_hops,
+        "mean_hops": total_hops / queries if queries else 0.0,
+        "total_visited": total_visited,
+        "degraded": degraded,
+        "budget_limits": budget_limits,
+        "terminations": terminations,
+        "algorithms": algorithms,
+        "total_elapsed_s": total_elapsed,
+    }
+
+
+def format_stats(summary: dict) -> str:
+    """Human-readable ``repro stats`` rendering of a trace summary."""
+
+    def join(mapping: dict) -> str:
+        return " ".join(f"{k}={v}" for k, v in sorted(mapping.items())) or "-"
+
+    lines = [
+        f"queries        {summary['queries']}",
+        f"total ndc      {summary['total_ndc']}",
+        f"mean ndc       {summary['mean_ndc']:.1f}",
+        f"total hops     {summary['total_hops']}",
+        f"mean hops      {summary['mean_hops']:.1f}",
+        f"visited        {summary['total_visited']}",
+        f"degraded       {summary['degraded']} ({join(summary['budget_limits'])})",
+        f"terminations   {join(summary['terminations'])}",
+        f"algorithms     {join(summary['algorithms'])}",
+        f"elapsed        {summary['total_elapsed_s']:.4f}s",
+    ]
+    return "\n".join(lines)

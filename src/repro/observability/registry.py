@@ -1,0 +1,218 @@
+"""Metrics primitives: Counter, Gauge, Histogram, and their registry.
+
+The survey's whole argument rests on *measurement* — NDC, Speedup, QPS
+and their per-component attribution (§5.1, §5.4) — and a serving
+deployment needs the same numbers continuously, not per benchmark run.
+This module provides the three standard instrument kinds with fixed
+log-scale buckets for the two quantities the paper tracks everywhere:
+wall-clock latency (decade 1-2.5-5 steps from 1 µs to 10 s) and NDC
+(powers of two), so histograms from different runs, algorithms and
+machines are always mergeable bucket by bucket.
+
+Instruments are cheap, thread-safe (one lock each — the batch engine
+updates them from worker threads) and dependency-free; nothing here
+imports any other ``repro`` module, so every layer of the system —
+including :mod:`repro._native` at interpreter start — can record into
+the shared registry without import cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "LATENCY_BUCKETS_S",
+    "NDC_BUCKETS",
+]
+
+#: log-scale latency edges: 1/2.5/5 per decade, 1 µs .. 10 s
+LATENCY_BUCKETS_S: tuple[float, ...] = tuple(
+    base * 10.0**exponent
+    for exponent in range(-6, 1)
+    for base in (1.0, 2.5, 5.0)
+) + (10.0,)
+
+#: log2-scale NDC / count edges: 1 .. 2^24 distance evaluations
+NDC_BUCKETS: tuple[float, ...] = tuple(float(2**i) for i in range(25))
+
+
+class _Instrument:
+    """Shared identity: a name, a help string, and fixed labels."""
+
+    __slots__ = ("name", "help", "labels", "_lock")
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        self.name = name
+        self.help = help
+        self.labels = dict(labels) if labels else {}
+        self._lock = threading.Lock()
+
+    def label_key(self) -> tuple:
+        return tuple(sorted(self.labels.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, labels={self.labels})"
+
+
+class Counter(_Instrument):
+    """Monotonically increasing count (queries served, budgets fired)."""
+
+    __slots__ = ("_value",)
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        super().__init__(name, help, labels)
+        self._value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int | float:
+        return self._value
+
+
+class Gauge(_Instrument):
+    """A value that goes both ways (worker utilization, kernel loaded)."""
+
+    __slots__ = ("_value",)
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: dict | None = None):
+        super().__init__(name, help, labels)
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram(_Instrument):
+    """Fixed-bucket histogram with Prometheus ``le`` (inclusive) edges.
+
+    ``counts[i]`` holds observations with ``value <= edges[i]`` (and
+    greater than the previous edge); the final slot is the ``+Inf``
+    overflow bucket.  Cumulation happens at export time, so merging two
+    histograms is element-wise addition.
+    """
+
+    __slots__ = ("edges", "counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: dict | None = None,
+        buckets: tuple[float, ...] = LATENCY_BUCKETS_S,
+    ):
+        super().__init__(name, help, labels)
+        edges = tuple(float(e) for e in buckets)
+        if list(edges) != sorted(set(edges)):
+            raise ValueError(f"histogram {name} bucket edges must be "
+                             f"strictly increasing, got {buckets}")
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.counts[bisect_left(self.edges, value)] += 1
+            self.sum += value
+            self.count += 1
+
+    def cumulative(self) -> list[int]:
+        """Per-edge cumulative counts (the exposition-format view),
+        ending with the ``+Inf`` total."""
+        out, running = [], 0
+        for c in self.counts:
+            running += c
+            out.append(running)
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create store for every instrument in the process.
+
+    Instruments are keyed by ``(name, sorted(labels))``; asking twice
+    returns the same object, so call sites never need to cache handles
+    for correctness (hot paths still should, for speed).  Mixing kinds
+    under one name is an error — a scrape must be able to type each
+    metric family exactly once.
+    """
+
+    def __init__(self):
+        self._instruments: dict[tuple, _Instrument] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, help: str,
+                       labels: dict | None, **kwargs) -> _Instrument:
+        key = (name, tuple(sorted((labels or {}).items())))
+        with self._lock:
+            found = self._instruments.get(key)
+            if found is not None:
+                if not isinstance(found, cls):
+                    raise TypeError(
+                        f"metric {name!r} is already registered as a "
+                        f"{found.kind}, not a {cls.kind}"
+                    )
+                return found
+            instrument = cls(name, help, labels, **kwargs)
+            self._instruments[key] = instrument
+            return instrument
+
+    def counter(self, name: str, help: str = "",
+                labels: dict | None = None) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: dict | None = None) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: dict | None = None,
+                  buckets: tuple[float, ...] = LATENCY_BUCKETS_S) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels,
+                                   buckets=buckets)
+
+    def collect(self) -> list[_Instrument]:
+        """Every registered instrument, in stable (name, labels) order."""
+        with self._lock:
+            return sorted(self._instruments.values(),
+                          key=lambda m: (m.name, m.label_key()))
+
+    def get(self, name: str, labels: dict | None = None) -> _Instrument | None:
+        key = (name, tuple(sorted((labels or {}).items())))
+        with self._lock:
+            return self._instruments.get(key)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._instruments.clear()

@@ -1,0 +1,139 @@
+"""Structured logging: key=value lines for humans, dicts for machines.
+
+Every log call produces two artifacts: a conventional stdlib
+``logging`` record (``event key=value ...`` on stderr, so operators can
+re-route or silence it with standard handler configuration) and a
+structured event dict appended to a bounded in-process buffer that
+:func:`repro.observability.dump_events` exports as JSON lines.  A
+serving deployment can therefore alert on, e.g., the native kernel
+falling back to NumPy without scraping warning text.
+
+``REPRO_LOG_LEVEL`` sets the stderr handler's threshold (default
+``WARNING`` — benchmark progress events stay machine-only unless asked
+for).  :meth:`StructuredLogger.echo` prints its text to stdout
+*verbatim*, which is how the benchmark scripts keep their historical
+output format while still emitting structured events.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+from collections import deque
+
+__all__ = ["StructuredLogger", "EventLog", "get_logger"]
+
+
+class EventLog:
+    """Bounded, thread-safe buffer of structured log events."""
+
+    def __init__(self, capacity: int = 8192):
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def record(self, event: dict) -> None:
+        with self._lock:
+            self._events.append(event)
+
+    def snapshot(self) -> list[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+#: process-wide event buffer (exported via observability.dump_events)
+EVENTS = EventLog()
+
+_configured = False
+_configure_lock = threading.Lock()
+
+
+def _configure_root() -> None:
+    """Attach one stderr handler to the ``repro`` logger, exactly once."""
+    global _configured
+    with _configure_lock:
+        if _configured:
+            return
+        root = logging.getLogger("repro")
+        if not root.handlers:
+            handler = logging.StreamHandler()
+            handler.setFormatter(
+                logging.Formatter("%(levelname)s %(name)s %(message)s")
+            )
+            root.addHandler(handler)
+        level = os.environ.get("REPRO_LOG_LEVEL", "WARNING").upper()
+        root.setLevel(getattr(logging, level, logging.WARNING))
+        root.propagate = False
+        _configured = True
+
+
+def _render(event: str, fields: dict) -> str:
+    parts = [event]
+    for key, value in fields.items():
+        text = str(value)
+        if " " in text or '"' in text:
+            text = '"' + text.replace('"', r"\"") + '"'
+        parts.append(f"{key}={text}")
+    return " ".join(parts)
+
+
+class StructuredLogger:
+    """A named logger whose records are both text and data."""
+
+    __slots__ = ("name", "_logger")
+
+    def __init__(self, name: str):
+        _configure_root()
+        self.name = name
+        self._logger = logging.getLogger(name)
+
+    def _emit(self, level: int, event: str, fields: dict) -> None:
+        EVENTS.record({
+            "ts": time.time(),
+            "level": logging.getLevelName(level),
+            "logger": self.name,
+            "event": event,
+            **fields,
+        })
+        if self._logger.isEnabledFor(level):
+            self._logger.log(level, _render(event, fields))
+
+    def debug(self, event: str, **fields) -> None:
+        self._emit(logging.DEBUG, event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._emit(logging.INFO, event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._emit(logging.WARNING, event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._emit(logging.ERROR, event, fields)
+
+    def echo(self, text: str, event: str = "echo", **fields) -> None:
+        """Print ``text`` to stdout *unchanged* (legacy script output)
+        while recording a structured event describing it."""
+        print(text)
+        self._emit(logging.INFO, event, fields)
+
+
+_loggers: dict[str, StructuredLogger] = {}
+_loggers_lock = threading.Lock()
+
+
+def get_logger(name: str) -> StructuredLogger:
+    """The process-wide :class:`StructuredLogger` for ``name``."""
+    with _loggers_lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = _loggers[name] = StructuredLogger(name)
+        return logger

@@ -125,13 +125,16 @@ class BudgetReport:
 
     ``limit`` names the limit that fired (``"deadline"``, ``"ndc"`` or
     ``"hops"``); the remaining fields are honest telemetry for the
-    degraded result that was returned anyway.
+    degraded result that was returned anyway.  When hop-level tracing
+    is on, ``trace_id`` joins this report to its recorded
+    :class:`~repro.observability.QueryTrace`.
     """
 
     limit: str
     ndc: int
     hops: int
     elapsed_s: float
+    trace_id: str | None = None
 
 
 class BudgetTracker:
@@ -416,6 +419,19 @@ def verify_index(
 
 
 def _finish(report: IntegrityReport, repair: bool, strict: bool) -> IntegrityReport:
+    from repro import observability as obs
+
+    if report.issues or report.repairs:
+        if obs.enabled():
+            handles = obs.instruments()
+            handles.integrity_issues_total.inc(
+                len(report.issues) + len(report.repairs))
+            handles.repairs_total.inc(len(report.repairs))
+        obs.get_logger("repro.resilience").warning(
+            "index.integrity",
+            issues=len(report.issues), repairs=len(report.repairs),
+            detail="; ".join(report.issues + report.repairs)[:500],
+        )
     if report.issues and strict and not repair:
         raise IndexIntegrityError(report)
     return report

@@ -23,6 +23,7 @@ DUAL_MODE_SUITES = [
     "tests/test_batch.py",
     "tests/test_resilience.py",
     "tests/test_faults.py",
+    "tests/test_observability.py",
 ]
 
 
