@@ -1,0 +1,158 @@
+"""QPS-vs-threads curve for the GIL-free multi-threaded batch kernel.
+
+Builds a kgraph index over 10k synthetic 32-d points and times
+:func:`repro.batch.search_batch` at several thread counts, asserting on
+the way that ids, distances and per-query NDC stay bit-identical at
+every count (the kernel's determinism contract).  Repeats are
+*interleaved* — one pass runs every thread count once, and each count
+keeps its best pass — so drift in machine load cannot masquerade as a
+scaling trend.  Results are merged into ``BENCH_search.json`` under the
+``"batch_scaling"`` key (the hotpath benchmark owns the other keys of
+the same file).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_batch_scaling.py
+
+``--check`` additionally exits non-zero unless QPS is monotonically
+non-decreasing from 1 thread upward within a generous tolerance
+(single-core CI boxes show a flat curve; the check guards against the
+MT dispatch *costing* throughput, not for a speedup the hardware cannot
+deliver).  Scale knobs: ``REPRO_BENCH_SCALING_N`` (points, default
+10000), ``REPRO_BENCH_SCALING_QUERIES`` (default 256),
+``REPRO_BENCH_SCALING_THREADS`` (comma list, default ``1,2,4``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import create
+from repro.batch import search_batch
+
+N = int(os.environ.get("REPRO_BENCH_SCALING_N", "10000"))
+NUM_QUERIES = int(os.environ.get("REPRO_BENCH_SCALING_QUERIES", "256"))
+THREADS = tuple(
+    int(t) for t in os.environ.get("REPRO_BENCH_SCALING_THREADS", "1,2,4").split(",")
+)
+DIM = 32
+K = 10
+EF = 40
+REPEATS = int(os.environ.get("REPRO_BENCH_SCALING_REPEATS", "9"))
+#: --check tolerance: QPS(t) may fall below QPS(t-1) by this factor
+#: before the run counts as a regression (covers timer noise and
+#: single-core machines where extra threads cannot help)
+SLACK = 0.80
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_search.json"
+
+
+def fixed_seed_index(data):
+    """A kgraph index whose seed provider is frozen to fixed entries.
+
+    Bit-identity across thread counts *and repeats* needs the same
+    seeds every run; kgraph's stateful random provider would draw new
+    ones per call, so freeze one draw into a FixedSeeds provider.
+    """
+    from repro.components.seeding import FixedSeeds
+
+    index = create("kgraph", seed=0)
+    index.build(data)
+    seeds = np.unique(
+        np.asarray(index.seed_provider.acquire(data.mean(axis=0)), dtype=np.int64)
+    )
+    index.seed_provider = FixedSeeds(seeds)
+    return index
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="fail unless QPS is monotonically non-decreasing "
+             f"within a {SLACK:.0%} slack factor",
+    )
+    args = parser.parse_args(argv)
+
+    rng = np.random.default_rng(7)
+    data = rng.normal(size=(N, DIM)).astype(np.float32)
+    queries = rng.normal(size=(NUM_QUERIES, DIM)).astype(np.float32)
+    build_started = time.perf_counter()
+    index = fixed_seed_index(data)
+    build_s = time.perf_counter() - build_started
+
+    # warm-up: norm table, kernel load, page cache
+    search_batch(index, queries[:16], k=K, ef=EF, workers=max(THREADS))
+
+    reference = None
+    best_s = {t: np.inf for t in THREADS}
+    for _ in range(REPEATS):
+        for threads in THREADS:
+            result = search_batch(index, queries, k=K, ef=EF, workers=threads)
+            best_s[threads] = min(best_s[threads], result.elapsed_s)
+            if reference is None:
+                reference = result
+                continue
+            # the determinism contract: any thread count, any repeat
+            assert np.array_equal(result.ids, reference.ids), (
+                f"ids diverged at {threads} threads"
+            )
+            assert np.array_equal(result.dists, reference.dists), (
+                f"distances diverged at {threads} threads"
+            )
+            assert np.array_equal(result.ndc, reference.ndc), (
+                f"NDC diverged at {threads} threads"
+            )
+
+    rows = [
+        {"threads": t, "qps": NUM_QUERIES / best_s[t], "best_s": best_s[t]}
+        for t in THREADS
+    ]
+    section = {
+        "n": N,
+        "dim": DIM,
+        "num_queries": NUM_QUERIES,
+        "k": K,
+        "ef": EF,
+        "repeats": REPEATS,
+        "build_s": build_s,
+        "bit_identical": True,
+        "scaling": rows,
+    }
+
+    merged = {}
+    if OUTPUT.exists():
+        try:
+            merged = json.loads(OUTPUT.read_text())
+        except (OSError, json.JSONDecodeError):
+            merged = {}
+    merged["batch_scaling"] = section
+    OUTPUT.write_text(json.dumps(merged, indent=2) + "\n")
+
+    for row in rows:
+        print(f"threads={row['threads']}: {row['qps']:.0f} qps")
+    print(f"bit-identical across thread counts and repeats; wrote {OUTPUT}")
+
+    if args.check:
+        for prev, cur in zip(rows, rows[1:]):
+            if cur["qps"] < prev["qps"] * SLACK:
+                print(
+                    f"FAIL: qps dropped {prev['qps']:.0f} -> {cur['qps']:.0f} "
+                    f"going {prev['threads']} -> {cur['threads']} threads "
+                    f"(beyond the {SLACK:.0%} slack)",
+                    file=sys.stderr,
+                )
+                return 1
+        print("scaling check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,14 @@ def _cmd_eval(args) -> int:
     dataset = load_dataset(args.dataset, cardinality=args.n, num_queries=args.queries)
     index = create(args.algorithm, seed=args.seed)
     report = index.build(dataset.base)
+    if args.seed_provider:
+        # post-build so it also covers algorithms that install their own
+        # provider during construction (prepare runs immediately)
+        from repro.presets import apply_seed_provider
+
+        apply_seed_provider(index, args.seed_provider)
+    if args.reorder:
+        index.reorder(args.reorder)
     stats = index.batch_search(
         dataset.queries, dataset.ground_truth, k=args.k, ef=args.ef
     )
@@ -107,6 +115,15 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--k", type=int, default=10)
     evaluate.add_argument("--ef", type=int, default=60)
     evaluate.add_argument("--seed", type=int, default=0)
+    evaluate.add_argument(
+        "--seed-provider", choices=("pq", "lsh", "random"), default=None,
+        help="swap the algorithm's C4/C6 entry component "
+             "(pq = zero-NDC ADC scan over compressed vectors)",
+    )
+    evaluate.add_argument(
+        "--reorder", choices=("bfs", "degree"), default=None,
+        help="relabel vertices for cache locality before searching",
+    )
     evaluate.add_argument(
         "--trace", metavar="PATH",
         help="enable tracing; write per-query JSONL traces here",

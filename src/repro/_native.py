@@ -8,6 +8,12 @@ algorithm.  This module compiles a small C library implementing
 * ``sq_dists_to_rows``  — the expanded-form distance kernel,
 * ``best_first``        — Algorithm 1 over the frozen CSR layout,
 * ``best_first_batch``  — the same loop over a whole query block,
+* ``best_first_batch_mt`` — the GIL-free scaling path: a pthread worker
+  pool answers a whole batch in one ctypes call (the GIL is released
+  exactly once), each thread owning its own epoch-visited array and
+  heap scratch allocated in C, with every query writing to a fixed
+  output slot so results are bit-identical to the serial kernel for
+  any thread count,
 * ``best_first_build``  — the construction-side variant: records every
   evaluated ``(vertex, distance)`` pair (the *visited set* that C2
   candidate acquisition pools) and optionally walks a padded adjacency
@@ -51,6 +57,7 @@ __all__ = [
     "sq_dists_to_rows",
     "best_first",
     "best_first_batch",
+    "best_first_batch_mt",
     "best_first_build",
     "select_rng_scan",
 ]
@@ -58,6 +65,9 @@ __all__ = [
 _C_SOURCE = r"""
 #include <math.h>
 #include <stdint.h>
+#include <stdlib.h>
+#include <pthread.h>
+#include <time.h>
 
 /* Deterministic unrolled dot product: four partial sums combined as
    (s0+s1)+(s2+s3).  Both entry points below use this same routine, so
@@ -347,6 +357,124 @@ void best_first_batch(
             out_ids + i * ef, out_sq + i * ef, stats + i * 4);
     }
 }
+
+/* -- multi-threaded batch (the GIL-free scaling path) ----------------
+   A pthread worker pool pulls grains of queries off an atomic cursor.
+   Every per-query state (epoch array, both heaps) is thread-private
+   and allocated here in C; every query writes only to its own fixed
+   output slot (out_ids/out_sq/out_len/stats row i), so the results
+   are bit-identical to the serial kernel regardless of thread count
+   or scheduling order.  Per-thread wall-clock is recorded so Python
+   can report worker utilization without re-entering the loop. */
+
+#define MT_GRAIN 8
+
+typedef struct {
+    const float *data; int64_t n, d; const double *norms;
+    const int32_t *indptr; const int32_t *indices;
+    const double *queries; const double *qsqs; int64_t nq;
+    const int64_t *seed_indptr; const int64_t *seeds;
+    int64_t ef;
+    const int64_t *max_ndcs; int64_t max_hops;
+    int32_t *out_ids; double *out_sq; int64_t *out_len; int64_t *stats;
+    double *thread_busy;
+    int64_t next;          /* atomic work cursor */
+    int failed;            /* any thread could not allocate scratch */
+} mt_job;
+
+typedef struct { mt_job *job; int64_t tid; } mt_arg;
+
+static double mt_now(void) {
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+
+static void *mt_worker(void *argp) {
+    mt_arg *arg = (mt_arg *)argp;
+    mt_job *job = arg->job;
+    double started = mt_now();
+    int64_t n = job->n, ef = job->ef;
+    int64_t *visit_gen = (int64_t *)calloc((size_t)n, sizeof(int64_t));
+    double *cd = (double *)malloc((size_t)n * sizeof(double));
+    int32_t *ci = (int32_t *)malloc((size_t)n * sizeof(int32_t));
+    double *rd = (double *)malloc((size_t)ef * sizeof(double));
+    int32_t *ri = (int32_t *)malloc((size_t)ef * sizeof(int32_t));
+    if (!visit_gen || !cd || !ci || !rd || !ri) {
+        job->failed = 1;
+    } else {
+        int64_t gen = 0;
+        for (;;) {
+            int64_t start = __sync_fetch_and_add(&job->next, MT_GRAIN);
+            if (start >= job->nq) break;
+            int64_t stop = start + MT_GRAIN;
+            if (stop > job->nq) stop = job->nq;
+            for (int64_t i = start; i < stop; i++) {
+                gen++;
+                job->out_len[i] = bf_core(
+                    job->data, job->d, job->norms,
+                    job->indptr, job->indices, 0,
+                    job->queries + i * job->d, job->qsqs[i],
+                    job->seeds + job->seed_indptr[i],
+                    job->seed_indptr[i + 1] - job->seed_indptr[i],
+                    ef, job->max_ndcs[i], job->max_hops,
+                    visit_gen, gen, cd, ci, rd, ri,
+                    job->out_ids + i * ef, job->out_sq + i * ef,
+                    0, 0, job->stats + i * 4);
+            }
+        }
+    }
+    free(visit_gen); free(cd); free(ci); free(rd); free(ri);
+    job->thread_busy[arg->tid] = mt_now() - started;
+    return 0;
+}
+
+/* Returns 0 on success; non-zero means scratch allocation or thread
+   creation failed and the caller must fall back (outputs undefined). */
+int64_t best_first_batch_mt(
+    const float *data, int64_t n, int64_t d, const double *norms,
+    const int32_t *indptr, const int32_t *indices,
+    const double *queries, const double *qsqs, int64_t nq,
+    const int64_t *seed_indptr, const int64_t *seeds, int64_t ef,
+    const int64_t *max_ndcs, int64_t max_hops,
+    int32_t *out_ids, double *out_sq, int64_t *out_len,
+    int64_t *stats, int64_t n_threads, double *thread_busy)
+{
+    mt_job job;
+    job.data = data; job.n = n; job.d = d; job.norms = norms;
+    job.indptr = indptr; job.indices = indices;
+    job.queries = queries; job.qsqs = qsqs; job.nq = nq;
+    job.seed_indptr = seed_indptr; job.seeds = seeds; job.ef = ef;
+    job.max_ndcs = max_ndcs; job.max_hops = max_hops;
+    job.out_ids = out_ids; job.out_sq = out_sq; job.out_len = out_len;
+    job.stats = stats; job.thread_busy = thread_busy;
+    job.next = 0; job.failed = 0;
+
+    if (n_threads > nq) n_threads = nq;
+    if (n_threads < 1) n_threads = 1;
+    for (int64_t t = 0; t < n_threads; t++) thread_busy[t] = 0.0;
+
+    if (n_threads == 1) {
+        mt_arg arg; arg.job = &job; arg.tid = 0;
+        mt_worker(&arg);
+        return job.failed ? 1 : 0;
+    }
+
+    pthread_t *tids = (pthread_t *)malloc((size_t)n_threads * sizeof(pthread_t));
+    mt_arg *args = (mt_arg *)malloc((size_t)n_threads * sizeof(mt_arg));
+    if (!tids || !args) { free(tids); free(args); return 1; }
+    int64_t created = 0;
+    for (; created < n_threads; created++) {
+        args[created].job = &job; args[created].tid = created;
+        if (pthread_create(&tids[created], 0, mt_worker, &args[created]) != 0) {
+            job.failed = 1;
+            break;
+        }
+    }
+    for (int64_t t = 0; t < created; t++) pthread_join(tids[t], 0);
+    free(tids); free(args);
+    return job.failed ? 1 : 0;
+}
 """
 
 _I64 = ctypes.c_int64
@@ -359,11 +487,31 @@ _PI64 = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
 #: deliberate-opt-out/compile/load failure reason otherwise)
 LOAD_ERROR: str | None = None
 
+#: structured classification of LOAD_ERROR for the observability event:
+#: None (loaded), "disabled", "compile", "link_pthread" (the -lpthread /
+#: thread-runtime link step failed — the MT batch kernel's dependency),
+#: or "load" (the built .so would not dlopen)
+LOAD_ERROR_KIND: str | None = None
+
+
+def _classify_failure(kind: str, detail: str) -> str:
+    """Refine a failure stage into the structured event kind.
+
+    A missing/broken pthread link is singled out because it is the one
+    failure mode the multi-threaded batch kernel introduced: a box that
+    compiled PR-1's serial kernels fine can still fail here, and a prod
+    log that only said "compile failed" would hide that regression.
+    """
+    if "pthread" in detail.lower():
+        return "link_pthread"
+    return kind
+
 
 def _build_library() -> ctypes.CDLL | None:
-    global LOAD_ERROR
+    global LOAD_ERROR, LOAD_ERROR_KIND
     if os.environ.get("REPRO_NO_NATIVE"):
         LOAD_ERROR = "disabled via REPRO_NO_NATIVE"
+        LOAD_ERROR_KIND = "disabled"
         return None
     digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
     build_dir = os.environ.get("REPRO_NATIVE_BUILD_DIR") or os.path.join(
@@ -381,23 +529,27 @@ def _build_library() -> ctypes.CDLL | None:
                 handle.write(_C_SOURCE)
             result = subprocess.run(
                 [compiler, "-O2", "-ffp-contract=off", "-shared", "-fPIC",
-                 src_path, "-o", so_path, "-lm"],
+                 src_path, "-o", so_path, "-lm", "-lpthread"],
                 capture_output=True, timeout=120,
             )
             os.unlink(src_path)
             if result.returncode != 0:
+                stderr = result.stderr.decode(errors="replace")[:500]
                 LOAD_ERROR = (
                     f"{compiler} failed with code {result.returncode}: "
-                    + result.stderr.decode(errors="replace")[:500]
+                    + stderr
                 )
+                LOAD_ERROR_KIND = _classify_failure("compile", stderr)
                 return None
         except (OSError, subprocess.SubprocessError) as exc:
             LOAD_ERROR = f"compilation failed: {exc}"
+            LOAD_ERROR_KIND = _classify_failure("compile", str(exc))
             return None
     try:
         lib = ctypes.CDLL(so_path)
     except OSError as exc:
         LOAD_ERROR = f"could not load {so_path}: {exc}"
+        LOAD_ERROR_KIND = _classify_failure("load", str(exc))
         return None
     lib.sq_dists_to_rows.argtypes = [
         _PF32, _I64, _I64, _PF64, ctypes.c_double, _PF64, _PF64,
@@ -415,6 +567,12 @@ def _build_library() -> ctypes.CDLL | None:
         _PF64, _PI32, _PF64, _PI32, _PI32, _PF64, _PI64, _PI64,
     ]
     lib.best_first_batch.restype = None
+    lib.best_first_batch_mt.argtypes = [
+        _PF32, _I64, _I64, _PF64, _PI32, _PI32, _PF64, _PF64, _I64,
+        _PI64, _PI64, _I64, _PI64, _I64,
+        _PI32, _PF64, _PI64, _PI64, _I64, _PF64,
+    ]
+    lib.best_first_batch_mt.restype = _I64
     lib.best_first_build.argtypes = [
         _PF32, _I64, _PF64, _PI32, _PI32, ctypes.c_void_p,
         _PF64, ctypes.c_double, _PI64, _I64, _I64, _PI64, _I64,
@@ -426,6 +584,7 @@ def _build_library() -> ctypes.CDLL | None:
     ]
     lib.select_rng.restype = _I64
     LOAD_ERROR = None
+    LOAD_ERROR_KIND = None
     return lib
 
 
@@ -459,6 +618,7 @@ def _report_load_state() -> None:
         ).inc()
         obs.get_logger("repro.native").warning(
             "native.kernel_load_failed", error=LOAD_ERROR or "unknown",
+            error_kind=LOAD_ERROR_KIND or "unknown",
         )
         # Degrading to NumPy is safe (identical results, slower), but a
         # production operator should know it happened — warn exactly once.
@@ -550,6 +710,44 @@ def best_first_batch(ctx, graph, queries64, qsqs, seed_indptr, seeds, ef,
     )
     ctx.generation += nq
     return out_ids, out_sq, out_len, stats
+
+
+def best_first_batch_mt(data, norms_sq, graph, queries64, qsqs,
+                        seed_indptr, seeds, ef, n_threads,
+                        max_ndcs=None, max_hops=-1):
+    """Whole-batch search on a pthread pool: one GIL-released C call.
+
+    Unlike :func:`best_first_batch` this needs no
+    :class:`~repro.components.context.SearchContext` — every thread
+    allocates its own epoch array and heaps in C and every query writes
+    a fixed output slot, so ids/dists/stats are bit-identical to the
+    serial kernel for any ``n_threads``.  Returns ``(ids, sq, lengths,
+    stats, thread_busy)``; ``thread_busy`` holds per-thread busy
+    seconds for utilization accounting.  Raises :class:`MemoryError`
+    when the kernel could not allocate scratch or spawn threads —
+    callers fall back to the chunked Python-orchestrated engine.
+    """
+    indptr, indices = graph.csr()
+    nq = len(queries64)
+    n_threads = max(1, min(int(n_threads), max(nq, 1)))
+    if max_ndcs is None:
+        max_ndcs = np.full(nq, -1, dtype=np.int64)
+    out_ids = np.empty((nq, ef), dtype=np.int32)
+    out_sq = np.empty((nq, ef), dtype=np.float64)
+    out_len = np.empty(nq, dtype=np.int64)
+    stats = np.empty((nq, 4), dtype=np.int64)
+    thread_busy = np.zeros(n_threads, dtype=np.float64)
+    rc = LIB.best_first_batch_mt(
+        data, len(data), data.shape[1], norms_sq,
+        indptr, indices, queries64, qsqs, nq,
+        seed_indptr, seeds, ef, max_ndcs, max_hops,
+        out_ids, out_sq, out_len, stats, n_threads, thread_busy,
+    )
+    if rc != 0:
+        raise MemoryError(
+            "best_first_batch_mt could not allocate per-thread scratch"
+        )
+    return out_ids, out_sq, out_len, stats, thread_busy
 
 
 def best_first_build(ctx, indptr, indices, counts, query64, query_sq,

@@ -82,6 +82,10 @@ class GraphANNS:
         self.build_report: BuildReport | None = None
         self._deleted: np.ndarray | None = None  # tombstones (S1 updates)
         self._search_ctx: SearchContext | None = None
+        # After reorder(): internal vertex id -> original dataset id.
+        # None means the identity (never reordered).
+        self._id_map: np.ndarray | None = None
+        self._id_inv: np.ndarray | None = None  # lazy inverse of _id_map
 
     # -- construction ---------------------------------------------------
 
@@ -112,6 +116,8 @@ class GraphANNS:
             bctx.close()
         self._deleted = np.zeros(len(self.data), dtype=bool)
         self._search_ctx = None
+        self._id_map = None   # a rebuild starts from the identity labeling
+        self._id_inv = None
         graph_bytes = self.graph.index_size_bytes()
         aux_bytes = self.aux_size_bytes()
         self.build_report = BuildReport(
@@ -190,18 +196,100 @@ class GraphANNS:
         self._require_built()
         if not 0 <= vertex_id < len(self.data):
             raise IndexError(f"vertex {vertex_id} out of range")
-        self._deleted[vertex_id] = True
+        self._deleted[self._internal_id(vertex_id)] = True
 
     @property
     def num_deleted(self) -> int:
         """How many vertices are tombstoned."""
         return 0 if self._deleted is None else int(self._deleted.sum())
 
+    def _internal_id(self, vertex_id: int) -> int:
+        """Original-space id -> internal vertex id (identity pre-reorder)."""
+        if self._id_map is None:
+            return int(vertex_id)
+        if self._id_inv is None:
+            self._id_inv = np.empty(len(self._id_map), dtype=np.int64)
+            self._id_inv[self._id_map] = np.arange(
+                len(self._id_map), dtype=np.int64
+            )
+        return int(self._id_inv[vertex_id])
+
     def _grow_bookkeeping(self) -> None:
         """Extend per-vertex state after an insertion."""
         self._deleted = np.append(self._deleted, False)
+        if self._id_map is not None:
+            # the new vertex is appended in both labelings: its original
+            # id is the next fresh one, its internal id the last row
+            self._id_map = np.append(self._id_map, len(self._id_map))
+            self._id_inv = None
         self.seed_provider.prepare(self.data, self.graph)
         self._search_ctx = None
+
+    # -- cache-locality reordering ------------------------------------------
+
+    #: subclasses whose auxiliary structures hard-code internal vertex
+    #: ids (e.g. HNSW's upper-layer graphs) set this False to refuse
+    _reorder_ok = True
+
+    def reorder(self, strategy: str = "bfs") -> np.ndarray:
+        """Relabel vertices so graph neighbors sit close in memory.
+
+        Best-first search touches ``data[neighbors]`` in adjacency
+        order; after a BFS (or degree) relabeling those rows — and the
+        CSR adjacency slices — are largely sequential, so the native
+        kernel's gathers hit warm cache lines.  The permutation is
+        invisible to callers: an inverse map is kept and every returned
+        id (``search``/``search_batch``) stays in the *original* dataset
+        space, tombstones follow their vertices, and ``delete`` keeps
+        accepting original ids.  Deterministic seed providers (centroid,
+        fixed entries) yield bit-identical results before and after;
+        stateful ones (random draws, rebuilt trees) stay
+        recall-equivalent but may pick different seed points.
+
+        Returns the applied permutation ``order`` (new row -> old row).
+        Raises :class:`NotImplementedError` for algorithms whose C4
+        structures hard-code internal ids (HNSW's layer graphs).
+        """
+        self._require_built()
+        if not self._reorder_ok:
+            raise NotImplementedError(
+                f"{self.name}: auxiliary structures reference internal "
+                "vertex ids; reordering is not supported"
+            )
+        started = time.perf_counter()
+        roots = self._reorder_roots()
+        order = self.graph.reorder_permutation(strategy, roots=roots)
+        inverse = np.empty(len(order), dtype=np.int64)
+        inverse[order] = np.arange(len(order), dtype=np.int64)
+        self.graph = self.graph.permute(order)
+        self.data = np.ascontiguousarray(self.data[order])
+        if self._deleted is not None:
+            self._deleted = self._deleted[order]
+        # compose with any earlier reorder so internal ids always map
+        # straight back to the original dataset rows
+        self._id_map = (
+            order.copy() if self._id_map is None else self._id_map[order]
+        )
+        self._id_inv = None
+        self.seed_provider.permute(inverse)
+        self.seed_provider.prepare(self.data, self.graph)
+        if hasattr(self, "medoid"):   # NSG/Vamana keep the entry id too
+            self.medoid = int(inverse[self.medoid])
+        self._search_ctx = None
+        if obs.enabled():
+            obs.record_span(
+                "reorder", time.perf_counter() - started,
+                algorithm=self.name, n=len(self.data), strategy=strategy,
+            )
+        return order
+
+    def _reorder_roots(self) -> np.ndarray | None:
+        """Preferred BFS start vertices (internal ids); providers with a
+        natural entry (the medoid) anchor the relabeling at id 0."""
+        medoid = getattr(self.seed_provider, "medoid", None)
+        if medoid is not None:
+            return np.asarray([int(medoid)], dtype=np.int64)
+        return None
 
     def _context(self) -> SearchContext:
         """The index's reusable search scratch, rebuilt if ``data`` moved."""
@@ -271,6 +359,8 @@ class GraphANNS:
             result.dists = result.dists[keep]
         result.ids = result.ids[:k]
         result.dists = result.dists[:k]
+        if self._id_map is not None and len(result.ids):
+            result.ids = self._id_map[result.ids]
         if metrics:
             elapsed = time.perf_counter() - started
             if trace is not None:

@@ -29,6 +29,9 @@ class HNSW(GraphANNS):
     """Multi-layer graph with heuristic neighbor selection."""
 
     name = "hnsw"
+    # the upper-layer graphs and entry point hard-code base-layer
+    # vertex ids; a base-layer relabeling would orphan them
+    _reorder_ok = False
 
     def __init__(
         self,

@@ -13,20 +13,29 @@ production service batches.  This module offers two engines:
   (and the NDC accounting) match the sequential search — only the
   wall-clock changes.
 
-* :func:`search_batch` is the high-throughput engine: it splits the
-  batch across a worker pool, gives each worker its own reusable
-  :class:`~repro.components.context.SearchContext`, and — for indexes
-  that route with the default best-first search — hands each worker's
-  whole chunk to the native kernel in a single call.  Seed acquisition
-  runs up front in query order so stateful providers (e.g. the random
-  seeders) yield exactly the seeds a sequential loop would have drawn,
-  making the per-query telemetry (NDC including seed acquisition, hops,
-  visited) identical to ``index.search`` query by query.
+* :func:`search_batch` is the high-throughput engine.  For indexes
+  that route with the default best-first search it hands the *entire*
+  batch to the multi-threaded native kernel in **one ctypes call**: the
+  GIL is released once, a pthread pool inside the C library fans the
+  queries out (per-thread scratch, fixed per-query output slots), and
+  results are bit-identical to the serial kernel for any thread count.
+  Seed acquisition runs up front through
+  :meth:`~repro.components.seeding.SeedProvider.acquire_batch` — in
+  query order, so stateful providers (e.g. the random seeders) yield
+  exactly the seeds a sequential loop would have drawn, with providers
+  that score a candidate pool (PQ/ADC, fixed entries) vectorizing the
+  whole batch in one GEMM — making the per-query telemetry (NDC
+  including seed acquisition, hops, visited) identical to
+  ``index.search`` query by query.  Indexes with a custom ``_route``,
+  traced runs, deadline budgets, armed fault plans and kernel-less
+  environments fall back to the chunked Python worker pool, which
+  remains bit-identical (only slower).
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -302,15 +311,17 @@ def search_batch(
     workers: int = 1,
     budget: QueryBudget | None = None,
 ) -> BatchQueryResult:
-    """Answer a query batch with a pool of ``workers`` search contexts.
+    """Answer a query batch with ``workers`` parallel search lanes.
 
     Semantics match a ``[index.search(q, k, ef) for q in queries]``
     loop exactly — same ids, distances, per-query NDC (seed acquisition
-    included), hops and visited counts, same tombstone filtering — but
-    the batch is split into per-worker chunks, each worker reuses one
-    :class:`SearchContext`, and default-routing indexes process each
-    chunk in a single native kernel call, eliminating the per-query
-    Python overhead the sequential loop pays.
+    included), hops and visited counts, same tombstone filtering.  For
+    default-routing indexes the whole batch runs below the interpreter:
+    one ctypes call into the multi-threaded C kernel (``workers``
+    pthreads, the GIL released once), bit-identical for any thread
+    count.  Custom ``_route`` implementations, traced runs, deadline
+    budgets and kernel-less environments use the chunked Python worker
+    pool instead, each chunk reusing one :class:`SearchContext`.
 
     Resilience semantics:
 
@@ -370,16 +381,20 @@ def search_batch(
     for i in np.flatnonzero(~finite):
         errors[i] = "query contains non-finite values (NaN/Inf)"
 
-    # Seed acquisition stays sequential and in query order: providers
-    # may be stateful (RNG draws, restart counters), and this order is
-    # the one the equivalent sequential loop would have used.
+    # Seed acquisition runs batched but *in query order*: the default
+    # acquire_batch loops per query exactly like the sequential search
+    # (stateful providers draw identical seeds), while pool-scoring
+    # providers (PQ/ADC, fixed entries, vectorized RNG) answer the
+    # whole batch in one GEMM/draw without changing a single id.
     seed_lists: list = [None] * num_queries
-    for i in np.flatnonzero(finite):
-        acq = DistanceCounter()
-        seed_lists[i] = np.asarray(
-            index.seed_provider.acquire(queries[i], acq), dtype=np.int64
+    finite_rows = np.flatnonzero(finite)
+    if len(finite_rows):
+        acquired, acq_counts = index.seed_provider.acquire_batch(
+            queries[finite_rows]
         )
-        ndc[i] = acq.count
+        for pos, i in enumerate(finite_rows):
+            seed_lists[i] = np.asarray(acquired[pos], dtype=np.int64)
+        ndc[finite_rows] = acq_counts
     # frozen copy of the acquisition cost so a chunk retry can restore
     # per-query state idempotently
     acq_ndc = ndc.copy()
@@ -387,6 +402,7 @@ def search_batch(
         handles.batch_stage_seed_seconds.observe(time.perf_counter() - started)
 
     deleted = index._deleted if index.num_deleted else None
+    id_map = index._id_map  # reordered indexes return original-space ids
     native_ok = (
         _uses_default_route(index)
         and _native.LIB is not None
@@ -396,6 +412,12 @@ def search_batch(
         # hop events are only observable on the Python path; it is
         # bit-identical to the kernel, so traced results don't change
         and not tracing
+    )
+    # The GIL-free whole-batch kernel additionally steps around armed
+    # fault plans (their injection points are per-chunk/per-query hooks
+    # in the Python orchestration below).
+    native_mt_ok = (
+        native_ok and len(finite_rows) > 0 and faults.active() is None
     )
 
     def effective_budget(i: int) -> QueryBudget | None:
@@ -409,7 +431,7 @@ def search_batch(
             res_ids = res_ids[keep]
             res_dists = res_dists[keep]
         m = min(k, len(res_ids))
-        ids[i, :m] = res_ids[:m]
+        ids[i, :m] = res_ids[:m] if id_map is None else id_map[res_ids[:m]]
         dists[i, :m] = res_dists[:m]
 
     def run_query_python(i: int, ctx: SearchContext) -> None:
@@ -469,7 +491,8 @@ def search_batch(
             visited[chunk] = stats[:, 2]
             degraded[chunk] = stats[:, 3] > 0
             if deleted is None and int(out_len.min()) >= k:
-                ids[chunk] = out_ids[:, :k]
+                rows = out_ids[:, :k]
+                ids[chunk] = rows if id_map is None else id_map[rows]
                 dists[chunk] = np.sqrt(out_sq[:, :k])
                 return
             for pos, i in enumerate(chunk):
@@ -517,6 +540,57 @@ def search_batch(
                 if trace_ids is not None:
                     obs.RECORDER.discard({trace_ids[i]})
 
+    def run_batch_native_mt() -> np.ndarray:
+        """One GIL-released C call answers every finite query on a
+        pthread pool; returns per-thread busy seconds."""
+        rows = finite_rows
+        queries64 = np.ascontiguousarray(queries[rows], dtype=np.float64)
+        # per-row np.dot to match SearchContext.begin_query bit for bit
+        qsqs = np.asarray([np.dot(row, row) for row in queries64])
+        uniq = [np.unique(seed_lists[i]) for i in rows]
+        n = index.graph.n
+        for s in uniq:
+            if len(s) and (s[0] < 0 or s[-1] >= n):
+                raise IndexError(
+                    f"seed ids must lie in [0, {n}), got {s[0]}..{s[-1]}"
+                )
+        seed_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in uniq], out=seed_indptr[1:])
+        seeds = (
+            np.concatenate(uniq) if uniq else np.empty(0, dtype=np.int64)
+        ).astype(np.int64, copy=False)
+        max_ndcs = None
+        max_hops = -1
+        if budget is not None:
+            if budget.max_ndc is not None:
+                max_ndcs = np.maximum(
+                    budget.max_ndc - acq_ndc[rows], 0
+                ).astype(np.int64)
+            if budget.max_hops is not None:
+                max_hops = int(budget.max_hops)
+        # results are bit-identical for any thread count, so threads
+        # beyond the physical cores buy nothing but context switches
+        # and per-thread scratch pressure — clamp to the machine
+        kernel_threads = max(1, min(workers, os.cpu_count() or workers))
+        out_ids, out_sq, out_len, stats, thread_busy = _native.best_first_batch_mt(
+            index.data, squared_norms(index.data), index.graph,
+            queries64, qsqs, seed_indptr, seeds, ef, kernel_threads,
+            max_ndcs=max_ndcs, max_hops=max_hops,
+        )
+        ndc[rows] = acq_ndc[rows] + stats[:, 0]
+        hops[rows] = stats[:, 1]
+        visited[rows] = stats[:, 2]
+        degraded[rows] = stats[:, 3] > 0
+        if deleted is None and int(out_len.min()) >= k:
+            top = out_ids[:, :k]
+            ids[rows] = top if id_map is None else id_map[top]
+            dists[rows] = np.sqrt(out_sq[:, :k])
+        else:
+            for pos, i in enumerate(rows):
+                fill_query(i, out_ids[pos, : out_len[pos]].astype(np.int64),
+                           np.sqrt(out_sq[pos, : out_len[pos]]))
+        return thread_busy
+
     workers = max(1, min(int(workers), num_queries))
     chunks = np.array_split(np.flatnonzero(finite), workers)
     busy = [0.0] * workers
@@ -532,16 +606,38 @@ def search_batch(
             busy[worker_index] = time.perf_counter() - t0
 
     compute_started = time.perf_counter()
-    if workers == 1:
-        run_timed(0, chunks[0])
-    else:
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(run_timed, w, c)
-                for w, c in enumerate(chunks)
-            ]
-            for future in futures:
-                future.result()
+    fused_done = False
+    if native_mt_ok:
+        try:
+            thread_busy = run_batch_native_mt()
+            busy = [float(b) for b in thread_busy] + [0.0] * max(
+                0, workers - len(thread_busy)
+            )
+            fused_done = True
+        except Exception:
+            # kernel-side failure (scratch allocation, bad seeds): reset
+            # any partial per-query state and take the resilient chunked
+            # path below, exactly as a failed chunk would
+            rows = finite_rows
+            ids[rows] = -1
+            dists[rows] = np.inf
+            ndc[rows] = acq_ndc[rows]
+            hops[rows] = 0
+            visited[rows] = 0
+            degraded[rows] = False
+            if handles is not None:
+                handles.chunk_retries_total.inc()
+    if not fused_done:
+        if workers == 1:
+            run_timed(0, chunks[0])
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(run_timed, w, c)
+                    for w, c in enumerate(chunks)
+                ]
+                for future in futures:
+                    future.result()
     elapsed_s = time.perf_counter() - started
     utilization = 0.0
     if handles is not None:

@@ -48,6 +48,39 @@ class SeedProvider:
         """Return the seed ids for one query."""
         raise NotImplementedError
 
+    def acquire_batch(
+        self, queries: np.ndarray
+    ) -> tuple[list[np.ndarray], np.ndarray]:
+        """Seed ids and per-query acquisition NDC for a whole batch.
+
+        Returns ``(seed_lists, ndc)`` where ``seed_lists[i]`` is the
+        int64 seed array for ``queries[i]`` and ``ndc[i]`` the distance
+        computations its acquisition charged.  The default runs
+        :meth:`acquire` per query **in query order** with a fresh
+        counter each — exactly what a sequential ``index.search`` loop
+        does, so stateful providers (RNG draws, restart counters) stay
+        bit-identical.  Providers whose acquisition is stateless or
+        vectorizable without changing a single returned id override
+        this (the batched query engine calls it once per batch).
+        """
+        ndc = np.zeros(len(queries), dtype=np.int64)
+        lists: list[np.ndarray] = []
+        for i, query in enumerate(queries):
+            counter = DistanceCounter()
+            lists.append(np.asarray(self.acquire(query, counter), dtype=np.int64))
+            ndc[i] = counter.count
+        return lists, ndc
+
+    def permute(self, inverse: np.ndarray) -> None:
+        """Remap stored vertex ids after a graph relabeling.
+
+        ``inverse[old_id]`` is the new internal id.  Providers that
+        rebuild their auxiliary structure in :meth:`prepare` (trees,
+        hashes, centroid) need nothing here — ``reorder`` re-runs
+        prepare right after; only providers holding literal vertex ids
+        (:class:`FixedSeeds`) must translate them.
+        """
+
     def spec(self) -> dict:
         """JSON-safe construction recipe (kind + parameters).
 
@@ -74,6 +107,17 @@ class RandomSeeds(SeedProvider):
     def acquire(self, query, counter=None) -> np.ndarray:
         return self._rng.integers(0, self._n, size=min(self.count, self._n))
 
+    def acquire_batch(self, queries):
+        # one vectorized draw: the bit generator consumes the stream
+        # per element exactly as `len(queries)` successive size-`count`
+        # calls would, so the ids match the sequential loop's draws
+        size = min(self.count, self._n)
+        block = self._rng.integers(0, self._n, size=(len(queries), size))
+        return (
+            [np.asarray(row, dtype=np.int64) for row in block],
+            np.zeros(len(queries), dtype=np.int64),
+        )
+
     def spec(self) -> dict:
         return {"kind": "random", "count": self.count, "seed": self.seed}
 
@@ -86,6 +130,15 @@ class FixedSeeds(SeedProvider):
 
     def acquire(self, query, counter=None) -> np.ndarray:
         return self._ids
+
+    def acquire_batch(self, queries):
+        return (
+            [self._ids] * len(queries),
+            np.zeros(len(queries), dtype=np.int64),
+        )
+
+    def permute(self, inverse: np.ndarray) -> None:
+        self._ids = inverse[self._ids]
 
     def spec(self) -> dict:
         return {"kind": "fixed", "ids": [int(i) for i in self._ids]}
@@ -107,6 +160,10 @@ class CentroidSeeds(SeedProvider):
 
     def acquire(self, query, counter=None) -> np.ndarray:
         return np.asarray([self._medoid], dtype=np.int64)
+
+    def acquire_batch(self, queries):
+        entry = np.asarray([self._medoid], dtype=np.int64)
+        return [entry] * len(queries), np.zeros(len(queries), dtype=np.int64)
 
     def spec(self) -> dict:
         return {"kind": "centroid"}
@@ -237,6 +294,18 @@ class LSHSeeds(SeedProvider):
         return {"kind": "lsh", "count": self.count, "seed": self.seed}
 
 
+def _pq_from_spec(spec: dict) -> SeedProvider:
+    # deferred import: quantization imports this module for SeedProvider
+    from repro.quantization import PQSeeds
+
+    return PQSeeds(
+        count=spec["count"],
+        num_subspaces=spec["num_subspaces"],
+        codebook_size=spec["codebook_size"],
+        seed=spec["seed"],
+    )
+
+
 _SPEC_KINDS = {
     "random": lambda s: RandomSeeds(count=s["count"], seed=s["seed"]),
     "fixed": lambda s: FixedSeeds(np.asarray(s["ids"], dtype=np.int64)),
@@ -250,6 +319,7 @@ _SPEC_KINDS = {
     "vptree": lambda s: VPTreeSeeds(count=s["count"], seed=s["seed"]),
     "kmeans-tree": lambda s: KMeansTreeSeeds(count=s["count"], seed=s["seed"]),
     "lsh": lambda s: LSHSeeds(count=s["count"], seed=s["seed"]),
+    "pq": _pq_from_spec,
 }
 
 

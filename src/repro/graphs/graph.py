@@ -354,6 +354,82 @@ class Graph:
             matrix[v, : len(lst)] = lst
         return matrix
 
+    # -- cache-locality reordering --------------------------------------
+
+    def reorder_permutation(
+        self, strategy: str = "bfs", roots: np.ndarray | None = None
+    ) -> np.ndarray:
+        """A vertex permutation ``order[new_id] = old_id`` for locality.
+
+        ``"bfs"`` walks the graph breadth-first from ``roots`` (default:
+        vertex 0) and numbers vertices in first-visit order, so hop-1
+        neighborhoods become contiguous index ranges — the classic
+        Cuthill-McKee-flavoured layout graph search kernels want.
+        ``"degree"`` places high-out-degree hubs first (stable sort), a
+        cheaper heuristic that packs the hot hub rows together.  Both
+        are deterministic; vertices unreached by the BFS are appended in
+        ascending old-id order.  The graph itself is untouched — apply
+        the result with :meth:`permute`.
+        """
+        if strategy == "degree":
+            # stable argsort on negated degrees: hubs first, old-id
+            # ascending within equal degrees
+            return np.argsort(-self._degrees(), kind="stable").astype(np.int64)
+        if strategy != "bfs":
+            raise ValueError(f"unknown reorder strategy {strategy!r}")
+        indptr, indices = self.csr()
+        seen = np.zeros(self.n, dtype=bool)
+        order = np.empty(self.n, dtype=np.int64)
+        taken = 0
+        if roots is None:
+            roots = np.asarray([0], dtype=np.int64) if self.n else np.empty(0, np.int64)
+        roots = np.asarray(roots, dtype=np.int64).reshape(-1)
+        roots = roots[(roots >= 0) & (roots < self.n)]
+        frontier = roots[~seen[roots]]
+        # first-occurrence dedup keeps the root order deterministic
+        frontier = frontier[np.sort(np.unique(frontier, return_index=True)[1])]
+        while len(frontier):
+            seen[frontier] = True
+            order[taken:taken + len(frontier)] = frontier
+            taken += len(frontier)
+            nbrs = np.concatenate([
+                indices[indptr[u]:indptr[u + 1]] for u in frontier.tolist()
+            ]) if len(frontier) else np.empty(0, np.int64)
+            nbrs = nbrs[~seen[nbrs]]
+            # keep discovery order (parent by parent, adjacency order),
+            # dropping repeats at their first occurrence
+            frontier = nbrs[np.sort(np.unique(nbrs, return_index=True)[1])]
+        rest = np.flatnonzero(~seen)
+        order[taken:] = rest
+        return order
+
+    def permute(self, order: np.ndarray) -> "Graph":
+        """The same graph under the relabeling ``order[new_id] = old_id``.
+
+        Returns a *finalized* graph whose vertex ``i`` is the old vertex
+        ``order[i]``, with every neighbor id translated and adjacency
+        order preserved — searching it visits the same points in the
+        same sequence, just under new labels.
+        """
+        order = np.asarray(order, dtype=np.int64)
+        if len(order) != self.n or (
+            self.n and not np.array_equal(np.sort(order), np.arange(self.n))
+        ):
+            raise ValueError("order must be a permutation of 0..n-1")
+        indptr, indices = self.csr()
+        inverse = np.empty(self.n, dtype=np.int64)
+        inverse[order] = np.arange(self.n, dtype=np.int64)
+        degrees = np.diff(indptr)[order]
+        new_indptr = np.zeros(self.n + 1, dtype=np.int32)
+        np.cumsum(degrees, out=new_indptr[1:])
+        new_indices = np.empty(len(indices), dtype=np.int32)
+        for new_id, old_id in enumerate(order.tolist()):
+            lo, hi = indptr[old_id], indptr[old_id + 1]
+            new_indices[new_indptr[new_id]:new_indptr[new_id + 1]] = inverse[
+                indices[lo:hi]
+            ]
+        return Graph.from_csr(new_indptr, new_indices, validate=False)
+
     def reverse(self) -> "Graph":
         """Graph with every edge direction flipped."""
         rev = Graph(self.n)

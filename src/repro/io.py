@@ -35,18 +35,28 @@ from repro.resilience import IndexFormatError, repair_csr_arrays, verify_index
 
 __all__ = ["save_index", "load_index", "StaticGraphIndex"]
 
-_FORMAT_VERSION = 2
-_READABLE_VERSIONS = frozenset({1, 2})
+# v1: raw arrays; v2: + checksum and seed_spec recipes; v3: + optional
+# id_map (cache-locality reordering, internal id -> original dataset id)
+_FORMAT_VERSION = 3
+_READABLE_VERSIONS = frozenset({1, 2, 3})
 
 _REQUIRED_KEYS = frozenset(
     {"format_version", "algorithm", "data", "offsets", "neighbors", "seeds"}
 )
 
 
-def _content_checksum(data, offsets, neighbors, seeds, deleted) -> str:
-    """sha256 over the payload arrays (bytes + dtype + shape)."""
+def _content_checksum(data, offsets, neighbors, seeds, deleted,
+                      id_map=None) -> str:
+    """sha256 over the payload arrays (bytes + dtype + shape).
+
+    ``id_map`` joins the digest only when present, so checksums of
+    never-reordered v3 files equal what a v2 writer would have stored.
+    """
     digest = hashlib.sha256()
-    for array in (data, offsets, neighbors, seeds, deleted):
+    arrays = [data, offsets, neighbors, seeds, deleted]
+    if id_map is not None:
+        arrays.append(id_map)
+    for array in arrays:
         array = np.ascontiguousarray(array)
         digest.update(str(array.dtype).encode())
         digest.update(str(array.shape).encode())
@@ -83,6 +93,9 @@ def save_index(
         spec = None  # provider has no recipe; loader falls back to snapshot
     if spec is not None:
         extra["seed_spec"] = np.asarray(json.dumps(spec))
+    id_map = getattr(index, "_id_map", None)
+    if id_map is not None:
+        extra["id_map"] = np.asarray(id_map, dtype=np.int64)
     np.savez_compressed(
         Path(path),
         format_version=np.asarray(_FORMAT_VERSION),
@@ -93,7 +106,8 @@ def save_index(
         seeds=seeds,
         deleted=deleted,
         checksum=np.asarray(
-            _content_checksum(index.data, offsets, neighbors, seeds, deleted)
+            _content_checksum(index.data, offsets, neighbors, seeds, deleted,
+                              id_map=extra.get("id_map"))
         ),
         **extra,
     )
@@ -106,10 +120,12 @@ class StaticGraphIndex(GraphANNS):
 
     def __init__(self, data: np.ndarray, graph: Graph, seeds: np.ndarray,
                  source: str = "?", deleted: np.ndarray | None = None,
-                 provider=None):
+                 provider=None, id_map: np.ndarray | None = None):
         super().__init__()
         self.data = np.ascontiguousarray(data, dtype=np.float32)
         self.graph = graph.finalize()
+        if id_map is not None:
+            self._id_map = np.asarray(id_map, dtype=np.int64)
         if provider is not None:
             provider.prepare(self.data, self.graph)
             self.seed_provider = provider
@@ -176,6 +192,7 @@ def load_index(
             seed_spec = (
                 str(archive["seed_spec"]) if "seed_spec" in files else None
             )
+            id_map = archive["id_map"] if "id_map" in files else None
     except IndexFormatError:
         raise
     except (OSError, EOFError, KeyError, ValueError,
@@ -185,6 +202,7 @@ def load_index(
         actual = _content_checksum(
             data, offsets, neighbors, seeds,
             deleted if deleted is not None else np.zeros(0, dtype=bool),
+            id_map=id_map,
         )
         if actual != stored_sum:
             raise IndexFormatError(
@@ -206,6 +224,7 @@ def load_index(
         data,
         Graph.from_csr(offsets, neighbors, validate=not (verify or repair)),
         seeds, source=source, deleted=deleted, provider=provider,
+        id_map=id_map,
     )
     if verify or repair:
         verify_index(index, repair=repair)

@@ -15,8 +15,25 @@ from __future__ import annotations
 
 from repro.algorithms.base import GraphANNS
 from repro.algorithms.registry import create
+from repro.components.seeding import LSHSeeds, RandomSeeds, SeedProvider
+from repro.quantization import PQSeeds
 
-__all__ = ["PRESETS", "tuned_params", "create_tuned"]
+__all__ = [
+    "PRESETS",
+    "SEED_PROVIDERS",
+    "tuned_params",
+    "create_tuned",
+    "apply_seed_provider",
+]
+
+#: swappable C4/C6 seed providers by name — the §5.4 entry-acquisition
+#: alternatives one can impose on any algorithm ("pq" is the Link&Code
+#: compressed-vector entry [33]: a zero-NDC ADC scan picks the seeds)
+SEED_PROVIDERS: dict[str, type] = {
+    "pq": PQSeeds,
+    "lsh": LSHSeeds,
+    "random": RandomSeeds,
+}
 
 #: grid-search winners (see module docstring for provenance); keys are
 #: (algorithm, dataset) registry names
@@ -56,11 +73,41 @@ def tuned_params(algorithm: str, dataset: str) -> dict:
     return dict(PRESETS.get((algorithm, dataset), {}))
 
 
-def create_tuned(algorithm: str, dataset: str, **overrides) -> GraphANNS:
+def create_tuned(
+    algorithm: str,
+    dataset: str,
+    seed_provider: str | None = None,
+    **overrides,
+) -> GraphANNS:
     """Instantiate ``algorithm`` with the tuned preset for ``dataset``.
 
-    Explicit ``overrides`` win over preset values.
+    Explicit ``overrides`` win over preset values.  ``seed_provider``
+    names an entry from :data:`SEED_PROVIDERS` to swap in for the
+    algorithm's native C4/C6 component (applied up front; algorithms
+    that install their own provider *during* build — HNSW's fixed top
+    entry — need :func:`apply_seed_provider` after building instead).
     """
     params = tuned_params(algorithm, dataset)
     params.update(overrides)
-    return create(algorithm, **params)
+    index = create(algorithm, **params)
+    if seed_provider is not None:
+        apply_seed_provider(index, seed_provider)
+    return index
+
+
+def apply_seed_provider(index: GraphANNS, name: str) -> SeedProvider:
+    """Swap ``index``'s seed provider for the registry entry ``name``.
+
+    On a built index the new provider is prepared immediately (C4 runs
+    on the indexed data); on an unbuilt one, build's epilogue will.
+    """
+    if name not in SEED_PROVIDERS:
+        raise ValueError(
+            f"unknown seed provider {name!r}; "
+            f"choose from {sorted(SEED_PROVIDERS)}"
+        )
+    provider = SEED_PROVIDERS[name]()
+    index.seed_provider = provider
+    if index.graph is not None and index.data is not None:
+        provider.prepare(index.data, index.graph)
+    return provider

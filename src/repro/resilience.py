@@ -400,6 +400,28 @@ def verify_index(
                 index._deleted[bad] = True
             report.repairs.append(msg + " — zeroed and tombstoned")
 
+    id_map = getattr(index, "_id_map", None)
+    if id_map is not None:
+        id_map = np.asarray(id_map)
+        bad_map = None
+        if len(id_map) != graph.n:
+            bad_map = f"id_map has {len(id_map)} entries for {graph.n} vertices"
+        elif graph.n and not np.array_equal(
+            np.sort(id_map), np.arange(graph.n)
+        ):
+            bad_map = "id_map is not a permutation of 0..n-1"
+        if bad_map is not None:
+            if not repair:
+                report.issues.append(bad_map)
+            else:
+                # nothing can recover the original labeling; fall back
+                # to internal ids rather than returning garbage ids
+                index._id_map = None
+                index._id_inv = None
+                report.repairs.append(
+                    bad_map + " — dropped (results use internal ids)"
+                )
+
     if check_reachability and report.ok and graph.n:
         entries = _entry_points(index)
         if len(entries) == 0:

@@ -24,6 +24,7 @@ DUAL_MODE_SUITES = [
     "tests/test_resilience.py",
     "tests/test_faults.py",
     "tests/test_observability.py",
+    "tests/test_parallel_determinism.py",
 ]
 
 
@@ -57,3 +58,40 @@ def test_no_native_env_disables_library():
     )
     assert proc.returncode == 0, proc.stderr
     assert "ok" in proc.stdout
+
+
+@pytest.mark.faults
+def test_load_error_kind_classifies_opt_out():
+    env = dict(os.environ)
+    env["REPRO_NO_NATIVE"] = "1"
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "from repro import _native; "
+         "assert _native.LOAD_ERROR_KIND == 'disabled', "
+         "_native.LOAD_ERROR_KIND; "
+         "print('ok')"],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert "ok" in proc.stdout
+
+
+def test_load_error_kind_distinguishes_pthread_link_failure():
+    """A stderr mentioning pthread classifies as the MT kernel's one new
+    failure mode, not a generic compile error."""
+    from repro import _native
+
+    assert _native._classify_failure(
+        "compile", "ld: cannot find -lpthread"
+    ) == "link_pthread"
+    assert _native._classify_failure(
+        "compile", "syntax error near line 3"
+    ) == "compile"
+    assert _native._classify_failure("load", "undefined symbol: "
+                                     "pthread_create") == "link_pthread"
+    # and the live module agrees with its own library state
+    if _native.LIB is not None:
+        assert _native.LOAD_ERROR_KIND is None
+    else:
+        assert _native.LOAD_ERROR_KIND is not None
