@@ -1,0 +1,224 @@
+"""Microbenchmark for compressed (ADC) traversal at 10× hotpath scale.
+
+Builds one index over ~100k synthetic points (10× the 10k-point hotpath
+benchmarks), then compares the exact batched engine against compressed
+traversal with exact re-rank:
+
+* throughput (QPS) and recall@k against brute-force ground truth,
+* resident vector memory: float32 rows vs uint8 codes + codebooks,
+* re-rank tier I/O measured (``rerank_ndc``) against the
+  :class:`repro.extensions.io_model.DiskIOModel` prediction, via a
+  memory-mapped float32 sidecar.
+
+Results land under the ``"compressed"`` key of ``BENCH_search.json``
+(merge-written; ``bench_search_hotpath.py`` owns the other keys) plus a
+plain table in ``benchmarks/results/compressed_traversal.txt``.  Run
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_compressed_traversal.py
+
+Scale knobs: ``REPRO_BENCH_COMPRESSED_N`` (points, default 100000),
+``REPRO_BENCH_COMPRESSED_QUERIES`` (default 100),
+``REPRO_BENCH_COMPRESSED_WORKERS`` (default 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import resource
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import create  # noqa: E402
+from repro.batch import search_batch  # noqa: E402
+from repro.extensions.io_model import DiskIOModel, StorageProfile  # noqa: E402
+from repro.io import load_index, save_index  # noqa: E402
+
+N = int(os.environ.get("REPRO_BENCH_COMPRESSED_N", "100000"))
+NUM_QUERIES = int(os.environ.get("REPRO_BENCH_COMPRESSED_QUERIES", "100"))
+WORKERS = int(os.environ.get("REPRO_BENCH_COMPRESSED_WORKERS", "4"))
+DIM = 32
+K = 10
+EF = 80
+RERANK_FACTOR = 10
+PQ_SUBSPACES = 16
+PQ_CENTROIDS = 32
+
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_search.json"
+RESULTS = Path(__file__).resolve().parent / "results"
+
+
+def peak_rss_bytes() -> int:
+    """High-water resident set of this process (Linux: ru_maxrss in KiB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def brute_force_topk(data: np.ndarray, queries: np.ndarray, k: int) -> np.ndarray:
+    """Exact ground truth, blocked so 100k x d never materializes twice."""
+    truth = np.empty((len(queries), k), dtype=np.int64)
+    data64 = data.astype(np.float64)
+    norms = np.einsum("ij,ij->i", data64, data64)
+    for i, query in enumerate(queries):
+        q = query.astype(np.float64)
+        sq = norms - 2.0 * (data64 @ q) + q @ q
+        truth[i] = np.argsort(sq, kind="stable")[:k]
+    return truth
+
+
+def recall(ids: np.ndarray, truth: np.ndarray) -> float:
+    hits = 0
+    for row, gt in zip(ids, truth):
+        hits += len(set(int(i) for i in row if i >= 0) & set(int(t) for t in gt))
+    return hits / truth.size
+
+
+def bench_engine(index, queries, truth, compressed: bool, repeats: int = 5):
+    best_elapsed = np.inf
+    result = None
+    for _ in range(repeats):
+        r = search_batch(
+            index, queries, k=K, ef=EF, workers=WORKERS,
+            compressed=compressed,
+            rerank_factor=RERANK_FACTOR if compressed else None,
+        )
+        if r.elapsed_s < best_elapsed:
+            best_elapsed = r.elapsed_s
+            result = r
+    stats = {
+        "qps": len(queries) / best_elapsed,
+        "recall_at_k": recall(result.ids, truth),
+        "mean_ndc": float(result.ndc.mean()),
+    }
+    if compressed:
+        stats["mean_adc_lookups"] = float(result.adc_lookups.mean())
+        stats["mean_rerank_ndc"] = float(result.rerank_ndc.mean())
+    return stats
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    # plain Gaussian like bench_search_hotpath: tight clusters would
+    # disconnect the kNN digraph and punish both engines equally
+    data = rng.normal(size=(N, DIM)).astype(np.float32)
+    queries = rng.normal(size=(NUM_QUERIES, DIM)).astype(np.float32)
+
+    t0 = time.perf_counter()
+    index = create("kgraph", seed=0)
+    index.build(data)
+    build_s = time.perf_counter() - t0
+    print(f"built kgraph over {N} points in {build_s:.1f}s", flush=True)
+
+    truth = brute_force_topk(data, queries, K)
+    index.enable_compressed(
+        num_subspaces=PQ_SUBSPACES, codebook_size=PQ_CENTROIDS
+    )
+    tier = index.compressed_tier
+
+    # warm-up both engines
+    search_batch(index, queries[:8], k=K, ef=EF, workers=WORKERS)
+    search_batch(index, queries[:8], k=K, ef=EF, workers=WORKERS,
+                 compressed=True, rerank_factor=RERANK_FACTOR)
+
+    exact = bench_engine(index, queries, truth, compressed=False)
+    comp = bench_engine(index, queries, truth, compressed=True)
+
+    vector_bytes = int(data.nbytes)
+    resident_bytes = int(tier.memory_bytes())
+
+    # tiered deployment: sidecar + mmap, re-rank I/O vs the cost model
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "index.npz"
+        save_index(index, path, vector_tier="sidecar")
+        # verify=False: the index was built and saved two lines up, and
+        # the reachability check walks a kNN digraph (kgraph) that
+        # legitimately has unreachable tails
+        mapped = load_index(path, mmap_vectors=True, verify=False)
+        mapped_result = search_batch(
+            mapped, queries, k=K, ef=EF, workers=WORKERS,
+            compressed=True, rerank_factor=RERANK_FACTOR,
+        )
+    measured_reads = float(mapped_result.rerank_ndc.mean())
+    model = DiskIOModel(StorageProfile.ssd()).estimate_compressed(
+        float(mapped_result.adc_lookups.mean()), measured_reads
+    )
+    predicted_reads = float(min(RERANK_FACTOR * K, N))
+
+    report = {
+        "n": N,
+        "dim": DIM,
+        "num_queries": NUM_QUERIES,
+        "k": K,
+        "ef": EF,
+        "workers": WORKERS,
+        "rerank_factor": RERANK_FACTOR,
+        "pq": {"num_subspaces": PQ_SUBSPACES, "codebook_size": PQ_CENTROIDS},
+        "build_s": build_s,
+        "exact": exact,
+        "compressed": comp,
+        "memory": {
+            "vector_bytes": vector_bytes,
+            "compressed_resident_bytes": resident_bytes,
+            "resident_fraction": resident_bytes / vector_bytes,
+        },
+        "io_model": {
+            "predicted_rerank_reads": predicted_reads,
+            "measured_rerank_reads": measured_reads,
+            "modeled_ssd_latency_ms": model.latency_s * 1e3,
+            "mmap_recall_at_k": recall(mapped_result.ids, truth),
+        },
+        "peak_rss_bytes": peak_rss_bytes(),
+    }
+
+    merged = {}
+    if OUTPUT.exists():
+        try:
+            merged = json.loads(OUTPUT.read_text())
+        except (OSError, json.JSONDecodeError):
+            merged = {}
+    merged["compressed"] = report
+    OUTPUT.write_text(json.dumps(merged, indent=2) + "\n")
+
+    lines = [
+        f"n={N} dim={DIM} queries={NUM_QUERIES} k={K} ef={EF} "
+        f"workers={WORKERS} rerank_factor={RERANK_FACTOR} "
+        f"pq={PQ_SUBSPACES}x{PQ_CENTROIDS}",
+        f"{'engine':12s} {'qps':>9s} {'recall@10':>10s} {'mean_ndc':>9s} "
+        f"{'adc':>8s} {'rerank':>7s}",
+        f"{'exact':12s} {exact['qps']:9.0f} {exact['recall_at_k']:10.3f} "
+        f"{exact['mean_ndc']:9.1f} {'-':>8s} {'-':>7s}",
+        f"{'compressed':12s} {comp['qps']:9.0f} {comp['recall_at_k']:10.3f} "
+        f"{comp['mean_ndc']:9.1f} {comp['mean_adc_lookups']:8.0f} "
+        f"{comp['mean_rerank_ndc']:7.1f}",
+        f"resident vectors: exact {vector_bytes / 1e6:.1f} MB, "
+        f"compressed {resident_bytes / 1e6:.2f} MB "
+        f"({resident_bytes / vector_bytes:.1%})",
+        f"io model: predicted {predicted_reads:.0f} reads/query, "
+        f"measured {measured_reads:.1f} "
+        f"(modeled ssd latency {model.latency_s * 1e3:.2f} ms)",
+        f"peak rss: {report['peak_rss_bytes'] / 1e6:.0f} MB",
+    ]
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "compressed_traversal.txt").write_text(
+        "\n".join(["== compressed ADC traversal (10x scale) ==", *lines, ""])
+    )
+    print("\n".join(lines))
+
+    ok = (
+        comp["qps"] >= 0.5 * exact["qps"]
+        and comp["recall_at_k"] >= exact["recall_at_k"] - 0.02
+        and resident_bytes < vector_bytes / 3
+    )
+    print("acceptance:", "PASS" if ok else "FAIL")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

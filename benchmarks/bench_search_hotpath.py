@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import resource
 import time
 from pathlib import Path
 
@@ -96,6 +97,11 @@ def main() -> None:
     sequential = bench_sequential(index, queries)
     batched = [bench_batched(index, queries, w) for w in WORKER_COUNTS]
 
+    # high-water resident set after the full run (Linux reports KiB) —
+    # the baseline the compressed-traversal benchmark's memory savings
+    # are judged against
+    peak_rss_bytes = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
     report = {
         "n": N,
         "dim": DIM,
@@ -105,6 +111,7 @@ def main() -> None:
         "build_s": build_s,
         "sequential": sequential,
         "batched": batched,
+        "peak_rss_bytes": peak_rss_bytes,
     }
     # merge-write: bench_batch_scaling.py owns the "batch_scaling" key
     # of the same file, so keep whatever other sections are present
@@ -123,6 +130,7 @@ def main() -> None:
     for row in batched:
         print(f"search_batch(workers={row['workers']}): "
               f"{row['qps']:.0f} qps (ndc {row['mean_ndc']:.1f})")
+    print(f"peak rss: {peak_rss_bytes / 1e6:.0f} MB")
     print(f"wrote {OUTPUT}")
 
 

@@ -44,6 +44,7 @@ ORDER = [
     "table23_randomness",
     "ablations",
     "observability_overhead",
+    "compressed_traversal",
 ]
 
 

@@ -54,16 +54,52 @@ def _cmd_eval(args) -> int:
         apply_seed_provider(index, args.seed_provider)
     if args.reorder:
         index.reorder(args.reorder)
-    stats = index.batch_search(
-        dataset.queries, dataset.ground_truth, k=args.k, ef=args.ef
-    )
+    if args.compressed:
+        index.enable_compressed()
+    if args.mmap_vectors:
+        # exercise the tiered deployment shape: persist with a raw
+        # float32 sidecar, reload with the vectors memory-mapped
+        import tempfile
+        from pathlib import Path
+
+        from repro.io import load_index, save_index
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "index.npz"
+            save_index(index, path, vector_tier="sidecar")
+            index = load_index(path, mmap_vectors=True)
+            stats = index.batch_search(
+                dataset.queries, dataset.ground_truth, k=args.k, ef=args.ef,
+                compressed=args.compressed, rerank_factor=args.rerank_factor,
+            )
+    else:
+        stats = index.batch_search(
+            dataset.queries, dataset.ground_truth, k=args.k, ef=args.ef,
+            compressed=args.compressed, rerank_factor=args.rerank_factor,
+        )
+    mode = "compressed" if args.compressed else "exact"
     print(
-        f"{args.algorithm} on {dataset.name}: "
+        f"{args.algorithm} on {dataset.name} [{mode}]: "
         f"build={report.build_time_s:.2f}s "
         f"index={report.index_size_bytes / 1024:.0f}KiB "
         f"recall@{args.k}={stats.recall:.3f} "
         f"qps={stats.qps:.0f} speedup={stats.speedup:.1f}x"
     )
+    if args.check:
+        failures = []
+        if not (stats.recall == stats.recall):  # NaN guard
+            failures.append("recall is NaN")
+        if stats.recall < args.check_recall:
+            failures.append(
+                f"recall@{args.k}={stats.recall:.3f} "
+                f"< required {args.check_recall:.3f}"
+            )
+        if stats.qps <= 0:
+            failures.append("qps is not positive")
+        if failures:
+            print("CHECK FAILED: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        print("CHECK OK")
     if args.trace:
         n = obs.dump_traces(args.trace)
         print(f"wrote {n} traces to {args.trace}")
@@ -123,6 +159,30 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument(
         "--reorder", choices=("bfs", "degree"), default=None,
         help="relabel vertices for cache locality before searching",
+    )
+    evaluate.add_argument(
+        "--compressed", action="store_true",
+        help="traverse on uint8 PQ codes (ADC) and re-rank the best "
+             "rerank_factor*k candidates exactly",
+    )
+    evaluate.add_argument(
+        "--rerank-factor", type=int, default=None,
+        help="over-fetch multiplier for the exact re-rank "
+             "(compressed mode; default 3)",
+    )
+    evaluate.add_argument(
+        "--mmap-vectors", action="store_true",
+        help="round-trip the index through a float32 sidecar and "
+             "search with the vectors memory-mapped",
+    )
+    evaluate.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero unless the run clears --check-recall "
+             "(CI smoke gate)",
+    )
+    evaluate.add_argument(
+        "--check-recall", type=float, default=0.5,
+        help="recall floor enforced by --check (default 0.5)",
     )
     evaluate.add_argument(
         "--trace", metavar="PATH",

@@ -56,8 +56,10 @@ __all__ = [
     "LIB",
     "sq_dists_to_rows",
     "best_first",
+    "best_first_adc",
     "best_first_batch",
     "best_first_batch_mt",
+    "best_first_batch_adc_mt",
     "best_first_build",
     "select_rng_scan",
 ]
@@ -90,6 +92,18 @@ static double sq_dist(const float *row, const double *q, int64_t d,
                       double qsq, double norm) {
     double sq = (qsq - 2.0 * dot_row(row, q, d)) + norm;
     return sq < 0.0 ? 0.0 : sq;
+}
+
+/* ADC surrogate distance: gather one float32 LUT entry per subspace
+   code and accumulate into a float64 total in subspace order — the
+   exact operation the NumPy fallback performs (float64 zeros += float32
+   gathered row, m ascending), so both scorers are bit-identical. */
+static double adc_dist(const unsigned char *code, const float *lut,
+                       int64_t pqm, int64_t pqk) {
+    double acc = 0.0;
+    for (int64_t m = 0; m < pqm; m++)
+        acc += (double)lut[m * pqk + (int64_t)code[m]];
+    return acc;
 }
 
 void sq_dists_to_rows(const float *rows, int64_t m, int64_t d,
@@ -190,10 +204,17 @@ static void res_push(double *hd, int32_t *hi, int64_t *len,
    skip) record every evaluated (vertex, squared distance) pair in
    evaluation order — the visited set that C2 candidate acquisition
    pools; the order is irrelevant because Python re-sorts by
-   (distance, id), exactly like the pure-Python frontier's finish(). */
+   (distance, id), exactly like the pure-Python frontier's finish().
+   ``lut`` (NULL for exact search) switches scoring to the compressed
+   ADC mode: vertices are scored from their uint8 PQ codes via the
+   per-query float32 table and ``data``/``q``/``norms`` may be NULL —
+   the float32 tier is never dereferenced.  Everything else (heaps,
+   epochs, budget caps, tie-breaking) is shared, so the compressed walk
+   inherits the exact walk's determinism guarantees. */
 static int64_t bf_core(
     const float *data, int64_t d, const double *norms,
     const int32_t *indptr, const int32_t *indices, const int32_t *counts,
+    const unsigned char *codes, const float *lut, int64_t pqm, int64_t pqk,
     const double *q, double qsq,
     const int64_t *seeds, int64_t nseeds, int64_t ef,
     int64_t max_ndc, int64_t max_hops,
@@ -212,7 +233,8 @@ static int64_t bf_core(
         if (visit_gen[v] == gen) continue;
         if (max_ndc >= 0 && ndc >= max_ndc) { fired = 1; break; }
         visit_gen[v] = gen;
-        double sq = sq_dist(data + v * d, q, d, qsq, norms[v]);
+        double sq = lut ? adc_dist(codes + v * pqm, lut, pqm, pqk)
+                        : sq_dist(data + v * d, q, d, qsq, norms[v]);
         if (vis_ids) { vis_ids[ndc] = (int32_t)v; vis_sq[ndc] = sq; }
         ndc++;
         if (rlen < ef) {
@@ -238,7 +260,9 @@ static int64_t bf_core(
             if (visit_gen[v] == gen) continue;
             if (max_ndc >= 0 && ndc >= max_ndc) { fired = 1; break; }
             visit_gen[v] = gen;
-            double sq = sq_dist(data + (int64_t)v * d, q, d, qsq, norms[v]);
+            double sq = lut
+                ? adc_dist(codes + (int64_t)v * pqm, lut, pqm, pqk)
+                : sq_dist(data + (int64_t)v * d, q, d, qsq, norms[v]);
             if (vis_ids) { vis_ids[ndc] = v; vis_sq[ndc] = sq; }
             ndc++;
             if (rlen < ef) {
@@ -284,8 +308,31 @@ int64_t best_first(
     int64_t *stats)
 {
     (void)n;
-    return bf_core(data, d, norms, indptr, indices, 0,
+    return bf_core(data, d, norms, indptr, indices, 0, 0, 0, 0, 0,
                    q, qsq, seeds, nseeds, ef, max_ndc, max_hops,
+                   visit_gen, gen, cd, ci, rd, ri, out_ids, out_sq,
+                   0, 0, stats);
+}
+
+/* Compressed traversal entry point: scores every vertex from its uint8
+   PQ code row via the per-query float32 LUT (pqm subspaces × pqk
+   centroids).  No float32 data row is ever read; stats[0] therefore
+   counts ADC lookups, not true distance computations. */
+int64_t best_first_adc(
+    const unsigned char *codes, int64_t n, int64_t pqm, int64_t pqk,
+    const float *lut,
+    const int32_t *indptr, const int32_t *indices,
+    const int64_t *seeds, int64_t nseeds, int64_t ef,
+    int64_t max_ndc, int64_t max_hops,
+    int64_t *visit_gen, int64_t gen,
+    double *cd, int32_t *ci,
+    double *rd, int32_t *ri,
+    int32_t *out_ids, double *out_sq,
+    int64_t *stats)
+{
+    (void)n;
+    return bf_core(0, 0, 0, indptr, indices, 0, codes, lut, pqm, pqk,
+                   0, 0.0, seeds, nseeds, ef, max_ndc, max_hops,
                    visit_gen, gen, cd, ci, rd, ri, out_ids, out_sq,
                    0, 0, stats);
 }
@@ -304,7 +351,7 @@ int64_t best_first_build(
     int32_t *vis_ids, double *vis_sq,
     int64_t *stats)
 {
-    return bf_core(data, d, norms, indptr, indices, counts,
+    return bf_core(data, d, norms, indptr, indices, counts, 0, 0, 0, 0,
                    q, qsq, seeds, nseeds, ef, -1, -1,
                    visit_gen, gen, cd, ci, rd, ri, out_ids, out_sq,
                    vis_ids, vis_sq, stats);
@@ -372,6 +419,9 @@ void best_first_batch(
 typedef struct {
     const float *data; int64_t n, d; const double *norms;
     const int32_t *indptr; const int32_t *indices;
+    const unsigned char *codes;  /* compressed mode; NULL for exact */
+    const float *luts;           /* nq stacked (pqm × pqk) tables    */
+    int64_t pqm, pqk;
     const double *queries; const double *qsqs; int64_t nq;
     const int64_t *seed_indptr; const int64_t *seeds;
     int64_t ef;
@@ -414,7 +464,11 @@ static void *mt_worker(void *argp) {
                 job->out_len[i] = bf_core(
                     job->data, job->d, job->norms,
                     job->indptr, job->indices, 0,
-                    job->queries + i * job->d, job->qsqs[i],
+                    job->codes,
+                    job->luts ? job->luts + i * job->pqm * job->pqk : 0,
+                    job->pqm, job->pqk,
+                    job->queries ? job->queries + i * job->d : 0,
+                    job->qsqs ? job->qsqs[i] : 0.0,
                     job->seeds + job->seed_indptr[i],
                     job->seed_indptr[i + 1] - job->seed_indptr[i],
                     ef, job->max_ndcs[i], job->max_hops,
@@ -429,8 +483,36 @@ static void *mt_worker(void *argp) {
     return 0;
 }
 
-/* Returns 0 on success; non-zero means scratch allocation or thread
-   creation failed and the caller must fall back (outputs undefined). */
+/* Shared pool runner.  Returns 0 on success; non-zero means scratch
+   allocation or thread creation failed and the caller must fall back
+   (outputs undefined). */
+static int64_t mt_run(mt_job *job, int64_t n_threads) {
+    if (n_threads > job->nq) n_threads = job->nq;
+    if (n_threads < 1) n_threads = 1;
+    for (int64_t t = 0; t < n_threads; t++) job->thread_busy[t] = 0.0;
+
+    if (n_threads == 1) {
+        mt_arg arg; arg.job = job; arg.tid = 0;
+        mt_worker(&arg);
+        return job->failed ? 1 : 0;
+    }
+
+    pthread_t *tids = (pthread_t *)malloc((size_t)n_threads * sizeof(pthread_t));
+    mt_arg *args = (mt_arg *)malloc((size_t)n_threads * sizeof(mt_arg));
+    if (!tids || !args) { free(tids); free(args); return 1; }
+    int64_t created = 0;
+    for (; created < n_threads; created++) {
+        args[created].job = job; args[created].tid = created;
+        if (pthread_create(&tids[created], 0, mt_worker, &args[created]) != 0) {
+            job->failed = 1;
+            break;
+        }
+    }
+    for (int64_t t = 0; t < created; t++) pthread_join(tids[t], 0);
+    free(tids); free(args);
+    return job->failed ? 1 : 0;
+}
+
 int64_t best_first_batch_mt(
     const float *data, int64_t n, int64_t d, const double *norms,
     const int32_t *indptr, const int32_t *indices,
@@ -443,37 +525,40 @@ int64_t best_first_batch_mt(
     mt_job job;
     job.data = data; job.n = n; job.d = d; job.norms = norms;
     job.indptr = indptr; job.indices = indices;
+    job.codes = 0; job.luts = 0; job.pqm = 0; job.pqk = 0;
     job.queries = queries; job.qsqs = qsqs; job.nq = nq;
     job.seed_indptr = seed_indptr; job.seeds = seeds; job.ef = ef;
     job.max_ndcs = max_ndcs; job.max_hops = max_hops;
     job.out_ids = out_ids; job.out_sq = out_sq; job.out_len = out_len;
     job.stats = stats; job.thread_busy = thread_busy;
     job.next = 0; job.failed = 0;
+    return mt_run(&job, n_threads);
+}
 
-    if (n_threads > nq) n_threads = nq;
-    if (n_threads < 1) n_threads = 1;
-    for (int64_t t = 0; t < n_threads; t++) thread_busy[t] = 0.0;
-
-    if (n_threads == 1) {
-        mt_arg arg; arg.job = &job; arg.tid = 0;
-        mt_worker(&arg);
-        return job.failed ? 1 : 0;
-    }
-
-    pthread_t *tids = (pthread_t *)malloc((size_t)n_threads * sizeof(pthread_t));
-    mt_arg *args = (mt_arg *)malloc((size_t)n_threads * sizeof(mt_arg));
-    if (!tids || !args) { free(tids); free(args); return 1; }
-    int64_t created = 0;
-    for (; created < n_threads; created++) {
-        args[created].job = &job; args[created].tid = created;
-        if (pthread_create(&tids[created], 0, mt_worker, &args[created]) != 0) {
-            job.failed = 1;
-            break;
-        }
-    }
-    for (int64_t t = 0; t < created; t++) pthread_join(tids[t], 0);
-    free(tids); free(args);
-    return job.failed ? 1 : 0;
+/* Compressed batch on the same pool: query i scores vertices through
+   its own LUT slice (luts + i*pqm*pqk) against the shared uint8 code
+   matrix; the float32 tier is never touched.  Fixed output slots keep
+   the bit-identical-at-any-thread-count guarantee. */
+int64_t best_first_batch_adc_mt(
+    const unsigned char *codes, int64_t n, int64_t pqm, int64_t pqk,
+    const float *luts,
+    const int32_t *indptr, const int32_t *indices, int64_t nq,
+    const int64_t *seed_indptr, const int64_t *seeds, int64_t ef,
+    const int64_t *max_ndcs, int64_t max_hops,
+    int32_t *out_ids, double *out_sq, int64_t *out_len,
+    int64_t *stats, int64_t n_threads, double *thread_busy)
+{
+    mt_job job;
+    job.data = 0; job.n = n; job.d = 0; job.norms = 0;
+    job.indptr = indptr; job.indices = indices;
+    job.codes = codes; job.luts = luts; job.pqm = pqm; job.pqk = pqk;
+    job.queries = 0; job.qsqs = 0; job.nq = nq;
+    job.seed_indptr = seed_indptr; job.seeds = seeds; job.ef = ef;
+    job.max_ndcs = max_ndcs; job.max_hops = max_hops;
+    job.out_ids = out_ids; job.out_sq = out_sq; job.out_len = out_len;
+    job.stats = stats; job.thread_busy = thread_busy;
+    job.next = 0; job.failed = 0;
+    return mt_run(&job, n_threads);
 }
 """
 
@@ -482,6 +567,7 @@ _PF32 = np.ctypeslib.ndpointer(np.float32, flags="C_CONTIGUOUS")
 _PF64 = np.ctypeslib.ndpointer(np.float64, flags="C_CONTIGUOUS")
 _PI32 = np.ctypeslib.ndpointer(np.int32, flags="C_CONTIGUOUS")
 _PI64 = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
+_PU8 = np.ctypeslib.ndpointer(np.uint8, flags="C_CONTIGUOUS")
 
 #: why the native kernel is unavailable (None when LIB loaded, or the
 #: deliberate-opt-out/compile/load failure reason otherwise)
@@ -573,6 +659,18 @@ def _build_library() -> ctypes.CDLL | None:
         _PI32, _PF64, _PI64, _PI64, _I64, _PF64,
     ]
     lib.best_first_batch_mt.restype = _I64
+    lib.best_first_adc.argtypes = [
+        _PU8, _I64, _I64, _I64, _PF32, _PI32, _PI32,
+        _PI64, _I64, _I64, _I64, _I64, _PI64, _I64,
+        _PF64, _PI32, _PF64, _PI32, _PI32, _PF64, _PI64,
+    ]
+    lib.best_first_adc.restype = _I64
+    lib.best_first_batch_adc_mt.argtypes = [
+        _PU8, _I64, _I64, _I64, _PF32, _PI32, _PI32, _I64,
+        _PI64, _PI64, _I64, _PI64, _I64,
+        _PI32, _PF64, _PI64, _PI64, _I64, _PF64,
+    ]
+    lib.best_first_batch_adc_mt.restype = _I64
     lib.best_first_build.argtypes = [
         _PF32, _I64, _PF64, _PI32, _PI32, ctypes.c_void_p,
         _PF64, ctypes.c_double, _PI64, _I64, _I64, _PI64, _I64,
@@ -681,6 +779,69 @@ def best_first(ctx, graph, query64, query_sq, seeds, ef,
 
 
 _FIRED_LABELS = {0: None, 1: "ndc", 2: "hops"}
+
+
+def best_first_adc(ctx, graph, codes, lut, seeds, ef,
+                   max_ndc=-1, max_hops=-1):
+    """Compressed best-first search in C: ADC scoring from uint8 codes.
+
+    ``codes`` is the tier's contiguous ``(n, M)`` uint8 matrix and
+    ``lut`` this query's ``(M, K)`` float32 table; no float32 data row
+    is read.  Borrows ``ctx``'s scratch like :func:`best_first`.
+    Returns ``(ids, adc_sq, lookups, hops, visited, budget_fired)`` —
+    the first stat counts ADC lookups, not true NDC.
+    """
+    indptr, indices = graph.csr()
+    cd, ci, rd, ri = ctx.native_scratch(ef)
+    out_ids = np.empty(ef, dtype=np.int32)
+    out_sq = np.empty(ef, dtype=np.float64)
+    stats = np.empty(4, dtype=np.int64)
+    rlen = LIB.best_first_adc(
+        codes, len(codes), codes.shape[1], lut.shape[1], lut,
+        indptr, indices, seeds, len(seeds), ef, max_ndc, max_hops,
+        ctx.visit_gen, ctx.generation,
+        cd, ci, rd, ri, out_ids, out_sq, stats,
+    )
+    return (
+        out_ids[:rlen].astype(np.int64),
+        out_sq[:rlen],
+        int(stats[0]), int(stats[1]), int(stats[2]),
+        _FIRED_LABELS[int(stats[3])],
+    )
+
+
+def best_first_batch_adc_mt(codes, luts, graph, nq, seed_indptr, seeds,
+                            ef, n_threads, max_ndcs=None, max_hops=-1):
+    """Compressed whole-batch search on the pthread pool.
+
+    ``luts`` is the stacked ``(nq, M, K)`` float32 table block (one GEMM
+    per subspace built it for the whole batch); query ``i`` walks the
+    shared uint8 ``codes`` through its own slice.  Same fixed-slot
+    output contract as :func:`best_first_batch_mt`, so results are
+    bit-identical for any thread count — and, because the Python
+    fallback gathers from the same float32 tables in the same subspace
+    order, bit-identical to the pure-NumPy path too.  Raises
+    :class:`MemoryError` on scratch/thread failure.
+    """
+    indptr, indices = graph.csr()
+    n_threads = max(1, min(int(n_threads), max(nq, 1)))
+    if max_ndcs is None:
+        max_ndcs = np.full(nq, -1, dtype=np.int64)
+    out_ids = np.empty((nq, ef), dtype=np.int32)
+    out_sq = np.empty((nq, ef), dtype=np.float64)
+    out_len = np.empty(nq, dtype=np.int64)
+    stats = np.empty((nq, 4), dtype=np.int64)
+    thread_busy = np.zeros(n_threads, dtype=np.float64)
+    rc = LIB.best_first_batch_adc_mt(
+        codes, len(codes), codes.shape[1], luts.shape[2], luts,
+        indptr, indices, nq, seed_indptr, seeds, ef, max_ndcs, max_hops,
+        out_ids, out_sq, out_len, stats, n_threads, thread_busy,
+    )
+    if rc != 0:
+        raise MemoryError(
+            "best_first_batch_adc_mt could not allocate per-thread scratch"
+        )
+    return out_ids, out_sq, out_len, stats, thread_busy
 
 
 def best_first_batch(ctx, graph, queries64, qsqs, seed_indptr, seeds, ef,

@@ -81,6 +81,7 @@ class GraphANNS:
         self.seed_provider: SeedProvider = RandomSeeds(seed=seed)
         self.build_report: BuildReport | None = None
         self._deleted: np.ndarray | None = None  # tombstones (S1 updates)
+        self._compressed = None  # CompressedTier for ADC traversal
         self._search_ctx: SearchContext | None = None
         # After reorder(): internal vertex id -> original dataset id.
         # None means the identity (never reordered).
@@ -115,6 +116,7 @@ class GraphANNS:
         finally:
             bctx.close()
         self._deleted = np.zeros(len(self.data), dtype=bool)
+        self._compressed = None  # codes belong to the previous dataset
         self._search_ctx = None
         self._id_map = None   # a rebuild starts from the identity labeling
         self._id_inv = None
@@ -217,6 +219,9 @@ class GraphANNS:
     def _grow_bookkeeping(self) -> None:
         """Extend per-vertex state after an insertion."""
         self._deleted = np.append(self._deleted, False)
+        # the new vector has no PQ code; drop the tier rather than serve
+        # compressed searches that can never reach it (re-enable to refit)
+        self._compressed = None
         if self._id_map is not None:
             # the new vertex is appended in both labelings: its original
             # id is the next fresh one, its internal id the last row
@@ -265,6 +270,8 @@ class GraphANNS:
         self.data = np.ascontiguousarray(self.data[order])
         if self._deleted is not None:
             self._deleted = self._deleted[order]
+        if self._compressed is not None:  # codes follow their rows
+            self._compressed = self._compressed.permute(order)
         # compose with any earlier reorder so internal ids always map
         # straight back to the original dataset rows
         self._id_map = (
@@ -298,6 +305,48 @@ class GraphANNS:
             ctx = self._search_ctx = SearchContext(self.data)
         return ctx
 
+    # -- compressed (ADC) tier ---------------------------------------------
+
+    def enable_compressed(
+        self,
+        num_subspaces: int = 8,
+        codebook_size: int = 32,
+        kmeans_iterations: int = 8,
+        seed: int | None = None,
+    ):
+        """Fit the uint8 PQ tier that powers ``search(compressed=True)``.
+
+        One-time cost over the built data; afterwards compressed
+        searches walk the graph on codes + per-query LUTs and read
+        float32 rows only to re-rank.  Returns the fitted
+        :class:`~repro.quantization.CompressedTier` (also kept on the
+        index and persisted by index format v4).
+        """
+        from repro.quantization import CompressedTier
+
+        self._require_built()
+        self._compressed = CompressedTier.fit(
+            self.data,
+            num_subspaces=num_subspaces,
+            codebook_size=codebook_size,
+            kmeans_iterations=kmeans_iterations,
+            seed=self.seed if seed is None else seed,
+        )
+        return self._compressed
+
+    @property
+    def compressed_tier(self):
+        """The attached :class:`CompressedTier`, or None."""
+        return self._compressed
+
+    def _require_compressed(self):
+        if self._compressed is None:
+            raise RuntimeError(
+                f"{self.name}: no compressed tier — call enable_compressed() "
+                "or load a format-v4 index carrying PQ codes"
+            )
+        return self._compressed
+
     # -- search -----------------------------------------------------------
 
     def search(
@@ -307,6 +356,8 @@ class GraphANNS:
         ef: int | None = None,
         counter: DistanceCounter | None = None,
         budget: QueryBudget | None = None,
+        compressed: bool = False,
+        rerank_factor: int | None = None,
     ) -> SearchResult:
         """Approximate k nearest neighbors for one query.
 
@@ -319,6 +370,16 @@ class GraphANNS:
         seed-acquisition NDC is charged against ``budget.max_ndc`` so
         the reported total never exceeds the cap.
 
+        ``compressed=True`` routes on the ADC tier (see
+        :meth:`enable_compressed`): the traversal scores frontier
+        neighbors from uint8 PQ codes through a per-query LUT and never
+        reads a float32 row; the best ``rerank_factor * k`` candidates
+        (default ``repro.compressed.DEFAULT_RERANK_FACTOR``) are then
+        re-ranked exactly.  ``result.ndc`` keeps counting only true
+        distance computations (seeds + re-rank) while the traversal's
+        table lookups land in ``result.adc_lookups``; an NDC budget caps
+        that total work (seed NDC plus ADC lookups) in this mode.
+
         Observability: with metrics on, the query lands in the
         ``repro_query_*`` instrument family; with tracing on, a
         hop-level :class:`~repro.observability.QueryTrace` is recorded
@@ -330,6 +391,18 @@ class GraphANNS:
         if reason is not None:
             raise InvalidQueryError(f"{self.name}: {reason}")
         ef = max(k, ef if ef is not None else self.default_ef)
+        if compressed:
+            from repro.compressed import DEFAULT_RERANK_FACTOR, finish_compressed
+
+            tier = self._require_compressed()
+            factor = (
+                DEFAULT_RERANK_FACTOR if rerank_factor is None
+                else int(rerank_factor)
+            )
+            if factor < 1:
+                raise ValueError(f"rerank_factor must be >= 1, got {factor}")
+            # the traversal must hold a pool worth re-ranking
+            ef = max(ef, factor * k)
         counter = counter if counter is not None else DistanceCounter()
         metrics = obs.enabled()
         trace = obs.start_query_trace(self.name, k, ef) if obs.tracing() else None
@@ -345,10 +418,28 @@ class GraphANNS:
                 trace.record_seeds(seeds, counter.count)
             if budget is not None:
                 budget = budget.after_spending(counter.count - start)
-            result = self._route(
-                query, np.asarray(seeds, dtype=np.int64), ef, counter,
-                ctx=ctx, budget=budget,
-            )
+            if compressed:
+                # the router's counter counts ADC lookups in this mode;
+                # true NDC resumes at the re-rank below
+                adc_counter = DistanceCounter()
+                ctx.compressed = tier
+                try:
+                    route = self._route(
+                        query, np.asarray(seeds, dtype=np.int64), ef,
+                        adc_counter, ctx=ctx, budget=budget,
+                    )
+                finally:
+                    ctx.compressed = None
+                    ctx.lut = None
+                result = finish_compressed(
+                    route, self.data, ctx.query64, self._deleted,
+                    adc_counter.count, counter, max_pool=factor * k,
+                )
+            else:
+                result = self._route(
+                    query, np.asarray(seeds, dtype=np.int64), ef, counter,
+                    ctx=ctx, budget=budget,
+                )
         finally:
             if trace is not None:
                 ctx.trace = None
@@ -389,8 +480,15 @@ class GraphANNS:
         ground_truth: np.ndarray,
         k: int = 10,
         ef: int | None = None,
+        compressed: bool = False,
+        rerank_factor: int | None = None,
     ) -> BatchStats:
-        """Search a batch and aggregate recall/QPS/NDC/speedup."""
+        """Search a batch and aggregate recall/QPS/NDC/speedup.
+
+        ``compressed``/``rerank_factor`` select per-query ADC traversal
+        (see :meth:`search`); the reported ``mean_ndc`` then covers only
+        true distance computations, matching the paper's accounting.
+        """
         self._require_built()
         n = len(self.data)
         recalls = np.empty(len(queries))
@@ -400,7 +498,10 @@ class GraphANNS:
         started = time.perf_counter()
         for i, query in enumerate(queries):
             query_started = time.perf_counter()
-            result = self.search(query, k=k, ef=ef)
+            result = self.search(
+                query, k=k, ef=ef, compressed=compressed,
+                rerank_factor=rerank_factor,
+            )
             latencies[i] = time.perf_counter() - query_started
             truth = set(int(t) for t in ground_truth[i][:k])
             recalls[i] = len(truth.intersection(int(r) for r in result.ids)) / k

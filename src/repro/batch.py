@@ -46,6 +46,7 @@ from repro import _native, faults
 from repro import observability as obs
 from repro.algorithms.base import GraphANNS
 from repro.components.context import SearchContext
+from repro.compressed import DEFAULT_RERANK_FACTOR, finish_compressed, rerank_exact
 from repro.distance import DistanceCounter, sq_dists_to_rows, squared_norms
 from repro.resilience import InvalidQueryError, QueryBudget
 
@@ -109,6 +110,10 @@ class BatchQueryResult:
     trace_ids: list | None = None                    # (Q,) str, tracing only
     batch_id: str | None = None
     worker_utilization: float = 0.0
+    # compressed mode only (None otherwise): per-query ADC table lookups
+    # (zero true NDC) and exact re-rank cost (included in ndc)
+    adc_lookups: np.ndarray | None = None            # (Q,) int64
+    rerank_ndc: np.ndarray | None = None             # (Q,) int64
 
     @property
     def qps(self) -> float:
@@ -310,6 +315,8 @@ def search_batch(
     ef: int | None = None,
     workers: int = 1,
     budget: QueryBudget | None = None,
+    compressed: bool = False,
+    rerank_factor: int | None = None,
 ) -> BatchQueryResult:
     """Answer a query batch with ``workers`` parallel search lanes.
 
@@ -337,6 +344,15 @@ def search_batch(
     * A worker that raises mid-chunk does not sink the batch: the chunk
       is retried once, sequentially and in pure NumPy.  Queries that
       still fail get ``result.errors[i]`` set instead of propagating.
+
+    ``compressed=True`` traverses on the index's ADC tier: the per-query
+    float32 LUTs for the whole batch are built up front (one GEMM per
+    subspace) and handed to the multi-threaded ADC kernel — or gathered
+    by the Python fallback *from the same tables*, which is what keeps
+    the two paths bit-identical at any thread count.  Each query's
+    ADC-ordered pool (capped at ``rerank_factor * k``) is then re-ranked
+    exactly; ``result.ndc`` counts seeds + re-rank only, with traversal
+    lookups reported in ``result.adc_lookups``.
     """
     if index.graph is None or index.data is None:
         raise RuntimeError("build the index before batch searching")
@@ -353,6 +369,18 @@ def search_batch(
         )
     num_queries = len(queries)
     ef = max(k, ef if ef is not None else index.default_ef)
+    tier = None
+    max_pool = 0
+    if compressed:
+        tier = index._require_compressed()
+        factor = (
+            DEFAULT_RERANK_FACTOR if rerank_factor is None
+            else int(rerank_factor)
+        )
+        if factor < 1:
+            raise ValueError(f"rerank_factor must be >= 1, got {factor}")
+        max_pool = factor * k
+        ef = max(ef, max_pool)
     metrics = obs.enabled()
     tracing = obs.tracing()
     handles = obs.instruments() if metrics else None
@@ -371,10 +399,13 @@ def search_batch(
     visited = np.zeros(num_queries, dtype=np.int64)
     errors: list = [None] * num_queries
     degraded = np.zeros(num_queries, dtype=bool)
+    adc_lookups = np.zeros(num_queries, dtype=np.int64) if compressed else None
+    rerank_ndc = np.zeros(num_queries, dtype=np.int64) if compressed else None
     if num_queries == 0:
         return BatchQueryResult(ids, dists, ndc, hops, visited, 0.0, workers,
                                 errors=errors, degraded=degraded,
-                                trace_ids=trace_ids, batch_id=batch_id)
+                                trace_ids=trace_ids, batch_id=batch_id,
+                                adc_lookups=adc_lookups, rerank_ndc=rerank_ndc)
 
     # Per-query validation: a NaN/Inf query poisons only its own row.
     finite = np.isfinite(queries).all(axis=1)
@@ -400,6 +431,18 @@ def search_batch(
     acq_ndc = ndc.copy()
     if handles is not None:
         handles.batch_stage_seed_seconds.observe(time.perf_counter() - started)
+
+    # Compressed mode: every query's (M, K) float32 table is built here,
+    # once, by one GEMM per subspace over the whole batch.  The MT ADC
+    # kernel reads slices of this very block and the Python fallback
+    # gathers from the same slices via ctx.lut_override — a shared
+    # source of truth, so thread count can never change a bit.
+    luts = None
+    lut_pos = None
+    if compressed and len(finite_rows):
+        luts = tier.lut_batch(queries[finite_rows])
+        lut_pos = np.zeros(num_queries, dtype=np.int64)
+        lut_pos[finite_rows] = np.arange(len(finite_rows), dtype=np.int64)
 
     deleted = index._deleted if index.num_deleted else None
     id_map = index._id_map  # reordered indexes return original-space ids
@@ -450,14 +493,34 @@ def search_batch(
             ctx.trace = trace
         t0 = time.perf_counter() if trace is not None else 0.0
         try:
-            result = index._route(
-                queries[i], seed_lists[i], ef, route, ctx=ctx,
-                budget=effective_budget(i),
-            )
+            if compressed:
+                ctx.compressed = tier
+                ctx.lut_override = luts[lut_pos[i]]
+            try:
+                result = index._route(
+                    queries[i], seed_lists[i], ef, route, ctx=ctx,
+                    budget=effective_budget(i),
+                )
+            finally:
+                if compressed:
+                    ctx.compressed = None
+                    ctx.lut_override = None
+                    ctx.lut = None
         finally:
             if trace is not None:
                 ctx.trace = None
-        ndc[i] = acq_ndc[i] + route.count
+        if compressed:
+            # route counted ADC lookups; true NDC is seeds + re-rank
+            true_ndc = DistanceCounter()
+            result = finish_compressed(
+                result, index.data, ctx.query64, deleted,
+                route.count, true_ndc, max_pool=max_pool,
+            )
+            ndc[i] = acq_ndc[i] + true_ndc.count
+            adc_lookups[i] = result.adc_lookups
+            rerank_ndc[i] = result.rerank_ndc
+        else:
+            ndc[i] = acq_ndc[i] + route.count
         hops[i] = result.hops
         visited[i] = result.visited
         degraded[i] = result.degraded
@@ -472,7 +535,11 @@ def search_batch(
         if plan is not None:
             plan.before_chunk(worker_index)
         ctx = SearchContext(index.data)
-        if native_ok and ctx.native:
+        # compressed chunks always take the per-query loop below: it
+        # dispatches to the serial native ADC kernel per query when
+        # available, and to the NumPy gather otherwise — both scoring
+        # from the shared batch LUT block
+        if native_ok and ctx.native and not compressed:
             max_ndcs = None
             max_hops = -1
             if budget is not None:
@@ -520,6 +587,9 @@ def search_batch(
             hops[chunk] = 0
             visited[chunk] = 0
             degraded[chunk] = False
+            if compressed:
+                adc_lookups[chunk] = 0
+                rerank_ndc[chunk] = 0
             if trace_ids is not None:   # retry must not duplicate ids
                 obs.RECORDER.discard({trace_ids[i] for i in chunk})
             if handles is not None:
@@ -537,6 +607,9 @@ def search_batch(
                 hops[i] = 0
                 visited[i] = 0
                 degraded[i] = False
+                if compressed:
+                    adc_lookups[i] = 0
+                    rerank_ndc[i] = 0
                 if trace_ids is not None:
                     obs.RECORDER.discard({trace_ids[i]})
 
@@ -591,6 +664,60 @@ def search_batch(
                            np.sqrt(out_sq[pos, : out_len[pos]]))
         return thread_busy
 
+    def run_batch_native_mt_compressed() -> np.ndarray:
+        """Compressed twin of :func:`run_batch_native_mt`: one
+        GIL-released call walks every query over the uint8 codes against
+        its slice of the shared LUT block, then each ADC-ordered pool is
+        re-ranked exactly in query order (the only stage that reads
+        float32 rows)."""
+        rows = finite_rows
+        uniq = [np.unique(seed_lists[i]) for i in rows]
+        n = index.graph.n
+        for s in uniq:
+            if len(s) and (s[0] < 0 or s[-1] >= n):
+                raise IndexError(
+                    f"seed ids must lie in [0, {n}), got {s[0]}..{s[-1]}"
+                )
+        seed_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+        np.cumsum([len(s) for s in uniq], out=seed_indptr[1:])
+        seeds = (
+            np.concatenate(uniq) if uniq else np.empty(0, dtype=np.int64)
+        ).astype(np.int64, copy=False)
+        max_ndcs = None
+        max_hops = -1
+        if budget is not None:
+            if budget.max_ndc is not None:
+                max_ndcs = np.maximum(
+                    budget.max_ndc - acq_ndc[rows], 0
+                ).astype(np.int64)
+            if budget.max_hops is not None:
+                max_hops = int(budget.max_hops)
+        kernel_threads = max(1, min(workers, os.cpu_count() or workers))
+        out_ids, out_sq, out_len, stats, thread_busy = (
+            _native.best_first_batch_adc_mt(
+                tier.codes, luts, index.graph, len(rows), seed_indptr,
+                seeds, ef, kernel_threads,
+                max_ndcs=max_ndcs, max_hops=max_hops,
+            )
+        )
+        queries64 = np.ascontiguousarray(queries[rows], dtype=np.float64)
+        adc_lookups[rows] = stats[:, 0]
+        hops[rows] = stats[:, 1]
+        visited[rows] = stats[:, 2]
+        degraded[rows] = stats[:, 3] > 0
+        for pos, i in enumerate(rows):
+            pool = out_ids[pos, : out_len[pos]].astype(np.int64)
+            # same order as finish_compressed: tombstone-filter first,
+            # then cap — pool ids arrive in ascending ADC order
+            if deleted is not None and len(pool) and deleted.any():
+                pool = pool[~deleted[pool]]
+            pool = pool[:max_pool]
+            res_ids, res_dists = rerank_exact(index.data, queries64[pos], pool)
+            ndc[i] = acq_ndc[i] + len(pool)
+            rerank_ndc[i] = len(pool)
+            fill_query(i, res_ids, res_dists)
+        return thread_busy
+
     workers = max(1, min(int(workers), num_queries))
     chunks = np.array_split(np.flatnonzero(finite), workers)
     busy = [0.0] * workers
@@ -609,7 +736,10 @@ def search_batch(
     fused_done = False
     if native_mt_ok:
         try:
-            thread_busy = run_batch_native_mt()
+            thread_busy = (
+                run_batch_native_mt_compressed() if compressed
+                else run_batch_native_mt()
+            )
             busy = [float(b) for b in thread_busy] + [0.0] * max(
                 0, workers - len(thread_busy)
             )
@@ -625,6 +755,9 @@ def search_batch(
             hops[rows] = 0
             visited[rows] = 0
             degraded[rows] = False
+            if compressed:
+                adc_lookups[rows] = 0
+                rerank_ndc[rows] = 0
             if handles is not None:
                 handles.chunk_retries_total.inc()
     if not fused_done:
@@ -668,4 +801,6 @@ def search_batch(
         trace_ids=trace_ids,
         batch_id=batch_id,
         worker_utilization=utilization,
+        adc_lookups=adc_lookups,
+        rerank_ndc=rerank_ndc,
     )

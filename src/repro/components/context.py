@@ -38,14 +38,19 @@ class SearchContext:
     """Reusable scratch memory binding one dataset to one search thread."""
 
     __slots__ = (
-        "data", "norms_sq", "visit_gen", "generation",
+        "data", "visit_gen", "generation",
         "candidates", "results", "query64", "query_sq", "native", "trace",
-        "_cand_d", "_cand_i", "_res_d", "_res_i", "_vis_i", "_vis_d",
+        "compressed", "lut", "lut_override",
+        "_norms_sq", "_cand_d", "_cand_i", "_res_d", "_res_i",
+        "_vis_i", "_vis_d",
     )
 
     def __init__(self, data: np.ndarray, norms_sq: np.ndarray | None = None):
         self.data = data
-        self.norms_sq = squared_norms(data) if norms_sq is None else norms_sq
+        # Lazily computed: compressed traversal over a memory-mapped
+        # float32 tier must not page the whole tier in just to build a
+        # norm cache it will never read.
+        self._norms_sq = norms_sq
         self.visit_gen = np.zeros(len(data), dtype=np.int64)
         self.generation = 0
         self.candidates: list[tuple[float, int]] = []
@@ -55,6 +60,14 @@ class SearchContext:
         #: hop-level QueryTrace for the in-flight query (None = untraced;
         #: set/cleared by GraphANNS.search and the batch engine)
         self.trace = None
+        #: CompressedTier powering ADC traversal for the in-flight query
+        #: (None = exact scoring; set/cleared around _route like trace)
+        self.compressed = None
+        #: this query's (M, K) float32 ADC table (built by begin_query)
+        self.lut = None
+        #: precomputed table injected by the batch engine so the Python
+        #: fallback scores from the same GEMM output as the MT kernel
+        self.lut_override = None
         self.native = (
             _native.LIB is not None
             and data.dtype == np.float32
@@ -67,6 +80,14 @@ class SearchContext:
         self._res_i: np.ndarray | None = None
         self._vis_i: np.ndarray | None = None
         self._vis_d: np.ndarray | None = None
+
+    @property
+    def norms_sq(self) -> np.ndarray:
+        """Cached ``|x|^2`` per data row, computed on first exact use."""
+        ns = self._norms_sq
+        if ns is None:
+            ns = self._norms_sq = squared_norms(self.data)
+        return ns
 
     def compatible(self, data: np.ndarray) -> bool:
         """Whether this context's scratch belongs to ``data``."""
@@ -81,6 +102,9 @@ class SearchContext:
         self.results.clear()
         self.query64 = np.ascontiguousarray(query, dtype=np.float64)
         self.query_sq = float(np.dot(self.query64, self.query64))
+        if self.compressed is not None:
+            lut = self.lut_override
+            self.lut = self.compressed.lut(self.query64) if lut is None else lut
 
     # -- visited bookkeeping -------------------------------------------
 
@@ -96,10 +120,18 @@ class SearchContext:
     # -- distances ------------------------------------------------------
 
     def sq_dists(self, ids: np.ndarray) -> np.ndarray:
-        """Squared distances from the current query to ``data[ids]``."""
+        """Squared distances from the current query to ``data[ids]``.
+
+        With a compressed tier attached these are ADC surrogates
+        gathered from the per-query LUT — the float32 rows stay
+        untouched and the caller's counter is counting table lookups,
+        not true distance computations.
+        """
         plan = faults.active()
         if plan is not None:  # fault-injection seam; None in production
             plan.before_distances()
+        if self.compressed is not None:
+            return self.compressed.score(self.lut, ids)
         return sq_dists_to_rows(
             self.query64, self.data[ids], self.norms_sq[ids], self.query_sq
         )

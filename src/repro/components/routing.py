@@ -51,6 +51,13 @@ class SearchResult:
     the ids/dists are the best-k found so far (never invalid, never
     silently wrong), and ``budget`` says which limit fired and what was
     spent.  Unbudgeted searches always report ``degraded=False``.
+
+    Compressed (ADC) searches keep the survey's NDC accounting honest:
+    ``ndc`` counts only *true* distance computations (seed acquisition
+    plus the exact re-rank), while the traversal's table lookups — which
+    never touch a float32 row — are reported separately in
+    ``adc_lookups``; ``rerank_ndc`` is the exact-re-rank share of
+    ``ndc``.  Both stay 0 for exact searches.
     """
 
     ids: np.ndarray
@@ -63,6 +70,8 @@ class SearchResult:
     degraded: bool = False
     budget: BudgetReport | None = None
     trace_id: str | None = None   # joins a hop-level QueryTrace, if traced
+    adc_lookups: int = 0  # compressed traversal's LUT gathers (not NDC)
+    rerank_ndc: int = 0   # exact re-rank distance computations
 
     def top(self, k: int) -> np.ndarray:
         return self.ids[:k]
@@ -221,9 +230,17 @@ def _native_best_first(
     if budget is not None:
         max_ndc = -1 if budget.max_ndc is None else budget.max_ndc
         max_hops = -1 if budget.max_hops is None else budget.max_hops
-    ids, sq, ndc, hops, visited, fired = _native.best_first(
-        ctx, graph, ctx.query64, ctx.query_sq, seeds, ef, max_ndc, max_hops
-    )
+    if ctx.compressed is not None:
+        # ADC fast path: walks uint8 codes against the per-query LUT
+        # that begin_query just built; the float32 tier stays cold.
+        ids, sq, ndc, hops, visited, fired = _native.best_first_adc(
+            ctx, graph, ctx.compressed.codes, ctx.lut, seeds, ef,
+            max_ndc, max_hops,
+        )
+    else:
+        ids, sq, ndc, hops, visited, fired = _native.best_first(
+            ctx, graph, ctx.query64, ctx.query_sq, seeds, ef, max_ndc, max_hops
+        )
     counter.count += ndc
     result = SearchResult(
         ids, np.sqrt(sq), ndc=ndc, hops=hops, visited=visited

@@ -1,0 +1,86 @@
+"""Compressed (ADC) traversal: over-fetch on codes, re-rank exactly.
+
+The survey's ML3/quantization analysis treats compressed distance
+evaluation as the standard lever once full-precision vectors dominate
+memory and the hot loop.  This module holds the glue around the
+traversal itself (which lives in the routing layer / native kernel):
+
+* the exact re-rank — the only stage that reads float32 rows, and
+  therefore the only stage that pages a memory-mapped vector tier;
+* the :class:`SearchResult` assembly that keeps the paper's NDC
+  accounting honest: traversal table lookups are reported as
+  ``adc_lookups`` (zero true NDC), the re-rank charges one true NDC per
+  pooled candidate.
+
+A compressed search over-fetches ``rerank_factor * k`` candidates by
+ADC order and re-ranks them exactly; the recall gap versus exact search
+shrinks as the factor grows, at a per-query cost bounded by
+``rerank_factor * k`` tier reads.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.components.routing import SearchResult
+
+__all__ = ["DEFAULT_RERANK_FACTOR", "rerank_exact", "finish_compressed"]
+
+#: over-fetch multiplier: the traversal keeps rerank_factor * k
+#: ADC-ranked candidates for the exact re-rank
+DEFAULT_RERANK_FACTOR = 3
+
+
+def rerank_exact(
+    data: np.ndarray, query64: np.ndarray, pool: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Exact distances for ``pool`` rows, sorted ascending ``(dist, id)``.
+
+    One deterministic NumPy formula shared by every compressed path
+    (native or fallback, serial or batched): gather the float32 rows —
+    the single place compressed search touches the vector tier, so a
+    memory-mapped tier pages in exactly these rows — widen to float64,
+    and reduce with a fixed einsum.  Identical pools therefore re-rank
+    bit-identically everywhere.
+    """
+    pool = np.asarray(pool, dtype=np.int64)
+    if len(pool) == 0:
+        return pool, np.zeros(0, dtype=np.float64)
+    rows = np.asarray(data[pool], dtype=np.float64)
+    diff = rows - query64
+    sq = np.einsum("ij,ij->i", diff, diff)
+    order = np.lexsort((pool, sq))
+    return pool[order], np.sqrt(np.maximum(sq[order], 0.0))
+
+
+def finish_compressed(
+    route: SearchResult,
+    data: np.ndarray,
+    query64: np.ndarray,
+    deleted: np.ndarray | None,
+    adc_lookups: int,
+    counter,
+    max_pool: int | None = None,
+) -> SearchResult:
+    """Turn an ADC-ordered traversal result into the final exact result.
+
+    Tombstoned vertices are dropped *before* the re-rank so they cost
+    no tier reads, then the pool is capped at ``max_pool``
+    (``rerank_factor * k``) — the bound that keeps per-query tier I/O
+    independent of ``ef``.  The re-rank charges ``len(pool)`` true NDC
+    to ``counter``.  Traversal telemetry (hops, visited,
+    degraded/budget) is carried over; ``route.dists`` are ADC
+    surrogates and are discarded.
+    """
+    pool = route.ids
+    if deleted is not None and len(pool) and deleted.any():
+        pool = pool[~deleted[pool]]
+    if max_pool is not None:
+        pool = pool[:max_pool]  # ids arrive in ascending ADC order
+    counter.count += len(pool)
+    ids, dists = rerank_exact(data, query64, pool)
+    return SearchResult(
+        ids, dists, hops=route.hops, visited=route.visited,
+        degraded=route.degraded, budget=route.budget,
+        adc_lookups=adc_lookups, rerank_ndc=len(pool),
+    )

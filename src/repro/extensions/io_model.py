@@ -10,16 +10,27 @@ built index and a storage profile, it estimates per-query latency as
 
 so the PL-vs-NDC tradeoff between algorithms can be compared under
 different storage speeds (the crossover moves as storage slows down).
+
+Compressed (ADC) traversal changes the I/O shape entirely: the walk
+reads only resident uint8 codes and its per-query LUT, so the storage
+tier is touched *once per re-ranked candidate* instead of once per hop
+— ``rerank_factor * k`` random row reads per query, independent of
+``ef``.  :meth:`DiskIOModel.estimate_compressed` prices that regime;
+``benchmarks/bench_compressed_traversal.py`` validates the predicted
+read count against the measured ``rerank_ndc``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.algorithms.base import BatchStats, GraphANNS
 from repro.datasets.dataset import Dataset
 
-__all__ = ["DiskIOModel", "StorageProfile"]
+__all__ = ["DiskIOModel", "StorageProfile", "IOEstimate",
+           "CompressedIOEstimate"]
 
 
 @dataclass(frozen=True)
@@ -55,6 +66,22 @@ class IOEstimate:
     latency_s: float
 
 
+@dataclass(frozen=True)
+class CompressedIOEstimate:
+    """Modelled per-query cost of compressed (ADC) traversal.
+
+    ``io_count`` is the number of storage reads — the exact re-rank's
+    row fetches, nothing else, because the traversal itself touches only
+    resident codes.  ``adc_lookups`` are priced as cache-speed table
+    gathers (``adc_lookup_s``), not distance computations.
+    """
+
+    io_count: float
+    adc_lookups: float
+    rerank_ndc: float
+    latency_s: float
+
+
 class DiskIOModel:
     """Estimate external-memory query latency from measured search stats."""
 
@@ -83,3 +110,51 @@ class DiskIOModel:
             dataset.queries, dataset.ground_truth, k=k, ef=ef
         )
         return self.estimate(stats)
+
+    #: one LUT gather — an L1/L2 access, orders of magnitude below a
+    #: full d-dimensional distance
+    ADC_LOOKUP_S = 2e-9
+
+    def estimate_compressed(
+        self,
+        adc_lookups: float,
+        rerank_ndc: float,
+        adc_lookup_s: float | None = None,
+    ) -> CompressedIOEstimate:
+        """Cost model for a compressed query.
+
+        The traversal performs ``adc_lookups`` table gathers against
+        resident memory; only the exact re-rank reaches the vector
+        tier, costing one row read plus one true distance per pooled
+        candidate.
+        """
+        adc_lookup_s = self.ADC_LOOKUP_S if adc_lookup_s is None else adc_lookup_s
+        latency = (
+            rerank_ndc * self.profile.read_latency_s
+            + rerank_ndc * self.profile.compute_per_distance_s
+            + adc_lookups * adc_lookup_s
+        )
+        return CompressedIOEstimate(
+            io_count=rerank_ndc, adc_lookups=adc_lookups,
+            rerank_ndc=rerank_ndc, latency_s=latency,
+        )
+
+    def evaluate_compressed(
+        self,
+        index: GraphANNS,
+        dataset: Dataset,
+        k: int = 10,
+        ef: int | None = None,
+        rerank_factor: int | None = None,
+    ) -> CompressedIOEstimate:
+        """Measure a compressed query batch and apply the cost model."""
+        from repro.batch import search_batch
+
+        result = search_batch(
+            index, dataset.queries, k=k, ef=ef,
+            compressed=True, rerank_factor=rerank_factor,
+        )
+        return self.estimate_compressed(
+            float(np.mean(result.adc_lookups)),
+            float(np.mean(result.rerank_ndc)),
+        )

@@ -31,14 +31,21 @@ from repro.algorithms.base import GraphANNS
 from repro.components.seeding import FixedSeeds, provider_from_spec
 from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
+from repro.quantization import CompressedTier
 from repro.resilience import IndexFormatError, repair_csr_arrays, verify_index
 
 __all__ = ["save_index", "load_index", "StaticGraphIndex"]
 
 # v1: raw arrays; v2: + checksum and seed_spec recipes; v3: + optional
-# id_map (cache-locality reordering, internal id -> original dataset id)
+# id_map (cache-locality reordering, internal id -> original dataset id);
+# v4: + optional compressed tier (pq_codes/pq_codebook/pq_meta) and
+# optional vector_manifest pointing the float32 vectors at a raw ``.vec``
+# sidecar that loaders may memory-map instead of resident-loading.
+# Indexes using no v4 feature are still written as v3, byte-compatible
+# with the previous release.
 _FORMAT_VERSION = 3
-_READABLE_VERSIONS = frozenset({1, 2, 3})
+_COMPRESSED_FORMAT_VERSION = 4
+_READABLE_VERSIONS = frozenset({1, 2, 3, 4})
 
 _REQUIRED_KEYS = frozenset(
     {"format_version", "algorithm", "data", "offsets", "neighbors", "seeds"}
@@ -46,16 +53,18 @@ _REQUIRED_KEYS = frozenset(
 
 
 def _content_checksum(data, offsets, neighbors, seeds, deleted,
-                      id_map=None) -> str:
+                      id_map=None, pq_arrays=()) -> str:
     """sha256 over the payload arrays (bytes + dtype + shape).
 
-    ``id_map`` joins the digest only when present, so checksums of
-    never-reordered v3 files equal what a v2 writer would have stored.
+    ``id_map`` (v3) and the pq arrays (v4) join the digest only when
+    present, so checksums of files not using those features equal what
+    the earlier writers would have stored.
     """
     digest = hashlib.sha256()
     arrays = [data, offsets, neighbors, seeds, deleted]
     if id_map is not None:
         arrays.append(id_map)
+    arrays.extend(pq_arrays)
     for array in arrays:
         array = np.ascontiguousarray(array)
         digest.update(str(array.dtype).encode())
@@ -68,10 +77,30 @@ def save_index(
     index: GraphANNS,
     path: str | Path,
     num_seed_samples: int = 8,
+    vector_tier: str = "embedded",
 ) -> None:
-    """Persist a built index to ``path`` (``.npz``)."""
+    """Persist a built index to ``path`` (``.npz``).
+
+    ``vector_tier`` chooses where the float32 vectors live:
+
+    * ``"embedded"`` (default) — inside the ``.npz``, as always.
+    * ``"sidecar"`` — in a raw little-endian float32 file next to the
+      archive (``<path>.vec``); the archive stores a manifest (dtype,
+      shape, file name, sha256) instead of the rows.  A sidecar is what
+      lets :func:`load_index` hand the vectors to ``np.memmap`` so a
+      compressed deployment keeps only PQ codes resident.
+
+    If the index carries a compressed tier
+    (:meth:`~repro.algorithms.base.GraphANNS.enable_compressed`), its
+    codes and codebooks are persisted too.  Either feature bumps the
+    file to format v4; plain saves stay v3.
+    """
     if index.graph is None or index.data is None:
         raise RuntimeError("build the index before saving it")
+    if vector_tier not in ("embedded", "sidecar"):
+        raise ValueError(
+            f"vector_tier must be 'embedded' or 'sidecar', got {vector_tier!r}"
+        )
     graph = index.graph
     offsets, neighbors = graph.finalize().csr()
     # snapshot the seeds this index would use for a generic query
@@ -96,18 +125,47 @@ def save_index(
     id_map = getattr(index, "_id_map", None)
     if id_map is not None:
         extra["id_map"] = np.asarray(id_map, dtype=np.int64)
+    path = Path(path)
+    tier = getattr(index, "_compressed", None)
+    pq_arrays: tuple = ()
+    if tier is not None:
+        codes, codebook, meta = tier.export_state()
+        extra["pq_codes"] = codes
+        extra["pq_codebook"] = codebook
+        extra["pq_meta"] = np.asarray(json.dumps(meta))
+        pq_arrays = (codes, codebook)
+    data = np.ascontiguousarray(index.data, dtype=np.float32)
+    stored_data = data
+    if vector_tier == "sidecar":
+        vec_path = path.with_name(path.name + ".vec")
+        data.tofile(vec_path)
+        extra["vector_manifest"] = np.asarray(json.dumps({
+            "dtype": "float32",
+            "shape": list(data.shape),
+            "file": vec_path.name,
+            "sha256": hashlib.sha256(data.tobytes()).hexdigest(),
+        }))
+        # the archive keeps a zero-row placeholder; the rows live in the
+        # sidecar, where a loader can memory-map them
+        stored_data = np.empty((0, data.shape[1]), dtype=np.float32)
+    version = (
+        _COMPRESSED_FORMAT_VERSION
+        if (tier is not None or vector_tier == "sidecar")
+        else _FORMAT_VERSION
+    )
     np.savez_compressed(
-        Path(path),
-        format_version=np.asarray(_FORMAT_VERSION),
+        path,
+        format_version=np.asarray(version),
         algorithm=np.asarray(index.name),
-        data=index.data,
+        data=stored_data,
         offsets=offsets,
         neighbors=neighbors,
         seeds=seeds,
         deleted=deleted,
         checksum=np.asarray(
-            _content_checksum(index.data, offsets, neighbors, seeds, deleted,
-                              id_map=extra.get("id_map"))
+            _content_checksum(stored_data, offsets, neighbors, seeds, deleted,
+                              id_map=extra.get("id_map"),
+                              pq_arrays=pq_arrays)
         ),
         **extra,
     )
@@ -120,10 +178,18 @@ class StaticGraphIndex(GraphANNS):
 
     def __init__(self, data: np.ndarray, graph: Graph, seeds: np.ndarray,
                  source: str = "?", deleted: np.ndarray | None = None,
-                 provider=None, id_map: np.ndarray | None = None):
+                 provider=None, id_map: np.ndarray | None = None,
+                 compressed: CompressedTier | None = None):
         super().__init__()
-        self.data = np.ascontiguousarray(data, dtype=np.float32)
+        if (isinstance(data, np.memmap) and data.dtype == np.float32
+                and data.flags["C_CONTIGUOUS"]):
+            # keep the map: ascontiguousarray would fault every page in
+            # and materialize the whole tier in RAM
+            self.data = data
+        else:
+            self.data = np.ascontiguousarray(data, dtype=np.float32)
         self.graph = graph.finalize()
+        self._compressed = compressed
         if id_map is not None:
             self._id_map = np.asarray(id_map, dtype=np.int64)
         if provider is not None:
@@ -152,6 +218,7 @@ def load_index(
     path: str | Path,
     verify: bool = True,
     repair: bool = False,
+    mmap_vectors: bool = False,
 ) -> StaticGraphIndex:
     """Restore a :class:`StaticGraphIndex` saved by :func:`save_index`.
 
@@ -163,7 +230,16 @@ def load_index(
     :class:`~repro.resilience.IndexIntegrityError` on structural damage
     the checksum cannot explain; ``repair=True`` fixes what it can
     (dropping bad edges, reconnecting stranded vertices, tombstoning
-    non-finite rows) instead of raising.
+    non-finite rows, dropping an inconsistent compressed tier) instead
+    of raising.
+
+    v4 files saved with ``vector_tier="sidecar"`` keep their float32
+    rows in a raw file next to the archive; ``mmap_vectors=True`` opens
+    that sidecar read-only through ``np.memmap``, so only the pages the
+    exact re-rank actually touches become resident — the deployment
+    mode compressed search is built for.  The flag is a no-op for
+    embedded-vector files.  A persisted compressed tier is restored
+    automatically; search the result with ``compressed=True``.
     """
     path = Path(path)
     try:
@@ -193,16 +269,33 @@ def load_index(
                 str(archive["seed_spec"]) if "seed_spec" in files else None
             )
             id_map = archive["id_map"] if "id_map" in files else None
+            pq_codes = archive["pq_codes"] if "pq_codes" in files else None
+            pq_codebook = (
+                archive["pq_codebook"] if "pq_codebook" in files else None
+            )
+            pq_meta = str(archive["pq_meta"]) if "pq_meta" in files else None
+            manifest = (
+                str(archive["vector_manifest"])
+                if "vector_manifest" in files else None
+            )
     except IndexFormatError:
         raise
     except (OSError, EOFError, KeyError, ValueError,
             zipfile.BadZipFile, zlib.error) as exc:
         raise IndexFormatError(path, f"{type(exc).__name__}: {exc}") from exc
+    if pq_codes is not None and (pq_codebook is None or pq_meta is None):
+        raise IndexFormatError(
+            path, "compressed tier is incomplete "
+                  "(pq_codes without pq_codebook/pq_meta)"
+        )
     if stored_sum is not None:  # absent in pre-checksum files
         actual = _content_checksum(
             data, offsets, neighbors, seeds,
             deleted if deleted is not None else np.zeros(0, dtype=bool),
             id_map=id_map,
+            pq_arrays=(
+                () if pq_codes is None else (pq_codes, pq_codebook)
+            ),
         )
         if actual != stored_sum:
             raise IndexFormatError(
@@ -210,6 +303,56 @@ def load_index(
                 f"checksum mismatch (stored {stored_sum[:12]}..., "
                 f"computed {actual[:12]}...): payload is corrupt",
             )
+    if manifest is not None:
+        try:
+            spec = json.loads(manifest)
+            shape = tuple(int(x) for x in spec["shape"])
+            vec_path = path.parent / str(spec["file"])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise IndexFormatError(
+                path, f"bad vector_manifest: {type(exc).__name__}: {exc}"
+            ) from exc
+        if spec.get("dtype", "float32") != "float32":
+            raise IndexFormatError(
+                path, f"vector tier dtype {spec.get('dtype')!r} unsupported"
+            )
+        expected_bytes = int(np.prod(shape)) * np.dtype(np.float32).itemsize
+        if not vec_path.is_file():
+            raise IndexFormatError(
+                path, f"vector tier sidecar {vec_path.name} is missing"
+            )
+        if vec_path.stat().st_size != expected_bytes:
+            raise IndexFormatError(
+                path,
+                f"vector tier sidecar {vec_path.name} is "
+                f"{vec_path.stat().st_size} bytes, expected {expected_bytes}",
+            )
+        if mmap_vectors:
+            # pages fault in on demand; the sha256 in the manifest is
+            # deliberately NOT verified here — a full scan would defeat
+            # the point of mapping.  verify_index checks structure only.
+            data = np.memmap(vec_path, dtype=np.float32, mode="r",
+                             shape=shape)
+        else:
+            data = np.fromfile(vec_path, dtype=np.float32).reshape(shape)
+            actual = hashlib.sha256(data.tobytes()).hexdigest()
+            if "sha256" in spec and actual != str(spec["sha256"]):
+                raise IndexFormatError(
+                    path,
+                    f"vector tier sidecar {vec_path.name} checksum "
+                    f"mismatch (stored {str(spec['sha256'])[:12]}..., "
+                    f"computed {actual[:12]}...)",
+                )
+    tier = None
+    if pq_codes is not None:
+        try:
+            tier = CompressedTier.from_state(
+                pq_codes, pq_codebook, json.loads(pq_meta)
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise IndexFormatError(
+                path, f"bad compressed tier: {type(exc).__name__}: {exc}"
+            ) from exc
     if repair:
         offsets, neighbors, _ = repair_csr_arrays(offsets, neighbors, len(data))
     provider = None
@@ -224,7 +367,7 @@ def load_index(
         data,
         Graph.from_csr(offsets, neighbors, validate=not (verify or repair)),
         seeds, source=source, deleted=deleted, provider=provider,
-        id_map=id_map,
+        id_map=id_map, compressed=tier,
     )
     if verify or repair:
         verify_index(index, repair=repair)

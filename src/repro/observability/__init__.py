@@ -143,6 +143,19 @@ class Instruments:
                 labels={"limit": limit})
             for limit in ("deadline", "ndc", "hops")
         }
+        self.compressed_queries_total = registry.counter(
+            "repro_compressed_queries_total",
+            "Queries answered by compressed (ADC) traversal.")
+        self.query_adc_lookups = registry.histogram(
+            "repro_query_adc_lookups",
+            "PQ table lookups per compressed query (zero true NDC; the "
+            "surrogate work the ADC traversal does instead of distances).",
+            buckets=NDC_BUCKETS)
+        self.query_rerank_ndc = registry.histogram(
+            "repro_query_rerank_ndc",
+            "Exact re-rank distance computations per compressed query "
+            "(the only stage that reads float32 vectors).",
+            buckets=NDC_BUCKETS)
         self.batch_queries_total = registry.counter(
             "repro_batch_queries_total", "Queries answered by search_batch.")
         self.batch_seconds = registry.histogram(
@@ -234,6 +247,8 @@ def finish_query_trace(trace: QueryTrace, result, elapsed_s: float) -> None:
         ndc=result.ndc, hops=result.hops, visited=result.visited,
         degraded=result.degraded, termination=termination,
         result_ids=result.ids, budget=budget_dict, elapsed_s=elapsed_s,
+        adc_lookups=getattr(result, "adc_lookups", 0),
+        rerank_ndc=getattr(result, "rerank_ndc", 0),
     )
     result.trace_id = trace.trace_id
     RECORDER.add(trace)
@@ -246,6 +261,11 @@ def observe_query(result, elapsed_s: float) -> None:
     handles.query_ndc.observe(result.ndc)
     handles.query_hops.observe(result.hops)
     handles.query_seconds.observe(elapsed_s)
+    adc = getattr(result, "adc_lookups", 0)
+    if adc:
+        handles.compressed_queries_total.inc()
+        handles.query_adc_lookups.observe(adc)
+        handles.query_rerank_ndc.observe(getattr(result, "rerank_ndc", 0))
     if result.degraded:
         handles.degraded_total.inc()
         report = getattr(result, "budget", None)

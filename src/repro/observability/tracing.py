@@ -44,6 +44,7 @@ class QueryTrace:
         "seed_ids", "seed_ndc", "seed_events", "hop_events",
         "ndc", "hops", "visited", "degraded", "termination",
         "budget", "result_ids", "elapsed_s", "_base",
+        "adc_lookups", "rerank_ndc",
     )
 
     def __init__(self, trace_id: str, algorithm: str = "",
@@ -65,6 +66,9 @@ class QueryTrace:
         self.result_ids: list[int] = []
         self.elapsed_s = 0.0
         self._base = 0
+        # compressed (ADC) traversal only; stay 0 for exact searches
+        self.adc_lookups = 0
+        self.rerank_ndc = 0
 
     # -- recording (called from the hot path; keep them tiny) ----------
 
@@ -99,6 +103,8 @@ class QueryTrace:
         result_ids,
         budget: dict | None = None,
         elapsed_s: float = 0.0,
+        adc_lookups: int = 0,
+        rerank_ndc: int = 0,
     ) -> None:
         self.ndc = int(ndc)
         self.hops = int(hops)
@@ -108,6 +114,8 @@ class QueryTrace:
         self.budget = budget
         self.result_ids = [int(i) for i in result_ids]
         self.elapsed_s = float(elapsed_s)
+        self.adc_lookups = int(adc_lookups)
+        self.rerank_ndc = int(rerank_ndc)
 
     def to_dict(self) -> dict:
         """JSON-ready view (the JSONL trace schema of docs/observability.md)."""
@@ -128,6 +136,8 @@ class QueryTrace:
             "budget": self.budget,
             "result_ids": self.result_ids,
             "elapsed_s": self.elapsed_s,
+            "adc_lookups": self.adc_lookups,
+            "rerank_ndc": self.rerank_ndc,
         }
 
 

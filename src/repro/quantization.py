@@ -1,15 +1,21 @@
-"""Product quantization: compressed vectors for cheap seed acquisition.
+"""Product quantization: compressed vectors for seeding *and* traversal.
 
 §4.1's C4 catalogue includes Douze et al.'s Link&Code approach [33]:
 compress the original vectors with (O)PQ, then pick search entries "by
 quickly calculating the compressed vector".  This module provides the
 substrate — a from-scratch product quantizer with asymmetric distance
-computation (ADC) — and the matching :class:`PQSeeds` provider.
+computation (ADC) — the matching :class:`PQSeeds` provider, and the
+:class:`CompressedTier` that promotes ADC from seeding to a first-class
+traversal mode: uint8 codes plus a per-query float32 look-up table
+(built once per query, one GEMM per subspace) score frontier neighbors
+without ever touching a float32 data row, so the resident working set
+is codes + CSR and the full-precision tier is read only at re-rank
+time.
 
 A PQ distance scans look-up tables instead of touching raw vectors, so
 under the survey's NDC accounting a full ADC pass costs **zero** true
-distance computations; its approximation error is why the returned
-seeds still get re-ranked by the graph search afterwards.
+distance computations; its approximation error is why ADC-ranked
+candidates still get re-ranked exactly afterwards.
 """
 
 from __future__ import annotations
@@ -20,7 +26,7 @@ from repro.components.seeding import SeedProvider
 from repro.distance import DistanceCounter, pairwise_l2
 from repro.graphs.graph import Graph
 
-__all__ = ["ProductQuantizer", "PQSeeds"]
+__all__ = ["ProductQuantizer", "PQSeeds", "CompressedTier"]
 
 
 class ProductQuantizer:
@@ -33,6 +39,14 @@ class ProductQuantizer:
         kmeans_iterations: int = 8,
         seed: int = 0,
     ):
+        if num_subspaces < 1:
+            raise ValueError(
+                f"num_subspaces must be at least 1, got {num_subspaces}"
+            )
+        if codebook_size < 1:
+            raise ValueError(
+                f"codebook_size must be at least 1, got {codebook_size}"
+            )
         self.num_subspaces = num_subspaces
         self.codebook_size = codebook_size
         self.kmeans_iterations = kmeans_iterations
@@ -42,8 +56,18 @@ class ProductQuantizer:
         self._boundaries: list[tuple[int, int]] = []
 
     def fit(self, data: np.ndarray) -> "ProductQuantizer":
-        """Learn codebooks on ``data`` and encode it."""
+        """Learn codebooks on ``data`` and encode it.
+
+        Dimensions that do not divide ``num_subspaces`` are handled by
+        uneven subspace boundaries (``linspace`` edges), so every
+        coordinate belongs to exactly one subspace; a ``codebook_size``
+        of 1 degrades gracefully to a single centroid per subspace.
+        """
         data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2 or data.shape[0] == 0 or data.shape[1] == 0:
+            raise ValueError(
+                f"fit() needs a non-empty 2-D array, got shape {data.shape}"
+            )
         n, dim = data.shape
         if self.num_subspaces > dim:
             self.num_subspaces = dim
@@ -76,10 +100,24 @@ class ProductQuantizer:
         if self.codebooks is None or self.codes is None:
             raise RuntimeError("call fit() before using the quantizer")
 
+    @property
+    def dim(self) -> int:
+        """Dimensionality the quantizer was fitted on."""
+        self._require_fit()
+        return int(self._boundaries[-1][1])
+
+    def _check_query_dim(self, queries: np.ndarray, caller: str) -> None:
+        if queries.ndim != 2 or queries.shape[1] != self.dim:
+            raise ValueError(
+                f"{caller} expects vectors of dimension {self.dim}, "
+                f"got shape {queries.shape}"
+            )
+
     def encode(self, vectors: np.ndarray) -> np.ndarray:
         """Codes for new vectors (nearest centroid per subspace)."""
         self._require_fit()
         vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        self._check_query_dim(vectors, "encode()")
         codes = np.empty((len(vectors), self.num_subspaces), dtype=np.int64)
         for m, (lo, hi) in enumerate(self._boundaries):
             dists = pairwise_l2(vectors[:, lo:hi], self.codebooks[m])
@@ -119,6 +157,9 @@ class ProductQuantizer:
         """
         self._require_fit()
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        self._check_query_dim(queries, "adc_distances_batch()")
+        if len(queries) == 0:
+            return np.zeros((0, len(self.codes)))
         total = np.zeros((len(queries), len(self.codes)))
         for m, (lo, hi) in enumerate(self._boundaries):
             block = queries[:, lo:hi]
@@ -130,6 +171,35 @@ class ProductQuantizer:
             )
             total += np.maximum(tables, 0.0)[:, self.codes[:, m]]
         return np.sqrt(total)
+
+    def lut_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Per-query ADC look-up tables, shape ``(Q, M, K)`` float32.
+
+        Row ``[q, m, c]`` is the squared distance from query ``q``'s
+        ``m``-th sub-vector to centroid ``c`` — computed in float64 via
+        the same expanded GEMM form as :meth:`adc_distances_batch`,
+        clipped at zero, then narrowed to float32.  float32 tables are
+        what both the C ADC kernel and the NumPy fallback consume; each
+        accumulates entries into a float64 total in subspace order, so
+        the two scorers are bit-identical by construction.
+        """
+        self._require_fit()
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        self._check_query_dim(queries, "lut_batch()")
+        num_centroids = len(self.codebooks[0])
+        luts = np.empty(
+            (len(queries), self.num_subspaces, num_centroids), dtype=np.float32
+        )
+        for m, (lo, hi) in enumerate(self._boundaries):
+            block = queries[:, lo:hi]
+            centroids = self.codebooks[m]
+            tables = (
+                np.einsum("ij,ij->i", block, block)[:, None]
+                - 2.0 * block @ centroids.T
+                + np.einsum("ij,ij->i", centroids, centroids)[None, :]
+            )
+            luts[:, m, :] = np.maximum(tables, 0.0)
+        return luts
 
     def memory_bytes(self) -> int:
         """Codebooks + one byte-scale code per subspace per vector."""
@@ -198,3 +268,177 @@ class PQSeeds(SeedProvider):
             "codebook_size": self.codebook_size,
             "seed": self.seed,
         }
+
+
+class CompressedTier:
+    """Resident compressed vector tier for ADC traversal.
+
+    Wraps a fitted :class:`ProductQuantizer` and keeps its codes as a
+    contiguous uint8 ``(n, M)`` matrix — the only per-vector state the
+    expansion loop needs.  A query enters traversal by building one
+    float32 LUT (:meth:`lut`); frontier neighbors are then scored by
+    gathering ``M`` table entries per code row (:meth:`score`), either
+    in the C kernel or through the bit-identical NumPy fallback here.
+    The float32 data tier is untouched until the exact re-rank.
+    """
+
+    def __init__(self, pq: ProductQuantizer, codes: np.ndarray | None = None):
+        pq._require_fit()
+        src = pq.codes if codes is None else np.asarray(codes)
+        if src.max(initial=0) > 255 or src.min(initial=0) < 0:
+            raise ValueError(
+                "compressed traversal needs uint8 codes: codebook_size must "
+                f"be <= 256, got code values outside [0, 255] "
+                f"(codebook_size={pq.codebook_size})"
+            )
+        self.pq = pq
+        self.codes = np.ascontiguousarray(src, dtype=np.uint8)
+
+    @classmethod
+    def fit(
+        cls,
+        data: np.ndarray,
+        num_subspaces: int = 8,
+        codebook_size: int = 32,
+        kmeans_iterations: int = 8,
+        seed: int = 0,
+    ) -> "CompressedTier":
+        """Fit a quantizer on ``data`` and wrap it as a traversal tier."""
+        if codebook_size > 256:
+            raise ValueError(
+                f"codebook_size must be <= 256 for uint8 codes, "
+                f"got {codebook_size}"
+            )
+        pq = ProductQuantizer(
+            num_subspaces=num_subspaces,
+            codebook_size=codebook_size,
+            kmeans_iterations=kmeans_iterations,
+            seed=seed,
+        ).fit(data)
+        return cls(pq)
+
+    @property
+    def num_subspaces(self) -> int:
+        return int(self.codes.shape[1])
+
+    @property
+    def num_centroids(self) -> int:
+        """Actual centroids per subspace (≤ configured codebook_size)."""
+        return len(self.pq.codebooks[0])
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+    def lut(self, query: np.ndarray) -> np.ndarray:
+        """Float32 ``(M, K)`` look-up table for one query."""
+        return self.pq.lut_batch(np.atleast_2d(query))[0]
+
+    def lut_batch(self, queries: np.ndarray) -> np.ndarray:
+        """Float32 ``(Q, M, K)`` tables, one GEMM per subspace for the
+        whole batch — shared by the MT ADC kernel and the Python
+        fallback so both score from identical tables."""
+        return self.pq.lut_batch(queries)
+
+    def score(self, lut: np.ndarray, ids: np.ndarray) -> np.ndarray:
+        """ADC squared-distance surrogates for ``ids`` (NumPy fallback).
+
+        Accumulates float32 table entries into a float64 total in
+        subspace order — the exact operation the C kernel performs per
+        element, so the two paths agree bit-for-bit.
+        """
+        rows = self.codes[ids]
+        total = np.zeros(len(rows))
+        for m in range(rows.shape[1]):
+            total += lut[m][rows[:, m]]
+        return total
+
+    def permute(self, order: np.ndarray) -> "CompressedTier":
+        """Tier for data reordered by ``order`` (codes follow rows)."""
+        permuted = self.codes[np.asarray(order, dtype=np.int64)]
+        self.pq.codes = permuted.astype(self.pq.codes.dtype)
+        return CompressedTier(self.pq, permuted)
+
+    def memory_bytes(self) -> int:
+        """Resident bytes: uint8 codes + float64 codebooks."""
+        codebook_bytes = sum(cb.nbytes for cb in self.pq.codebooks)
+        return self.codes.nbytes + codebook_bytes
+
+    # -- persistence (index format v4) ---------------------------------
+
+    def export_state(self) -> tuple[np.ndarray, np.ndarray, dict]:
+        """``(codes, codebook, meta)`` triple for :mod:`repro.io`.
+
+        The codebook is concatenated along the feature axis into one
+        ``(K, dim)`` float64 matrix; ``meta`` records the subspace
+        boundaries needed to slice it back apart.
+        """
+        codebook = np.concatenate(self.pq.codebooks, axis=1)
+        meta = {
+            "num_subspaces": int(self.pq.num_subspaces),
+            "codebook_size": int(self.pq.codebook_size),
+            "kmeans_iterations": int(self.pq.kmeans_iterations),
+            "seed": int(self.pq.seed),
+            "boundaries": [[int(lo), int(hi)] for lo, hi in self.pq._boundaries],
+        }
+        return self.codes, codebook, meta
+
+    @classmethod
+    def from_state(
+        cls, codes: np.ndarray, codebook: np.ndarray, meta: dict
+    ) -> "CompressedTier":
+        """Rebuild a tier from arrays produced by :meth:`export_state`."""
+        pq = ProductQuantizer(
+            num_subspaces=int(meta["num_subspaces"]),
+            codebook_size=int(meta["codebook_size"]),
+            kmeans_iterations=int(meta.get("kmeans_iterations", 8)),
+            seed=int(meta.get("seed", 0)),
+        )
+        boundaries = [(int(lo), int(hi)) for lo, hi in meta["boundaries"]]
+        pq._boundaries = boundaries
+        codebook = np.asarray(codebook, dtype=np.float64)
+        pq.codebooks = [
+            np.ascontiguousarray(codebook[:, lo:hi]) for lo, hi in boundaries
+        ]
+        codes = np.ascontiguousarray(codes, dtype=np.uint8)
+        pq.codes = codes.astype(np.int64)
+        return cls(pq, codes)
+
+    # -- integrity (verify_index, format v4) ---------------------------
+
+    def consistency_issues(self, n: int, dim: int) -> list[str]:
+        """Structural problems that make the tier unsafe to traverse."""
+        issues: list[str] = []
+        if self.codes.ndim != 2:
+            issues.append(f"compressed codes are {self.codes.ndim}-D, expected 2-D")
+            return issues
+        if len(self.codes) != n:
+            issues.append(
+                f"compressed codes cover {len(self.codes)} rows "
+                f"but the index holds {n}"
+            )
+        books = self.pq.codebooks or []
+        if len(books) != self.codes.shape[1]:
+            issues.append(
+                f"codes carry {self.codes.shape[1]} subspaces but the "
+                f"quantizer holds {len(books)} codebooks"
+            )
+        bounds = self.pq._boundaries
+        widths_ok = (
+            len(bounds) == len(books)
+            and all(cb.shape[1] == hi - lo for cb, (lo, hi) in zip(books, bounds))
+        )
+        if not widths_ok:
+            issues.append("codebook widths disagree with subspace boundaries")
+        if bounds and dim >= 0 and bounds[-1][1] != dim:
+            issues.append(
+                f"compressed tier was fitted on dimension {bounds[-1][1]} "
+                f"but the index stores dimension {dim}"
+            )
+        if books and len(self.codes):
+            num_centroids = min(len(cb) for cb in books)
+            if int(self.codes.max()) >= num_centroids:
+                issues.append(
+                    f"code value {int(self.codes.max())} exceeds the "
+                    f"{num_centroids}-entry codebook"
+                )
+        return issues

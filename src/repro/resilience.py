@@ -335,18 +335,26 @@ def verify_index(
     built index.
 
     Checks: CSR offset monotonicity and bounds, neighbor ids in
-    ``[0, n)``, no self-loops, data row count and finiteness, and —
-    when ``check_reachability`` — that every vertex is reachable from
-    the index's entry points, which is exactly the guarantee the C5
-    connectivity component exists to provide.
+    ``[0, n)``, no self-loops, data row count and finiteness, a
+    compressed tier's code/codebook consistency (row count, subspace
+    boundaries, code values inside each codebook) when one is attached,
+    and — when ``check_reachability`` — that every vertex is reachable
+    from the index's entry points, which is exactly the guarantee the
+    C5 connectivity component exists to provide.
 
     With ``repair=True`` the index is fixed in place: bad edges are
     dropped, non-finite vectors are zeroed *and tombstoned* (so they
-    can never appear in a result), and stranded vertices are
-    reconnected with
+    can never appear in a result), an inconsistent compressed tier is
+    dropped (exact search keeps working; re-enable to rebuild it), and
+    stranded vertices are reconnected with
     :func:`repro.components.connectivity.ensure_reachable_from`.
     Without it, a failing check raises :class:`IndexIntegrityError`
     (pass ``strict=False`` to get the report back instead).
+
+    Memory-mapped vector tiers (``load_index(..., mmap_vectors=True)``)
+    skip the full-data finiteness scan: paging every vector in would
+    defeat the point of the map, and the sidecar's size was already
+    validated at load time.
     """
     from repro.components.connectivity import ensure_reachable_from
     from repro.distance import invalidate_norms
@@ -387,18 +395,41 @@ def verify_index(
         report.issues.append(f"data must be 2-D, got shape {data.shape}")
         return _finish(report, repair, strict)
 
-    finite = np.isfinite(data).all(axis=1)
-    if not finite.all():
-        bad = np.flatnonzero(~finite)
-        msg = f"{len(bad)} vectors contain NaN/Inf (first: {int(bad[0])})"
-        if not repair:
-            report.issues.append(msg)
-        else:
-            data[bad] = 0.0
-            invalidate_norms(data)
-            if getattr(index, "_deleted", None) is not None:
-                index._deleted[bad] = True
-            report.repairs.append(msg + " — zeroed and tombstoned")
+    if not isinstance(data, np.memmap):
+        # a mapped tier is read-only and intentionally non-resident:
+        # scanning (or zeroing) it would page the whole file in
+        finite = np.isfinite(data).all(axis=1)
+        if not finite.all():
+            bad = np.flatnonzero(~finite)
+            msg = f"{len(bad)} vectors contain NaN/Inf (first: {int(bad[0])})"
+            if not repair:
+                report.issues.append(msg)
+            else:
+                data[bad] = 0.0
+                invalidate_norms(data)
+                if getattr(index, "_deleted", None) is not None:
+                    index._deleted[bad] = True
+                report.repairs.append(msg + " — zeroed and tombstoned")
+
+    tier = getattr(index, "_compressed", None)
+    if tier is not None:
+        tier_issues = tier.consistency_issues(graph.n, data.shape[1])
+        if tier_issues:
+            if not repair:
+                report.issues.extend(
+                    f"compressed tier: {issue}" for issue in tier_issues
+                )
+            else:
+                # codes that disagree with the graph/vectors can only
+                # produce wrong ADC rankings; exact search is unharmed
+                index._compressed = None
+                report.repairs.extend(
+                    f"compressed tier: {issue}" for issue in tier_issues
+                )
+                report.repairs.append(
+                    "compressed tier dropped (exact search unaffected; "
+                    "re-run enable_compressed() to rebuild)"
+                )
 
     id_map = getattr(index, "_id_map", None)
     if id_map is not None:

@@ -25,6 +25,7 @@ DUAL_MODE_SUITES = [
     "tests/test_faults.py",
     "tests/test_observability.py",
     "tests/test_parallel_determinism.py",
+    "tests/test_compressed.py",
 ]
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.distance import DistanceCounter
 from repro.graphs import Graph
-from repro.quantization import PQSeeds, ProductQuantizer
+from repro.quantization import CompressedTier, PQSeeds, ProductQuantizer
 
 
 @pytest.fixture(scope="module")
@@ -69,6 +69,130 @@ class TestProductQuantizer:
         data = np.random.default_rng(0).normal(size=(50, 4)).astype(np.float32)
         pq = ProductQuantizer(num_subspaces=16).fit(data)
         assert pq.codes.shape[1] == 4
+
+
+class TestADCBatchEdgeCases:
+    """Regression tests for adc_distances_batch corner cases."""
+
+    def test_dim_not_divisible_by_subspaces(self):
+        rng = np.random.default_rng(5)
+        data = rng.normal(size=(120, 30)).astype(np.float32)  # 30 % 8 != 0
+        pq = ProductQuantizer(num_subspaces=8, codebook_size=16).fit(data)
+        queries = rng.normal(size=(7, 30))
+        batch = pq.adc_distances_batch(queries)
+        assert batch.shape == (7, 120)
+        assert np.isfinite(batch).all()
+        # uneven boundaries must tile the full dimension exactly once
+        edges = np.asarray(pq._boundaries)
+        assert edges[0][0] == 0 and edges[-1][1] == 30
+        assert (edges[1:, 0] == edges[:-1, 1]).all()
+
+    def test_empty_query_block(self, cloud):
+        pq = ProductQuantizer(num_subspaces=4, codebook_size=8).fit(cloud)
+        out = pq.adc_distances_batch(np.empty((0, cloud.shape[1])))
+        assert out.shape == (0, len(cloud))
+        luts = pq.lut_batch(np.empty((0, cloud.shape[1])))
+        assert luts.shape == (0, 4, 8)
+
+    def test_single_point_codebooks(self):
+        data = np.random.default_rng(2).normal(size=(1, 16)).astype(np.float32)
+        pq = ProductQuantizer(num_subspaces=4, codebook_size=32).fit(data)
+        # one training point -> one centroid per subspace, code 0 everywhere
+        assert all(len(cb) == 1 for cb in pq.codebooks)
+        out = pq.adc_distances_batch(np.zeros((3, 16)))
+        assert out.shape == (3, 1)
+        assert np.isfinite(out).all()
+
+    def test_single_matches_batch(self, cloud):
+        pq = ProductQuantizer(num_subspaces=8, codebook_size=16).fit(cloud)
+        queries = cloud[:5] + 0.05
+        batch = pq.adc_distances_batch(queries)
+        for i, query in enumerate(queries):
+            # BLAS rounds (1, d) and (5, d) GEMMs differently at the ulp
+            # level; agreement is to ~1e-12, not bitwise
+            np.testing.assert_allclose(
+                pq.adc_distances(query), batch[i], rtol=1e-10
+            )
+
+    def test_dimension_mismatch_rejected(self, cloud):
+        pq = ProductQuantizer(num_subspaces=4).fit(cloud)
+        with pytest.raises(ValueError, match="dimension"):
+            pq.adc_distances_batch(np.zeros((2, cloud.shape[1] + 1)))
+        with pytest.raises(ValueError, match="dimension"):
+            pq.encode(np.zeros((2, 3)))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(num_subspaces=0)
+        with pytest.raises(ValueError):
+            ProductQuantizer(codebook_size=0)
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer().fit(np.empty((0, 8)))
+        with pytest.raises(ValueError):
+            ProductQuantizer().fit(np.zeros(8))
+
+    def test_lut_batch_properties(self, cloud):
+        pq = ProductQuantizer(num_subspaces=8, codebook_size=16).fit(cloud)
+        luts = pq.lut_batch(cloud[:3])
+        assert luts.shape == (3, 8, 16)
+        assert luts.dtype == np.float32
+        assert (luts >= 0).all()
+        # gathering through the LUT reproduces the squared ADC distance
+        gathered = np.zeros(len(cloud))
+        for m in range(8):
+            gathered += luts[0][m][pq.codes[:, m]]
+        np.testing.assert_allclose(
+            np.sqrt(gathered), pq.adc_distances(cloud[0]), rtol=1e-6
+        )
+
+
+class TestCompressedTier:
+    def test_fit_and_score(self, cloud):
+        tier = CompressedTier.fit(cloud, num_subspaces=8, codebook_size=16)
+        assert tier.codes.dtype == np.uint8
+        assert tier.codes.shape == (len(cloud), 8)
+        lut = tier.lut(cloud[0])
+        scores = tier.score(lut, np.arange(len(cloud)))
+        np.testing.assert_allclose(
+            np.sqrt(scores), tier.pq.adc_distances(cloud[0]), rtol=1e-5
+        )
+
+    def test_rejects_wide_codebooks(self, cloud):
+        with pytest.raises(ValueError, match="256"):
+            CompressedTier.fit(cloud, codebook_size=512)
+
+    def test_memory_far_below_raw(self, cloud):
+        tier = CompressedTier.fit(cloud, num_subspaces=8, codebook_size=16)
+        assert tier.memory_bytes() < cloud.nbytes / 3
+
+    def test_state_roundtrip(self, cloud):
+        tier = CompressedTier.fit(cloud, num_subspaces=6, codebook_size=16)
+        codes, codebook, meta = tier.export_state()
+        rebuilt = CompressedTier.from_state(codes, codebook, meta)
+        np.testing.assert_array_equal(rebuilt.codes, tier.codes)
+        lut_a = tier.lut(cloud[1])
+        lut_b = rebuilt.lut(cloud[1])
+        np.testing.assert_array_equal(lut_a, lut_b)
+        assert rebuilt.consistency_issues(len(cloud), cloud.shape[1]) == []
+
+    def test_consistency_issues(self, cloud):
+        tier = CompressedTier.fit(cloud, num_subspaces=4, codebook_size=16)
+        assert tier.consistency_issues(len(cloud), cloud.shape[1]) == []
+        assert tier.consistency_issues(len(cloud) + 1, cloud.shape[1])
+        assert tier.consistency_issues(len(cloud), cloud.shape[1] + 1)
+        tier.codes[0, 0] = 255
+        assert any(
+            "exceeds" in issue
+            for issue in tier.consistency_issues(len(cloud), cloud.shape[1])
+        )
+
+    def test_permute_follows_order(self, cloud):
+        tier = CompressedTier.fit(cloud, num_subspaces=4, codebook_size=16)
+        order = np.random.default_rng(0).permutation(len(cloud))
+        permuted = tier.permute(order)
+        np.testing.assert_array_equal(permuted.codes, tier.codes[order])
 
 
 class TestPQSeeds:
