@@ -1,0 +1,195 @@
+"""Scatter–gather benchmark: QPS / recall / degraded-rate vs. fan-out.
+
+Partitions ~100k synthetic points into S shards (balanced k-means, one
+kgraph index per shard) and sweeps the fan-out P — how many shards each
+query is routed to — measuring throughput and recall@k against
+brute-force ground truth at every P.  Two extra passes probe the
+robustness envelope:
+
+* a determinism pass asserting ids/NDC are bit-identical at 1 and 4
+  inner worker threads (the merge contract),
+* a fault pass killing one shard via `repro.faults` at full fan-out,
+  recording the degraded-rate and the recall that survives.
+
+Results merge under the ``"sharded"`` key of ``BENCH_search.json``
+(other keys owned by the hotpath/scaling/compressed benchmarks) plus a
+plain table in ``benchmarks/results/sharded.txt``.  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_sharded.py
+
+Scale knobs: ``REPRO_BENCH_SHARDED_N`` (points, default 100000),
+``REPRO_BENCH_SHARDED_QUERIES`` (default 100),
+``REPRO_BENCH_SHARDED_SHARDS`` (default 8),
+``REPRO_BENCH_SHARDED_WORKERS`` (inner threads per shard, default 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import faults  # noqa: E402
+from repro.components.seeding import FixedSeeds  # noqa: E402
+from repro.sharding import ShardedIndex  # noqa: E402
+
+N = int(os.environ.get("REPRO_BENCH_SHARDED_N", "100000"))
+NUM_QUERIES = int(os.environ.get("REPRO_BENCH_SHARDED_QUERIES", "100"))
+SHARDS = int(os.environ.get("REPRO_BENCH_SHARDED_SHARDS", "8"))
+WORKERS = int(os.environ.get("REPRO_BENCH_SHARDED_WORKERS", "4"))
+DIM = 32
+K = 10
+EF = 60
+REPEATS = int(os.environ.get("REPRO_BENCH_SHARDED_REPEATS", "3"))
+
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_search.json"
+RESULTS = Path(__file__).resolve().parent / "results"
+
+
+def brute_force_topk(data: np.ndarray, queries: np.ndarray, k: int) -> np.ndarray:
+    truth = np.empty((len(queries), k), dtype=np.int64)
+    data64 = data.astype(np.float64)
+    norms = np.einsum("ij,ij->i", data64, data64)
+    for i, query in enumerate(queries):
+        q = query.astype(np.float64)
+        sq = norms - 2.0 * (data64 @ q) + q @ q
+        truth[i] = np.argsort(sq, kind="stable")[:k]
+    return truth
+
+
+def recall(ids: np.ndarray, truth: np.ndarray) -> float:
+    hits = 0
+    for row, gt in zip(ids, truth):
+        hits += len(set(int(i) for i in row if i >= 0) & set(int(t) for t in gt))
+    return hits / truth.size
+
+
+def bench_fanout(index, queries, truth, fanout: int) -> dict:
+    best_elapsed = np.inf
+    result = None
+    for _ in range(REPEATS):
+        r = index.search_batch(queries, k=K, ef=EF, workers=WORKERS,
+                               fanout=fanout)
+        if r.elapsed_s < best_elapsed:
+            best_elapsed = r.elapsed_s
+            result = r
+    return {
+        "fanout": fanout,
+        "qps": len(queries) / best_elapsed,
+        "recall_at_k": recall(result.ids, truth),
+        "mean_ndc": float(result.ndc.mean()),
+        "degraded_rate": float(result.degraded.mean()),
+    }
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    data = rng.normal(size=(N, DIM)).astype(np.float32)
+    queries = rng.normal(size=(NUM_QUERIES, DIM)).astype(np.float32)
+
+    t0 = time.perf_counter()
+    index = ShardedIndex.build(data, num_shards=SHARDS, algorithm="kgraph",
+                               seed=0)
+    build_s = time.perf_counter() - t0
+    sizes = [len(ids) for ids in index.shard_ids]
+    print(f"built {SHARDS} kgraph shards over {N} points in {build_s:.1f}s "
+          f"(shard sizes {min(sizes)}..{max(sizes)})", flush=True)
+
+    # kgraph's random seed provider is stateful (fresh entries per
+    # call); freeze one draw per shard so repeats and worker counts
+    # are bit-comparable, as the hotpath benchmarks do
+    for shard in index.shards:
+        seeds = np.unique(np.asarray(
+            shard.seed_provider.acquire(shard.data.mean(axis=0)),
+            dtype=np.int64,
+        ))
+        shard.seed_provider = FixedSeeds(seeds)
+
+    truth = brute_force_topk(data, queries, K)
+
+    # warm-up + determinism contract across inner worker counts
+    one = index.search_batch(queries, k=K, ef=EF, workers=1)
+    four = index.search_batch(queries, k=K, ef=EF, workers=4)
+    assert np.array_equal(one.ids, four.ids), "merge diverged across workers"
+    assert np.array_equal(one.ndc, four.ndc), "NDC diverged across workers"
+
+    fanouts = sorted({1, 2, max(1, SHARDS // 2), SHARDS})
+    sweep = [bench_fanout(index, queries, truth, p) for p in fanouts]
+    for row in sweep:
+        print(f"P={row['fanout']}: {row['qps']:.0f} qps "
+              f"recall@{K}={row['recall_at_k']:.3f} "
+              f"ndc={row['mean_ndc']:.0f}", flush=True)
+
+    # one shard killed at full fan-out: partial results, no exceptions
+    with faults.inject(faults.FaultPlan().fail_shard(0)):
+        hurt = index.search_batch(queries, k=K, ef=EF, workers=WORKERS,
+                                  fanout=SHARDS)
+    degraded = {
+        "killed_shard": 0,
+        "killed_points": int(len(index.shard_ids[0])),
+        "degraded_rate": float(hurt.degraded.mean()),
+        "recall_at_k": recall(hurt.ids, truth),
+        "quarantined": [list(q) for q in hurt.shard_report.quarantined],
+    }
+    print(f"one shard killed: degraded_rate={degraded['degraded_rate']:.2f} "
+          f"recall@{K}={degraded['recall_at_k']:.3f}", flush=True)
+
+    report = {
+        "n": N,
+        "dim": DIM,
+        "num_queries": NUM_QUERIES,
+        "k": K,
+        "ef": EF,
+        "shards": SHARDS,
+        "workers": WORKERS,
+        "repeats": REPEATS,
+        "build_s": build_s,
+        "shard_sizes": sizes,
+        "bit_identical_across_workers": True,
+        "fanout_sweep": sweep,
+        "one_shard_killed": degraded,
+    }
+
+    merged = {}
+    if OUTPUT.exists():
+        try:
+            merged = json.loads(OUTPUT.read_text())
+        except (OSError, json.JSONDecodeError):
+            merged = {}
+    merged["sharded"] = report
+    OUTPUT.write_text(json.dumps(merged, indent=2) + "\n")
+
+    lines = [
+        f"n={N} dim={DIM} queries={NUM_QUERIES} k={K} ef={EF} "
+        f"shards={SHARDS} workers={WORKERS} build={build_s:.1f}s",
+        f"{'fanout':>6s} {'qps':>9s} {'recall@10':>10s} {'mean_ndc':>9s} "
+        f"{'degraded':>9s}",
+        *[
+            f"{row['fanout']:6d} {row['qps']:9.0f} "
+            f"{row['recall_at_k']:10.3f} {row['mean_ndc']:9.0f} "
+            f"{row['degraded_rate']:9.2f}"
+            for row in sweep
+        ],
+        f"one shard killed (of {SHARDS}): "
+        f"degraded_rate={degraded['degraded_rate']:.2f} "
+        f"recall@{K}={degraded['recall_at_k']:.3f} "
+        f"({degraded['killed_points']} points dark)",
+        "merge bit-identical at 1 and 4 inner worker threads",
+    ]
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "sharded.txt").write_text(
+        "\n".join(["== sharded scatter-gather (100k scale) ==", *lines, ""])
+    )
+    print("\n".join(lines))
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

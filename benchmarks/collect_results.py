@@ -45,6 +45,7 @@ ORDER = [
     "ablations",
     "observability_overhead",
     "compressed_traversal",
+    "sharded",
 ]
 
 

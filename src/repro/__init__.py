@@ -30,6 +30,12 @@ from repro.resilience import (
     QueryBudget,
     verify_index,
 )
+from repro.sharding import (
+    ShardedIndex,
+    ShardedSearchResult,
+    ShardReport,
+    kmeans_partition,
+)
 
 __version__ = "1.0.0"
 
@@ -54,6 +60,10 @@ __all__ = [
     "IndexIntegrityError",
     "IntegrityReport",
     "verify_index",
+    "ShardedIndex",
+    "ShardedSearchResult",
+    "ShardReport",
+    "kmeans_partition",
     "observability",
     "__version__",
 ]

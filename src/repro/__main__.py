@@ -38,12 +38,80 @@ def _cmd_datasets(_args) -> int:
     return 0
 
 
+def _cmd_eval_sharded(args, dataset) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.metrics.recall import recall_at_k
+    from repro.sharding import ShardedIndex
+
+    t0 = time.perf_counter()
+    index = ShardedIndex.build(
+        dataset.base, num_shards=args.shards,
+        algorithm=args.algorithm, seed=args.seed,
+    )
+    build_s = time.perf_counter() - t0
+    if args.replicas > 1:
+        index.replicate(args.replicas)
+    result = index.search_batch(
+        dataset.queries, k=args.k, ef=args.ef, fanout=args.fanout
+    )
+    recalls = [
+        recall_at_k(result.ids[i][result.ids[i] >= 0],
+                    dataset.ground_truth[i], args.k)
+        for i in range(len(dataset.queries))
+    ]
+    recall = float(np.mean(recalls)) if recalls else float("nan")
+    report = result.shard_report
+    print(
+        f"{args.algorithm} on {dataset.name} "
+        f"[sharded S={args.shards} P={report.fanout} R={args.replicas}]: "
+        f"build={build_s:.2f}s "
+        f"index={index.index_size_bytes() / 1024:.0f}KiB "
+        f"recall@{args.k}={recall:.3f} qps={result.qps:.0f} "
+        f"degraded={result.num_degraded}/{len(dataset.queries)} "
+        f"quarantined={len(report.quarantined)}"
+    )
+    if args.check:
+        failures = []
+        if recall != recall:
+            failures.append("recall is NaN")
+        if recall < args.check_recall:
+            failures.append(
+                f"recall@{args.k}={recall:.3f} "
+                f"< required {args.check_recall:.3f}"
+            )
+        if failures:
+            print("CHECK FAILED: " + "; ".join(failures), file=sys.stderr)
+            return 1
+        print("CHECK OK")
+    if args.trace:
+        n = obs.dump_traces(args.trace)
+        print(f"wrote {n} traces to {args.trace}")
+    if args.metrics:
+        with open(args.metrics, "w") as fh:
+            fh.write(obs.prometheus_text())
+        print(f"wrote metrics to {args.metrics}")
+    return 0
+
+
 def _cmd_eval(args) -> int:
     if args.trace:
         obs.enable(metrics=True, trace=True)
     elif args.metrics:
         obs.enable(metrics=True, trace=False)
     dataset = load_dataset(args.dataset, cardinality=args.n, num_queries=args.queries)
+    if args.shards > 1:
+        for flag, name in ((args.compressed, "--compressed"),
+                           (args.mmap_vectors, "--mmap-vectors"),
+                           (args.reorder, "--reorder"),
+                           (args.seed_provider, "--seed-provider")):
+            if flag:
+                print(f"{name} is not supported with --shards",
+                      file=sys.stderr)
+                return 2
+        return _cmd_eval_sharded(args, dataset)
     index = create(args.algorithm, seed=args.seed)
     report = index.build(dataset.base)
     if args.seed_provider:
@@ -169,6 +237,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--rerank-factor", type=int, default=None,
         help="over-fetch multiplier for the exact re-rank "
              "(compressed mode; default 3)",
+    )
+    evaluate.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the dataset into S shards and serve with the "
+             "scatter-gather layer (repro.sharding)",
+    )
+    evaluate.add_argument(
+        "--fanout", type=int, default=None,
+        help="shards queried per request (default: all alive shards)",
+    )
+    evaluate.add_argument(
+        "--replicas", type=int, default=1,
+        help="replicas per shard for hedged requests (sharded mode)",
     )
     evaluate.add_argument(
         "--mmap-vectors", action="store_true",

@@ -358,6 +358,7 @@ class GraphANNS:
         budget: QueryBudget | None = None,
         compressed: bool = False,
         rerank_factor: int | None = None,
+        seeds: np.ndarray | None = None,
     ) -> SearchResult:
         """Approximate k nearest neighbors for one query.
 
@@ -369,6 +370,12 @@ class GraphANNS:
         current best-k flagged ``degraded=True`` instead of raising;
         seed-acquisition NDC is charged against ``budget.max_ndc`` so
         the reported total never exceeds the cap.
+
+        ``seeds`` overrides the provider's acquisition with explicit
+        entry vertex ids (internal id space, already charged by the
+        caller) — the sharded layer uses this to hand *identical* seeds
+        to every replica of a hedged request, making the hedge's result
+        bit-identical whether or not it fires.
 
         ``compressed=True`` routes on the ADC tier (see
         :meth:`enable_compressed`): the traversal scores frontier
@@ -413,7 +420,8 @@ class GraphANNS:
             trace.attach(start)
             ctx.trace = trace
         try:
-            seeds = self.seed_provider.acquire(query, counter)
+            if seeds is None:
+                seeds = self.seed_provider.acquire(query, counter)
             if trace is not None:
                 trace.record_seeds(seeds, counter.count)
             if budget is not None:

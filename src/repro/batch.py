@@ -114,6 +114,9 @@ class BatchQueryResult:
     # (zero true NDC) and exact re-rank cost (included in ndc)
     adc_lookups: np.ndarray | None = None            # (Q,) int64
     rerank_ndc: np.ndarray | None = None             # (Q,) int64
+    # sharded scatter-gather only (None otherwise): the batch-level
+    # repro.sharding.ShardReport naming survivors and quarantined shards
+    shard_report: object | None = None
 
     @property
     def qps(self) -> float:

@@ -13,10 +13,15 @@ can be *scheduled*.  This module provides two kinds of tooling:
   :func:`repro.io.load_index` error paths;
 * an **injection plan** (:class:`FaultPlan` + :func:`inject`) — a
   context manager that arms hooks consulted by the batched query
-  engine (:func:`repro.batch.search_batch`) and the search context:
-  raise in chosen worker chunks or for chosen query indexes, or delay
-  every bulk distance evaluation by a fixed amount (which makes
-  deadline budgets testable without timing races).
+  engine (:func:`repro.batch.search_batch`), the search context, and
+  the sharded scatter–gather layer (:mod:`repro.sharding`): raise in
+  chosen worker chunks or for chosen query indexes, delay every bulk
+  distance evaluation by a fixed amount (which makes deadline budgets
+  testable without timing races), kill or slow individual shards
+  (:meth:`FaultPlan.fail_shard` / :meth:`FaultPlan.slow_shard`), or
+  abort a sharded save at a chosen commit stage
+  (:meth:`FaultPlan.fail_save_stage`) to prove the atomic-rename
+  manifest property.
 
 When no plan is armed the hooks are a single ``is None`` check — the
 hot path stays bit-identical and effectively free.
@@ -40,6 +45,7 @@ __all__ = [
     "active",
     "corrupt_adjacency",
     "corrupt_vectors",
+    "corrupt_shard_file",
     "truncate_file",
 ]
 
@@ -58,6 +64,17 @@ class FaultPlan:
     per-query error reporting, since the retry hits them again);
     ``distance_delay_s`` sleeps before every bulk distance evaluation
     routed through a :class:`~repro.components.context.SearchContext`.
+
+    Shard-targeted faults compose with the rest of the plan and are
+    consulted by :mod:`repro.sharding` at the start of every per-shard
+    search task: :meth:`fail_shard` makes a shard raise on every
+    attempt (exercising quarantine + partial-result degradation),
+    :meth:`slow_shard` delays it (exercising shard timeouts and hedged
+    replicas), and :meth:`fail_save_stage` aborts
+    :func:`repro.io.save_sharded` right before a named commit rename
+    (simulating a crash mid-save).  All three are chainable builders::
+
+        plan = FaultPlan().fail_shard(1).slow_shard(2, 0.05, replica=0)
     """
 
     fail_workers: frozenset[int] = frozenset()
@@ -67,6 +84,37 @@ class FaultPlan:
     #: workers that already raised once (chunk faults are transient:
     #: the retry succeeds, like a worker that died and was replaced)
     tripped_workers: set[int] = field(default_factory=set)
+    #: (shard, replica-or-None) pairs whose search raises every attempt
+    fail_shards: set = field(default_factory=set)
+    #: (shard, replica-or-None) -> seconds slept before the shard search
+    slow_shards: dict = field(default_factory=dict)
+    #: save stages aborted right before their atomic rename; stage names
+    #: are "shard_commit:<i>", "meta_commit" and "manifest_commit"
+    fail_save_stages: set = field(default_factory=set)
+    #: optional callable ``hook(stage, tmp_path)`` run before each save
+    #: commit — lets a test corrupt the temp file a simulated crash
+    #: leaves behind (e.g. with :func:`truncate_file`)
+    save_stage_hook: object = None
+
+    def fail_shard(self, shard: int, replica: int | None = None) -> "FaultPlan":
+        """Make shard ``shard`` (one replica, or all when ``None``)
+        raise on every search attempt.  Returns ``self`` (chainable)."""
+        self.fail_shards.add((int(shard), replica))
+        return self
+
+    def slow_shard(
+        self, shard: int, delay_s: float, replica: int | None = None
+    ) -> "FaultPlan":
+        """Delay shard ``shard`` by ``delay_s`` before every search
+        attempt (one replica, or all when ``None``).  Chainable."""
+        self.slow_shards[(int(shard), replica)] = float(delay_s)
+        return self
+
+    def fail_save_stage(self, stage: str = "manifest_commit") -> "FaultPlan":
+        """Abort a sharded save right before ``stage``'s atomic rename,
+        as a crash at that instant would.  Chainable."""
+        self.fail_save_stages.add(stage)
+        return self
 
     def before_chunk(self, worker_index: int) -> None:
         if worker_index in self.fail_workers and worker_index not in self.tripped_workers:
@@ -80,6 +128,27 @@ class FaultPlan:
     def before_distances(self) -> None:
         if self.distance_delay_s > 0.0:
             time.sleep(self.distance_delay_s)
+
+    def before_shard(self, shard: int, replica: int = 0) -> None:
+        """Hook run at the start of every per-shard search task."""
+        delay = self.slow_shards.get((shard, replica))
+        if delay is None:
+            delay = self.slow_shards.get((shard, None))
+        if delay:
+            time.sleep(delay)
+        if (shard, replica) in self.fail_shards or (shard, None) in self.fail_shards:
+            raise self.exc_type(
+                f"injected fault in shard {shard} (replica {replica})"
+            )
+
+    def before_save_commit(self, stage: str, tmp_path) -> None:
+        """Hook run after a temp file is fully written, right before its
+        atomic rename; raising here models a crash mid-save."""
+        hook = self.save_stage_hook
+        if hook is not None:
+            hook(stage, tmp_path)
+        if stage in self.fail_save_stages:
+            raise self.exc_type(f"injected crash before {stage} rename")
 
 
 _ACTIVE: FaultPlan | None = None
@@ -151,6 +220,35 @@ def corrupt_vectors(
     rows = rng.choice(len(out), size=min(n_rows, len(out)), replace=False)
     out[rows] = np.nan if kind == "nan" else np.inf
     return out
+
+
+def corrupt_shard_file(
+    manifest_path, shard: int, seed: int = 0, n_bytes: int = 16
+) -> Path:
+    """Flip ``n_bytes`` deterministic bytes inside one shard member of a
+    sharded manifest (see :func:`repro.io.save_sharded`), so its sha256
+    no longer matches the manifest — the torn-replication corruption
+    :func:`repro.io.load_sharded` must catch.  Returns the damaged
+    member's path.
+    """
+    import json
+
+    manifest_path = Path(manifest_path)
+    spec = json.loads(manifest_path.read_text())
+    entry = spec["shards"][shard]
+    member = manifest_path.parent / entry["file"]
+    size = member.stat().st_size
+    rng = np.random.default_rng(seed)
+    # skip the zip header so the damage reads as payload corruption,
+    # not an unopenable archive (both must be caught either way)
+    offsets = rng.integers(min(64, size - 1), size, size=min(n_bytes, size))
+    with open(member, "r+b") as handle:
+        for offset in sorted(set(int(o) for o in offsets)):
+            handle.seek(offset)
+            byte = handle.read(1)
+            handle.seek(offset)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+    return member
 
 
 def truncate_file(path, keep_fraction: float = 0.5) -> int:

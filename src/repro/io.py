@@ -21,20 +21,33 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import zipfile
 import zlib
 from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.algorithms.base import GraphANNS
 from repro.components.seeding import FixedSeeds, provider_from_spec
 from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 from repro.quantization import CompressedTier
-from repro.resilience import IndexFormatError, repair_csr_arrays, verify_index
+from repro.resilience import (
+    IndexFormatError,
+    IndexIntegrityError,
+    repair_csr_arrays,
+    verify_index,
+)
 
-__all__ = ["save_index", "load_index", "StaticGraphIndex"]
+__all__ = [
+    "save_index",
+    "load_index",
+    "save_sharded",
+    "load_sharded",
+    "StaticGraphIndex",
+]
 
 # v1: raw arrays; v2: + checksum and seed_spec recipes; v3: + optional
 # id_map (cache-locality reordering, internal id -> original dataset id);
@@ -372,3 +385,262 @@ def load_index(
     if verify or repair:
         verify_index(index, repair=repair)
     return index
+
+
+# -- sharded manifests ---------------------------------------------------
+
+# A sharded index persists as a JSON manifest naming one ``.npz`` per
+# shard (each a normal v3/v4 index file) plus one meta member holding
+# the routing centroids and the shard -> global id maps.  Member files
+# carry the manifest *generation* in their names, every member records
+# its sha256 + byte size in the manifest, and every file — members and
+# manifest alike — is written to a temp name and committed with
+# ``os.replace``.  The manifest rename is the single publication point:
+# until it happens the previous generation's manifest still names the
+# previous generation's members (which are only deleted *after* the new
+# manifest is committed), so a crash at any instant of a save leaves a
+# loadable index on disk.
+_SHARDED_MANIFEST_FORMAT = "repro-sharded-manifest"
+_SHARDED_MANIFEST_VERSION = 1
+
+
+def _file_sha256(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _commit(tmp: Path, final: Path, stage: str) -> None:
+    """Atomically publish ``tmp`` as ``final`` (fault hook first)."""
+    plan = faults.active()
+    if plan is not None:
+        plan.before_save_commit(stage, tmp)
+    os.replace(tmp, final)
+
+
+def save_sharded(index, path: str | Path, num_seed_samples: int = 8) -> dict:
+    """Persist a :class:`~repro.sharding.ShardedIndex` under a JSON
+    manifest at ``path``.
+
+    Only live shards are written — a quarantined shard has nothing
+    trustworthy to persist, so saving a degraded index compacts it to
+    its survivors.  Saving over an existing manifest bumps the
+    generation: new members are written and committed under new names,
+    the manifest rename publishes them atomically, and only then are
+    the previous generation's members deleted.  An interruption at any
+    stage (see :meth:`~repro.faults.FaultPlan.fail_save_stage`) leaves
+    the previous index fully loadable.  Returns the manifest dict.
+    """
+    path = Path(path)
+    alive = index.alive_shards
+    if not alive:
+        raise RuntimeError("every shard is quarantined; nothing to save")
+    previous = None
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except (OSError, ValueError):
+            previous = None  # unreadable old manifest; overwrite it
+    generation = int(previous.get("generation", 0)) + 1 if previous else 1
+    base = path.name[:-5] if path.name.endswith(".json") else path.name
+
+    entries = []
+    for pos, s in enumerate(alive):
+        member_name = f"{base}.g{generation}.s{pos}.npz"
+        member = path.parent / member_name
+        tmp = path.parent / (member_name + ".tmp.npz")
+        save_index(index.shards[s], tmp, num_seed_samples=num_seed_samples)
+        entries.append({
+            "file": member_name,
+            "sha256": _file_sha256(tmp),
+            "bytes": tmp.stat().st_size,
+            "num_points": int(len(index.shard_ids[s])),
+        })
+        _commit(tmp, member, f"shard_commit:{pos}")
+
+    meta_name = f"{base}.g{generation}.meta.npz"
+    meta_tmp = path.parent / (meta_name + ".tmp.npz")
+    lengths = [len(index.shard_ids[s]) for s in alive]
+    indptr = np.zeros(len(alive) + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    np.savez_compressed(
+        meta_tmp,
+        centroids=index.centroids[np.asarray(alive)],
+        shard_gids=np.concatenate(
+            [index.shard_ids[s] for s in alive]
+        ).astype(np.int64),
+        shard_indptr=indptr,
+        algorithm=np.asarray(index.algorithm),
+        seed=np.asarray(int(index.seed)),
+    )
+    meta_entry = {
+        "file": meta_name,
+        "sha256": _file_sha256(meta_tmp),
+        "bytes": meta_tmp.stat().st_size,
+    }
+    _commit(meta_tmp, path.parent / meta_name, "meta_commit")
+
+    spec = {
+        "format": _SHARDED_MANIFEST_FORMAT,
+        "manifest_version": _SHARDED_MANIFEST_VERSION,
+        "generation": generation,
+        "algorithm": str(index.algorithm),
+        "seed": int(index.seed),
+        "dim": int(index.dim),
+        "num_shards": len(alive),
+        "num_points": int(sum(lengths)),
+        "meta": meta_entry,
+        "shards": entries,
+    }
+    manifest_tmp = path.parent / (path.name + ".tmp")
+    manifest_tmp.write_text(json.dumps(spec, indent=2) + "\n")
+    _commit(manifest_tmp, path, "manifest_commit")
+
+    if previous is not None:
+        # the new manifest is live; the old generation's members are
+        # now unreferenced and safe to drop (best effort)
+        keep = {entry["file"] for entry in entries} | {meta_name}
+        old = list(previous.get("shards", []))
+        old.append(previous.get("meta", {}))
+        for entry in old:
+            name = entry.get("file") if isinstance(entry, dict) else None
+            if name and name not in keep:
+                try:
+                    (path.parent / name).unlink()
+                except OSError:
+                    pass
+    return spec
+
+
+def _checked_member(manifest_path: Path, entry, what: str) -> Path:
+    """Resolve and validate one manifest member; every failure mode is
+    an :class:`IndexFormatError` naming the member (or manifest) path."""
+    if not isinstance(entry, dict) or "file" not in entry:
+        raise IndexFormatError(
+            manifest_path, f"manifest entry for {what} has no 'file' key"
+        )
+    member = manifest_path.parent / str(entry["file"])
+    if not member.is_file():
+        raise IndexFormatError(member, f"{what} member file is missing")
+    expected_bytes = entry.get("bytes")
+    if expected_bytes is not None:
+        actual_bytes = member.stat().st_size
+        if actual_bytes != int(expected_bytes):
+            raise IndexFormatError(
+                member,
+                f"{what} member is {actual_bytes} bytes, expected "
+                f"{int(expected_bytes)} (short read or torn write)",
+            )
+    stored = entry.get("sha256")
+    if stored is not None:
+        actual = _file_sha256(member)
+        if actual != str(stored):
+            raise IndexFormatError(
+                member,
+                f"{what} member checksum mismatch (stored "
+                f"{str(stored)[:12]}..., computed {actual[:12]}...)",
+            )
+    return member
+
+
+def load_sharded(path: str | Path, verify: bool = True, repair: bool = False):
+    """Restore a :class:`~repro.sharding.ShardedIndex` saved by
+    :func:`save_sharded`.
+
+    Every file-level problem on a manifest member — missing file, size
+    mismatch (short read), sha256 mismatch, unreadable archive —
+    surfaces as :class:`~repro.resilience.IndexFormatError` naming the
+    member's path, never a raw ``OSError``/``KeyError``.  With
+    ``repair=True`` a bad *shard* member is quarantined (the index
+    loads and serves its survivors, reporting ``degraded`` results)
+    instead of failing the whole load; the meta member (centroids and
+    id maps) has no fallback, so its corruption is always fatal, as is
+    the loss of every shard.
+    """
+    from repro.sharding import ShardedIndex
+
+    path = Path(path)
+    try:
+        spec = json.loads(path.read_text())
+    except OSError as exc:
+        raise IndexFormatError(
+            path, f"{type(exc).__name__}: {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise IndexFormatError(
+            path, f"manifest is not valid JSON: {exc}"
+        ) from exc
+    if not isinstance(spec, dict) or spec.get("format") != _SHARDED_MANIFEST_FORMAT:
+        raise IndexFormatError(
+            path, "not a sharded index manifest "
+                  f"(expected format {_SHARDED_MANIFEST_FORMAT!r})"
+        )
+    if int(spec.get("manifest_version", 0)) != _SHARDED_MANIFEST_VERSION:
+        raise IndexFormatError(
+            path,
+            f"unsupported manifest version {spec.get('manifest_version')}; "
+            f"this build reads version {_SHARDED_MANIFEST_VERSION}",
+        )
+    shard_entries = spec.get("shards")
+    if not isinstance(shard_entries, list) or not shard_entries:
+        raise IndexFormatError(path, "manifest names no shard members")
+
+    meta_member = _checked_member(path, spec.get("meta"), "meta")
+    try:
+        with np.load(meta_member, allow_pickle=False) as archive:
+            centroids = archive["centroids"]
+            shard_gids = archive["shard_gids"]
+            shard_indptr = archive["shard_indptr"]
+            algorithm = str(archive["algorithm"])
+            seed = int(archive["seed"])
+    except (OSError, EOFError, KeyError, ValueError,
+            zipfile.BadZipFile, zlib.error) as exc:
+        raise IndexFormatError(
+            meta_member, f"{type(exc).__name__}: {exc}"
+        ) from exc
+    if (len(shard_indptr) != len(shard_entries) + 1
+            or len(centroids) != len(shard_entries)
+            or int(shard_indptr[-1]) != len(shard_gids)):
+        raise IndexFormatError(
+            path,
+            f"meta member disagrees with manifest: {len(shard_entries)} "
+            f"shard entries vs {len(centroids)} centroids / "
+            f"{len(shard_indptr) - 1} id ranges",
+        )
+
+    shards: list = []
+    shard_ids: list = []
+    quarantined: dict[int, str] = {}
+    for pos, entry in enumerate(shard_entries):
+        ids = shard_gids[int(shard_indptr[pos]):int(shard_indptr[pos + 1])]
+        shard_ids.append(np.asarray(ids, dtype=np.int64))
+        try:
+            member = _checked_member(path, entry, f"shard {pos}")
+            shard = load_index(member, verify=verify, repair=repair)
+            if len(ids) != shard.graph.n:
+                raise IndexFormatError(
+                    member,
+                    f"shard {pos} holds {shard.graph.n} points but the "
+                    f"manifest maps {len(ids)} global ids",
+                )
+        except (IndexFormatError, IndexIntegrityError) as exc:
+            if not repair:
+                raise
+            shards.append(None)
+            quarantined[pos] = str(exc)
+            continue
+        shards.append(shard)
+    if all(shard is None for shard in shards):
+        raise IndexFormatError(
+            path,
+            "every shard member failed to load: "
+            + "; ".join(quarantined.values())[:500],
+        )
+    return ShardedIndex(
+        shards, shard_ids, centroids,
+        algorithm=spec.get("algorithm", algorithm),
+        seed=int(spec.get("seed", seed)),
+        quarantined=quarantined,
+    )

@@ -183,6 +183,26 @@ class Instruments:
         self.chunk_retries_total = registry.counter(
             "repro_worker_chunk_retries_total",
             "Worker chunks that raised and were retried in pure NumPy.")
+        self.sharded_queries_total = registry.counter(
+            "repro_sharded_queries_total",
+            "Queries answered by the sharded scatter-gather layer.")
+        self.sharded_degraded_total = registry.counter(
+            "repro_sharded_degraded_total",
+            "Sharded queries that returned a degraded (partial or "
+            "budget-cut) result.")
+        self.shard_quarantines_total = registry.counter(
+            "repro_shard_quarantines_total",
+            "Shards dropped from a query or the serving set "
+            "(raise, timeout, or checksum failure).")
+        self.shard_hedge_fires_total = registry.counter(
+            "repro_shard_hedge_fires_total",
+            "Hedged replica requests fired after the latency trigger.")
+        self.shard_hedge_wins_total = registry.counter(
+            "repro_shard_hedge_wins_total",
+            "Hedged replica requests that beat their primary.")
+        self.shard_fanout = registry.gauge(
+            "repro_shard_fanout",
+            "Fan-out (shards queried) of the most recent sharded query.")
         self.build_seconds = registry.histogram(
             "repro_build_seconds", "Wall-clock per index build.")
         self.builds_total = registry.counter(
@@ -200,6 +220,13 @@ class Instruments:
         return self._registry.histogram(
             "repro_build_phase_seconds",
             "Wall-clock per C1-C5 build phase.", labels={"phase": phase})
+
+    def shard_ndc(self, shard: int) -> Histogram:
+        """Per-shard NDC histogram (shard ids are dynamic labels)."""
+        return self._registry.histogram(
+            "repro_shard_ndc",
+            "Distance computations one shard spent on one sharded query.",
+            labels={"shard": str(shard)}, buckets=NDC_BUCKETS)
 
 
 def instruments() -> Instruments:

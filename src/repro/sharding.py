@@ -1,0 +1,780 @@
+"""Sharded scatter–gather index: horizontal scale that fails gracefully.
+
+A dataset that outgrows one graph is partitioned with balanced k-means
+into ``S`` shards, each a full :class:`~repro.algorithms.base.GraphANNS`
+index over its own slice of the points.  A query is routed to the
+``P`` shards whose centroids are closest (*fan-out*), searched on each
+in parallel — the multi-threaded batch kernel keeps working inside
+every shard — and the per-shard top-k lists are merged in the global
+id space.  ParlayANN shows partitioned graph ANNS can stay
+deterministic at scale; the merge here is a stable ``(distance, id)``
+sort over fixed per-shard result slots, so the answer is bit-identical
+at any shard thread count, and a single-shard index answers exactly
+like the unsharded path (same ids, same NDC).
+
+The robustness core — the reason this layer exists — is that a query
+must return its best-effort top-k even when a shard is corrupt, slow,
+or gone:
+
+* **per-shard budgets** — a :class:`~repro.resilience.QueryBudget` is
+  sliced across the fan-out (each shard gets an even share of
+  ``max_ndc``; deadlines and hop caps apply per shard), and each
+  shard's :class:`~repro.resilience.BudgetReport` survives in the
+  :class:`ShardReport`;
+* **fault isolation** — a shard that raises, exceeds
+  ``shard_timeout_s``, or failed checksum verification at load is
+  *quarantined*: the query merges the survivors, returns
+  ``degraded=True``, and the :class:`ShardReport` names who answered
+  and who did not.  No exception escapes the scatter–gather path;
+* **hedged replicas** — :meth:`ShardedIndex.replicate` registers ``R``
+  replicas per shard (clones sharing the immutable graph/vectors, each
+  with private search scratch).  A hedge fires the same request on a
+  second replica once the primary exceeds a latency percentile; the
+  first success wins and the loser is discarded.  Replicas search from
+  the *same* seeds (acquired once per query), so the result is
+  bit-identical whether or not the hedge fires.
+
+Persistence lives in :func:`repro.io.save_sharded` /
+:func:`repro.io.load_sharded`: a JSON manifest of per-shard index
+files with per-member sha256 checksums, committed by atomic rename so
+a crashed save never clobbers a loadable index.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import faults
+from repro import observability as obs
+from repro.algorithms import create
+from repro.components.routing import SearchResult
+from repro.distance import DistanceCounter, l2_batch, pairwise_l2
+from repro.resilience import (
+    InvalidQueryError,
+    QueryBudget,
+    validate_query,
+    verify_index,
+)
+
+__all__ = [
+    "ShardReport",
+    "ShardedSearchResult",
+    "ShardedIndex",
+    "kmeans_partition",
+    "slice_budget",
+]
+
+
+# -- partitioning -------------------------------------------------------
+
+
+def kmeans_partition(
+    data: np.ndarray,
+    num_shards: int,
+    seed: int = 0,
+    iterations: int = 8,
+    balance_slack: float = 1.25,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministic balanced k-means partition of ``data``.
+
+    Lloyd iterations with a capacity cap of ``balance_slack * n/k``
+    points per shard (the greedy confidence-ordered assignment of
+    :class:`~repro.trees.kmeans_tree.BalancedKMeansTree`), so no shard
+    can degenerate to a sliver that routing would never pick or a giant
+    that defeats the partitioning.  Returns ``(assign, centroids)``
+    with ``assign[i]`` the shard of point ``i`` and float32 centroids.
+    """
+    n = len(data)
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if n < 2 * num_shards:
+        raise ValueError(
+            f"cannot cut {n} points into {num_shards} shards of >= 2 points"
+        )
+    if num_shards == 1:
+        centroid = np.asarray(data, dtype=np.float64).mean(axis=0)
+        return (np.zeros(n, dtype=np.int64),
+                centroid[None, :].astype(np.float32))
+    rng = np.random.default_rng(seed)
+    points = np.asarray(data, dtype=np.float64)
+    centroids = points[rng.choice(n, size=num_shards, replace=False)].copy()
+    cap = max(2, int(np.ceil(balance_slack * n / num_shards)))
+    assign = np.zeros(n, dtype=np.int64)
+    for _ in range(iterations):
+        dists = pairwise_l2(points, centroids)
+        pref = np.argsort(dists, axis=1, kind="stable")
+        counts = np.zeros(num_shards, dtype=np.int64)
+        order = np.argsort(
+            dists[np.arange(n), pref[:, 0]], kind="stable"
+        )
+        for row in order:
+            for choice in pref[row]:
+                if counts[choice] < cap:
+                    assign[row] = choice
+                    counts[choice] += 1
+                    break
+        for c in range(num_shards):
+            members = points[assign == c]
+            if len(members):
+                centroids[c] = members.mean(axis=0)
+    counts = np.bincount(assign, minlength=num_shards)
+    if counts.min() < 2:
+        # degenerate data (duplicates): deterministic contiguous split
+        assign = np.zeros(n, dtype=np.int64)
+        for s, chunk in enumerate(np.array_split(np.arange(n), num_shards)):
+            assign[chunk] = s
+        for c in range(num_shards):
+            centroids[c] = points[assign == c].mean(axis=0)
+    return assign, centroids.astype(np.float32)
+
+
+def slice_budget(budget: QueryBudget | None, fanout: int) -> QueryBudget | None:
+    """The per-shard slice of a query budget: ``max_ndc`` is split
+    evenly across the fan-out (so the shards' combined spend respects
+    the cap); deadlines and hop caps apply to each shard as-is, since
+    the shards run concurrently."""
+    if budget is None or budget.max_ndc is None or fanout <= 1:
+        return budget
+    from dataclasses import replace
+
+    return replace(budget, max_ndc=max(1, budget.max_ndc // fanout))
+
+
+# -- reports ------------------------------------------------------------
+
+
+@dataclass
+class ShardReport:
+    """Who answered a scatter–gather query, and at what cost.
+
+    ``quarantined`` holds ``(shard, reason)`` pairs for shards that
+    raised, timed out, or were already quarantined at load; the merged
+    result covers only ``survivors``.  ``budgets`` maps a shard id to
+    the :class:`~repro.resilience.BudgetReport` of its budget-degraded
+    sub-search.  ``routing_ndc`` is the centroid-routing cost (zero for
+    a single-shard index, where there is no routing decision to make).
+    """
+
+    fanout: int
+    shards_queried: tuple = ()
+    survivors: tuple = ()
+    quarantined: tuple = ()          # ((shard, reason), ...)
+    hedges_fired: int = 0
+    hedge_wins: int = 0
+    routing_ndc: int = 0
+    per_shard_ndc: dict = field(default_factory=dict)
+    budgets: dict = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every queried shard contributed to the merge."""
+        return not self.quarantined
+
+
+@dataclass
+class ShardedSearchResult(SearchResult):
+    """A :class:`SearchResult` plus the scatter–gather telemetry."""
+
+    shard_report: ShardReport | None = None
+
+
+class _LatencyTracker:
+    """Pooled per-shard latency samples driving the hedge trigger."""
+
+    def __init__(self, maxlen: int = 128):
+        self._samples: deque = deque(maxlen=maxlen)
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(seconds)
+
+    def hedge_delay(self, percentile: float = 95.0,
+                    floor_s: float = 1e-3, default_s: float = 0.01) -> float:
+        if not self._samples:
+            return default_s
+        return max(float(np.percentile(list(self._samples), percentile)),
+                   floor_s)
+
+
+# -- the index ----------------------------------------------------------
+
+
+class ShardedIndex:
+    """``S`` independent graph indexes behind one scatter–gather front.
+
+    Build with :meth:`build`, or restore with
+    :func:`repro.io.load_sharded`.  ``shards[s]`` is ``None`` while
+    shard ``s`` is quarantined (a load-time checksum failure in repair
+    mode, or :meth:`verify` with ``quarantine=True``); live queries
+    skip it and report it in their :class:`ShardReport`.
+    """
+
+    def __init__(
+        self,
+        shards: list,
+        shard_ids: list,
+        centroids: np.ndarray,
+        algorithm: str = "?",
+        seed: int = 0,
+        quarantined: dict | None = None,
+    ):
+        if len(shards) != len(shard_ids) or len(shards) != len(centroids):
+            raise ValueError(
+                f"{len(shards)} shards, {len(shard_ids)} id maps and "
+                f"{len(centroids)} centroids do not line up"
+            )
+        self.shards = list(shards)
+        self.shard_ids = [np.asarray(ids, dtype=np.int64) for ids in shard_ids]
+        self.centroids = np.ascontiguousarray(centroids, dtype=np.float32)
+        self.algorithm = algorithm
+        self.seed = seed
+        #: shard -> reason, for shards dropped at load/verify time
+        self.quarantined: dict[int, str] = dict(quarantined or {})
+        for s in self.quarantined:
+            self.shards[s] = None
+        #: per-shard replica sets; replica 0 is the shard itself
+        self.replicas: list[list] = [
+            [shard] if shard is not None else [] for shard in self.shards
+        ]
+        self._latency = _LatencyTracker()
+        self._log = obs.get_logger("repro.sharding")
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: np.ndarray,
+        num_shards: int,
+        algorithm: str = "nsg",
+        seed: int = 0,
+        n_workers: int = 1,
+        kmeans_iterations: int = 8,
+    ) -> "ShardedIndex":
+        """Partition ``data`` into ``num_shards`` and build one
+        ``algorithm`` index per shard (every shard uses ``seed``, so a
+        single-shard build is the unsharded build verbatim)."""
+        data = np.ascontiguousarray(data, dtype=np.float32)
+        assign, centroids = kmeans_partition(
+            data, num_shards, seed=seed, iterations=kmeans_iterations
+        )
+        shards, shard_ids = [], []
+        started = time.perf_counter()
+        for s in range(num_shards):
+            ids = np.flatnonzero(assign == s).astype(np.int64)
+            shard = create(algorithm, seed=seed)
+            shard.build(data[ids], n_workers=n_workers)
+            shards.append(shard)
+            shard_ids.append(ids)
+        index = cls(shards, shard_ids, centroids,
+                    algorithm=algorithm, seed=seed)
+        if obs.enabled():
+            obs.record_span(
+                "build_sharded", time.perf_counter() - started,
+                algorithm=algorithm, n=len(data), num_shards=num_shards,
+            )
+        return index
+
+    # -- bookkeeping -----------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def num_points(self) -> int:
+        return int(sum(len(ids) for ids in self.shard_ids))
+
+    @property
+    def dim(self) -> int:
+        return int(self.centroids.shape[1])
+
+    @property
+    def alive_shards(self) -> list[int]:
+        return [s for s, shard in enumerate(self.shards) if shard is not None]
+
+    def index_size_bytes(self) -> int:
+        return int(sum(
+            shard.index_size_bytes() for shard in self.shards
+            if shard is not None
+        )) + self.centroids.nbytes
+
+    def replicate(self, factor: int = 2) -> None:
+        """Register ``factor`` replicas per shard for hedged fan-out.
+
+        Replicas are shallow clones: they share the frozen graph, the
+        vectors and the tombstones (all read-only during search) but
+        own their search scratch, so a hedge can run the same shard
+        concurrently with its primary.  With ``factor=1`` hedging is
+        disabled again.
+        """
+        if factor < 1:
+            raise ValueError(f"replica factor must be >= 1, got {factor}")
+        for s, shard in enumerate(self.shards):
+            if shard is None:
+                continue
+            reps = [shard]
+            for _ in range(1, factor):
+                clone = copy.copy(shard)
+                clone._search_ctx = None  # private scratch per replica
+                reps.append(clone)
+            self.replicas[s] = reps
+
+    def quarantine(self, shard: int, reason: str) -> None:
+        """Permanently drop ``shard`` from the serving set."""
+        if not 0 <= shard < len(self.shards):
+            raise IndexError(f"shard {shard} out of range")
+        self.shards[shard] = None
+        self.replicas[shard] = []
+        self.quarantined[shard] = reason
+        self._log.warning("shard.quarantine", shard=shard, reason=reason[:200])
+        if obs.enabled():
+            obs.instruments().shard_quarantines_total.inc()
+
+    def verify(self, repair: bool = False, quarantine: bool = True) -> dict:
+        """Run :func:`~repro.resilience.verify_index` on every live
+        shard.  Shards whose issues survive (after repair, if asked)
+        are quarantined when ``quarantine=True`` instead of raising.
+        Returns ``{shard: IntegrityReport}``."""
+        reports = {}
+        for s in self.alive_shards:
+            report = verify_index(self.shards[s], repair=repair, strict=False)
+            reports[s] = report
+            if not report.ok and quarantine:
+                self.quarantine(
+                    s, "integrity: " + "; ".join(report.issues)[:300]
+                )
+        return reports
+
+    def _require_shards(self) -> None:
+        if not any(shard is not None for shard in self.shards):
+            raise RuntimeError(
+                "every shard is quarantined; nothing can answer queries"
+            )
+
+    def _route_query(
+        self, query: np.ndarray, fanout: int | None
+    ) -> tuple[list[int], int]:
+        """Top-``fanout`` alive shards by centroid distance (ties break
+        toward the lower shard id).  Returns ``(chosen, routing_ndc)``;
+        a single alive shard needs no routing decision and charges 0."""
+        alive = self.alive_shards
+        if len(alive) <= 1:
+            return alive, 0
+        fanout = len(alive) if fanout is None else max(1, min(fanout, len(alive)))
+        dists = l2_batch(query.astype(np.float64), self.centroids[alive])
+        order = np.argsort(dists, kind="stable")[:fanout]
+        return [alive[int(i)] for i in order], len(alive)
+
+    # -- single-query scatter–gather ------------------------------------
+
+    def search(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        ef: int | None = None,
+        fanout: int | None = None,
+        budget: QueryBudget | None = None,
+        shard_timeout_s: float | None = None,
+        hedge: bool | None = None,
+        hedge_after_s: float | None = None,
+    ) -> ShardedSearchResult:
+        """Best-effort top-k over the ``fanout`` closest shards.
+
+        Every per-shard failure mode — an exception, a shard slower
+        than ``shard_timeout_s``, a quarantine that predates the query
+        — degrades the result instead of raising: the survivors are
+        merged, ``degraded=True`` is set, and ``result.shard_report``
+        names who was dropped and why.  ``hedge`` (default: on whenever
+        :meth:`replicate` registered replicas) fires a second replica
+        of a shard that exceeds ``hedge_after_s`` (default: the p95 of
+        recent shard latencies); both replicas search from the same
+        seeds, so the ids are identical either way.
+        """
+        self._require_shards()
+        reason = validate_query(query, self.dim)
+        if reason is not None:
+            raise InvalidQueryError(f"sharded[{self.algorithm}]: {reason}")
+        query = np.asarray(query, dtype=np.float32)
+        started = time.perf_counter()
+        chosen, routing_ndc = self._route_query(query, fanout)
+        shard_budget = slice_budget(budget, len(chosen))
+        hedging = (
+            any(len(self.replicas[s]) > 1 for s in chosen)
+            if hedge is None else bool(hedge)
+        )
+        plan = faults.active()
+
+        # Seeds are acquired once per shard, up front: hedged replicas
+        # must walk from identical entry points, and the acquisition
+        # NDC must be charged exactly once however many replicas run.
+        seeds: dict[int, np.ndarray] = {}
+        acq_ndc: dict[int, int] = {}
+        quarantined: list[tuple[int, str]] = []
+        runnable: list[int] = []
+        for s in chosen:
+            counter = DistanceCounter()
+            try:
+                seeds[s] = np.asarray(
+                    self.shards[s].seed_provider.acquire(query, counter),
+                    dtype=np.int64,
+                )
+            except Exception as exc:  # noqa: BLE001 - isolate the shard
+                quarantined.append((s, f"{type(exc).__name__}: {exc}"))
+                continue
+            acq_ndc[s] = counter.count
+            runnable.append(s)
+
+        def run_replica(s: int, replica: int):
+            if plan is not None:
+                plan.before_shard(s, replica)
+            t0 = time.perf_counter()
+            result = self.replicas[s][replica].search(
+                query, k=k, ef=ef,
+                budget=(
+                    None if shard_budget is None
+                    else shard_budget.after_spending(acq_ndc[s])
+                ),
+                seeds=seeds[s],
+            )
+            self._latency.observe(time.perf_counter() - t0)
+            return result
+
+        results: dict[int, SearchResult] = {}
+        hedges_fired = 0
+        hedge_wins = 0
+        if runnable:
+            width = len(runnable) * (2 if hedging else 1)
+            pool = ThreadPoolExecutor(max_workers=width)
+            try:
+                futures = {
+                    s: [(0, pool.submit(run_replica, s, 0))] for s in runnable
+                }
+                if hedging:
+                    delay = (
+                        self._latency.hedge_delay()
+                        if hedge_after_s is None else float(hedge_after_s)
+                    )
+                    primaries = [fs[0][1] for fs in futures.values()]
+                    done, _ = wait(primaries, timeout=delay)
+                    for s in runnable:
+                        if (futures[s][0][1] not in done
+                                and len(self.replicas[s]) > 1):
+                            futures[s].append(
+                                (1, pool.submit(run_replica, s, 1))
+                            )
+                            hedges_fired += 1
+                for s in runnable:
+                    deadline = (
+                        None if shard_timeout_s is None
+                        else started + shard_timeout_s
+                    )
+                    pending = {f: rep for rep, f in futures[s]}
+                    errors: list[str] = []
+                    winner = None
+                    while pending and winner is None:
+                        timeout = (
+                            None if deadline is None
+                            else max(0.0, deadline - time.perf_counter())
+                        )
+                        done, _ = wait(
+                            set(pending), timeout=timeout,
+                            return_when=FIRST_COMPLETED,
+                        )
+                        if not done:
+                            errors.append(
+                                f"timeout after {shard_timeout_s:.3f}s"
+                            )
+                            break
+                        for future in done:
+                            rep = pending.pop(future)
+                            try:
+                                result = future.result()
+                            except Exception as exc:  # noqa: BLE001
+                                errors.append(
+                                    f"{type(exc).__name__}: {exc}"
+                                )
+                                continue
+                            if winner is None:
+                                winner = result
+                                if rep > 0:
+                                    hedge_wins += 1
+                    if winner is not None:
+                        results[s] = winner
+                    else:
+                        quarantined.append(
+                            (s, "; ".join(errors) or "no replica answered")
+                        )
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+        merged = self._merge_single(results, k)
+        survivors = tuple(s for s in chosen if s in results)
+        # shards quarantined before this query (load-time checksum
+        # failures, verify) also mean incomplete coverage: report them
+        persistent = tuple(sorted(self.quarantined.items()))
+        report = ShardReport(
+            fanout=len(chosen),
+            shards_queried=tuple(chosen),
+            survivors=survivors,
+            quarantined=persistent + tuple(quarantined),
+            hedges_fired=hedges_fired,
+            hedge_wins=hedge_wins,
+            routing_ndc=routing_ndc,
+            per_shard_ndc={
+                s: acq_ndc[s] + results[s].ndc for s in survivors
+            },
+            budgets={
+                s: results[s].budget for s in survivors
+                if results[s].degraded and results[s].budget is not None
+            },
+        )
+        degraded = bool(persistent) or bool(quarantined) or any(
+            results[s].degraded for s in survivors
+        )
+        out = ShardedSearchResult(
+            ids=merged[0],
+            dists=merged[1],
+            ndc=routing_ndc + sum(report.per_shard_ndc.values()),
+            hops=int(sum(results[s].hops for s in survivors)),
+            visited=int(sum(results[s].visited for s in survivors)),
+            degraded=degraded,
+            shard_report=report,
+        )
+        self._observe(report, degraded, time.perf_counter() - started, 1)
+        for s, reason in quarantined:
+            self._log.warning("shard.dropped", shard=s, reason=reason[:200])
+        return out
+
+    def _merge_single(
+        self, results: dict[int, SearchResult], k: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Merge per-shard top-k lists into global-id top-k.
+
+        A lone survivor's rows pass through untouched (bit-identical to
+        the unsharded search); multiple survivors merge under a stable
+        ``(distance, global id)`` sort, which no shard arrival order or
+        thread count can perturb.
+        """
+        if not results:
+            return np.empty(0, dtype=np.int64), np.empty(0)
+        if len(results) == 1:
+            ((s, result),) = results.items()
+            return self.shard_ids[s][result.ids], result.dists
+        gids = np.concatenate([
+            self.shard_ids[s][result.ids] for s, result in sorted(results.items())
+        ])
+        dists = np.concatenate([
+            result.dists for _, result in sorted(results.items())
+        ])
+        order = np.lexsort((gids, dists))[:k]
+        return gids[order], dists[order]
+
+    # -- batched scatter–gather -----------------------------------------
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        ef: int | None = None,
+        workers: int = 1,
+        fanout: int | None = None,
+        budget: QueryBudget | None = None,
+        shard_timeout_s: float | None = None,
+    ):
+        """Batched scatter–gather: group the batch by shard, run one
+        :func:`repro.batch.search_batch` per shard concurrently (the
+        multi-threaded kernel with ``workers`` threads inside each),
+        and merge per query.  Shard failures and timeouts degrade the
+        affected queries (``result.degraded[i]``) instead of raising;
+        ``result.shard_report`` summarizes the scatter.  A single-shard
+        index is bit-identical to the unsharded ``search_batch``.
+        """
+        from repro.batch import BatchQueryResult, search_batch
+
+        self._require_shards()
+        try:
+            queries = np.ascontiguousarray(queries, dtype=np.float32)
+        except (TypeError, ValueError) as exc:
+            raise InvalidQueryError(
+                f"query batch is not numeric: {exc}"
+            ) from None
+        if queries.ndim != 2:
+            raise ValueError(
+                f"queries must be 2-D, got shape {queries.shape}"
+            )
+        if queries.shape[1] != self.dim:
+            raise InvalidQueryError(
+                f"dimension mismatch: index is {self.dim}-d, "
+                f"queries are {queries.shape[1]}-d"
+            )
+        started = time.perf_counter()
+        num_queries = len(queries)
+        ids = np.full((num_queries, k), -1, dtype=np.int64)
+        dists = np.full((num_queries, k), np.inf)
+        ndc = np.zeros(num_queries, dtype=np.int64)
+        hops = np.zeros(num_queries, dtype=np.int64)
+        visited = np.zeros(num_queries, dtype=np.int64)
+        errors: list = [None] * num_queries
+        degraded = np.zeros(num_queries, dtype=bool)
+        alive = self.alive_shards
+        report = ShardReport(fanout=0, shards_queried=(), survivors=())
+        if num_queries == 0:
+            return BatchQueryResult(
+                ids, dists, ndc, hops, visited, 0.0, workers,
+                errors=errors, degraded=degraded, shard_report=report,
+            )
+
+        finite = np.isfinite(queries).all(axis=1)
+        for i in np.flatnonzero(~finite):
+            errors[i] = "query contains non-finite values (NaN/Inf)"
+        finite_rows = np.flatnonzero(finite)
+
+        # route every finite query to its top-P alive shards
+        if len(alive) == 1:
+            fan = 1
+            routing_ndc = 0
+            routes = {alive[0]: finite_rows}
+        else:
+            fan = len(alive) if fanout is None else max(1, min(fanout, len(alive)))
+            routing_ndc = len(alive)
+            cdists = pairwise_l2(
+                queries[finite_rows].astype(np.float64),
+                self.centroids[alive].astype(np.float64),
+            )
+            pick = np.argsort(cdists, axis=1, kind="stable")[:, :fan]
+            routes = {}
+            for s_pos in range(len(alive)):
+                mask = (pick == s_pos).any(axis=1)
+                rows = finite_rows[mask]
+                if len(rows):
+                    routes[alive[s_pos]] = rows
+        ndc[finite_rows] = routing_ndc
+
+        shard_budget = slice_budget(budget, fan if len(alive) > 1 else 1)
+        plan = faults.active()
+        quarantined: list[tuple[int, str]] = []
+        shard_results: dict[int, tuple[np.ndarray, object]] = {}
+
+        def run_shard(s: int, rows: np.ndarray):
+            if plan is not None:
+                plan.before_shard(s, 0)
+            return search_batch(
+                self.shards[s], queries[rows], k=k, ef=ef,
+                workers=workers, budget=shard_budget,
+            )
+
+        involved = sorted(routes)
+        if involved:
+            pool = ThreadPoolExecutor(max_workers=len(involved))
+            try:
+                futures = {
+                    s: pool.submit(run_shard, s, routes[s]) for s in involved
+                }
+                for s in involved:
+                    try:
+                        shard_results[s] = (
+                            routes[s], futures[s].result(timeout=shard_timeout_s)
+                        )
+                    except TimeoutError:
+                        quarantined.append(
+                            (s, f"timeout after {shard_timeout_s:.3f}s")
+                        )
+                    except Exception as exc:  # noqa: BLE001 - isolate
+                        quarantined.append(
+                            (s, f"{type(exc).__name__}: {exc}")
+                        )
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+        # queries whose shards all vanished stay -1/inf and degraded
+        for s, _reason in quarantined:
+            degraded[routes[s]] = True
+
+        # gather: fixed per-shard slots, merged per query by (dist, id)
+        per_query: dict[int, list] = {}
+        for s in sorted(shard_results):
+            rows, res = shard_results[s]
+            gmap = self.shard_ids[s]
+            for pos, i in enumerate(rows):
+                if res.errors[pos] is not None:
+                    degraded[i] = True
+                    continue
+                row_ids = res.ids[pos]
+                keep = row_ids >= 0
+                per_query.setdefault(int(i), []).append(
+                    (gmap[row_ids[keep]], res.dists[pos][keep])
+                )
+                ndc[i] += int(res.ndc[pos])
+                hops[i] += int(res.hops[pos])
+                visited[i] += int(res.visited[pos])
+                if res.degraded[pos]:
+                    degraded[i] = True
+
+        for i, parts in per_query.items():
+            if len(parts) == 1:
+                gids, gdists = parts[0]
+            else:
+                gids = np.concatenate([p[0] for p in parts])
+                gdists = np.concatenate([p[1] for p in parts])
+                order = np.lexsort((gids, gdists))
+                gids, gdists = gids[order], gdists[order]
+            m = min(k, len(gids))
+            ids[i, :m] = gids[:m]
+            dists[i, :m] = gdists[:m]
+
+        for i in finite_rows:
+            if int(i) not in per_query and errors[i] is None and degraded[i]:
+                errors[i] = "no shard answered this query"
+
+        persistent = tuple(sorted(self.quarantined.items()))
+        if persistent:
+            # incomplete coverage for the whole batch: some of the
+            # dataset is behind shards that cannot answer
+            degraded[finite_rows] = True
+        survivors = tuple(s for s in involved if s in shard_results)
+        report = ShardReport(
+            fanout=fan,
+            shards_queried=tuple(involved),
+            survivors=survivors,
+            quarantined=persistent + tuple(quarantined),
+            routing_ndc=routing_ndc,
+            per_shard_ndc={
+                s: int(shard_results[s][1].ndc.sum()) for s in survivors
+            },
+        )
+        elapsed = time.perf_counter() - started
+        result = BatchQueryResult(
+            ids=ids, dists=dists, ndc=ndc, hops=hops, visited=visited,
+            elapsed_s=elapsed, workers=workers, errors=errors,
+            degraded=degraded, shard_report=report,
+        )
+        self._observe(report, bool(degraded.any()), elapsed, num_queries)
+        for s, reason in quarantined:
+            self._log.warning("shard.dropped", shard=s, reason=reason[:200])
+        return result
+
+    # -- observability ---------------------------------------------------
+
+    def _observe(self, report: ShardReport, degraded: bool,
+                 elapsed_s: float, num_queries: int) -> None:
+        if not obs.enabled():
+            return
+        handles = obs.instruments()
+        handles.sharded_queries_total.inc(num_queries)
+        handles.shard_fanout.set(report.fanout)
+        if report.quarantined:
+            handles.shard_quarantines_total.inc(len(report.quarantined))
+        if report.hedges_fired:
+            handles.shard_hedge_fires_total.inc(report.hedges_fired)
+        if report.hedge_wins:
+            handles.shard_hedge_wins_total.inc(report.hedge_wins)
+        if degraded:
+            handles.sharded_degraded_total.inc()
+        for s, shard_ndc in report.per_shard_ndc.items():
+            handles.shard_ndc(s).observe(shard_ndc)

@@ -26,6 +26,7 @@ DUAL_MODE_SUITES = [
     "tests/test_observability.py",
     "tests/test_parallel_determinism.py",
     "tests/test_compressed.py",
+    "tests/test_sharded.py",
 ]
 
 
