@@ -1,0 +1,204 @@
+"""Online-update benchmark: the Table 7 S1 scenario end to end.
+
+Builds one refinement-constructed index (NSG — no native insert path,
+so every number below is the delta tier's), then measures the three
+costs of mutability:
+
+* **insert throughput** — sustained ``index.insert()`` rate into the
+  NSW-style delta side-graph,
+* **two-tier search tax** — QPS and recall@k (against brute-force
+  ground truth over base ∪ delta) at delta ratios 0 % / 1 % / 10 %,
+  quantifying what the pure-NumPy delta walk costs next to the
+  C-kernel base walk,
+* **consolidation wall time** — folding the 10 % delta into a fresh
+  base snapshot through the phased build engine, plus the QPS the
+  swap restores.
+
+Results merge under the ``"updates"`` key of ``BENCH_search.json``
+(other keys owned by the hotpath/scaling/compressed/sharded
+benchmarks) plus a plain table in ``benchmarks/results/updates.txt``.
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_updates.py
+
+Scale knobs: ``REPRO_BENCH_UPDATES_N`` (base points, default 20000),
+``REPRO_BENCH_UPDATES_QUERIES`` (default 100),
+``REPRO_BENCH_UPDATES_ALGO`` (default nsg).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import create  # noqa: E402
+
+N = int(os.environ.get("REPRO_BENCH_UPDATES_N", "20000"))
+NUM_QUERIES = int(os.environ.get("REPRO_BENCH_UPDATES_QUERIES", "100"))
+ALGO = os.environ.get("REPRO_BENCH_UPDATES_ALGO", "nsg")
+DIM = 32
+K = 10
+EF = 60
+REPEATS = int(os.environ.get("REPRO_BENCH_UPDATES_REPEATS", "3"))
+DELTA_RATIOS = (0.0, 0.01, 0.10)
+
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_search.json"
+RESULTS = Path(__file__).resolve().parent / "results"
+
+
+def brute_force_topk(data: np.ndarray, queries: np.ndarray, k: int) -> np.ndarray:
+    truth = np.empty((len(queries), k), dtype=np.int64)
+    data64 = data.astype(np.float64)
+    norms = np.einsum("ij,ij->i", data64, data64)
+    for i, query in enumerate(queries):
+        q = query.astype(np.float64)
+        sq = norms - 2.0 * (data64 @ q) + q @ q
+        truth[i] = np.argsort(sq, kind="stable")[:k]
+    return truth
+
+
+def recall(ids: np.ndarray, truth: np.ndarray) -> float:
+    hits = 0
+    for row, gt in zip(ids, truth):
+        hits += len(set(int(i) for i in row if i >= 0) & set(int(t) for t in gt))
+    return hits / truth.size
+
+
+def measure_search(index, queries, truth) -> dict:
+    from repro.batch import search_batch
+
+    best = None
+    for _ in range(REPEATS):
+        r = search_batch(index, queries, k=K, ef=EF, workers=1)
+        if best is None or r.elapsed_s < best.elapsed_s:
+            best = r
+    return {
+        "qps": float(len(queries) / best.elapsed_s),
+        "recall_at_k": recall(best.ids, truth),
+        "mean_ndc": float(best.ndc.mean()),
+    }
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    centers = rng.normal(0, 10.0, (16, DIM))
+    base = (
+        centers[rng.integers(16, size=N)]
+        + rng.normal(0, 1.0, (N, DIM))
+    ).astype(np.float32)
+    queries = (
+        centers[rng.integers(16, size=NUM_QUERIES)]
+        + rng.normal(0, 1.0, (NUM_QUERIES, DIM))
+    ).astype(np.float32)
+    max_extra = int(round(N * max(DELTA_RATIOS)))
+    extra = (
+        base[rng.integers(N, size=max_extra)]
+        + rng.normal(0, 0.1, (max_extra, DIM)).astype(np.float32)
+    )
+
+    index = create(ALGO, seed=0)
+    t0 = time.perf_counter()
+    index.build(base)
+    build_s = time.perf_counter() - t0
+    index.auto_consolidate = False
+    print(f"built {ALGO} on {N}x{DIM} in {build_s:.1f}s", flush=True)
+
+    # -- insert throughput (measured while filling to the max ratio) ----
+    t0 = time.perf_counter()
+    for vector in extra:
+        index.insert(vector)
+    insert_s = max(time.perf_counter() - t0, 1e-9)
+    inserts_per_s = len(extra) / insert_s
+    print(f"insert: {len(extra)} points at {inserts_per_s:.0f}/s", flush=True)
+
+    # -- QPS / recall at each delta ratio (reuse one fill, re-search) ---
+    sweep = []
+    for ratio in DELTA_RATIOS:
+        n_delta = int(round(N * ratio))
+        probe = create(ALGO, seed=0)
+        probe.build(base)
+        probe.auto_consolidate = False
+        for vector in extra[:n_delta]:
+            probe.insert(vector)
+        truth = brute_force_topk(
+            np.vstack([base, extra[:n_delta]]) if n_delta else base,
+            queries, K,
+        )
+        row = {"delta_ratio": ratio, "delta_points": n_delta,
+               **measure_search(probe, queries, truth)}
+        sweep.append(row)
+        print(f"delta {ratio:5.1%}: qps={row['qps']:.0f} "
+              f"recall@{K}={row['recall_at_k']:.3f} "
+              f"mean_ndc={row['mean_ndc']:.0f}", flush=True)
+
+    # -- consolidation (fold the full 10% delta back into the base) -----
+    t0 = time.perf_counter()
+    report = index.consolidate()
+    consolidate_s = time.perf_counter() - t0
+    truth_full = brute_force_topk(np.vstack([base, extra]), queries, K)
+    after = measure_search(index, queries, truth_full)
+    print(f"consolidate: {report.n_delta} points folded in "
+          f"{consolidate_s:.1f}s; qps back to {after['qps']:.0f} "
+          f"(recall@{K}={after['recall_at_k']:.3f})", flush=True)
+
+    payload = {
+        "algorithm": ALGO,
+        "n": N,
+        "dim": DIM,
+        "num_queries": NUM_QUERIES,
+        "k": K,
+        "ef": EF,
+        "repeats": REPEATS,
+        "build_s": build_s,
+        "inserts_per_s": inserts_per_s,
+        "delta_sweep": sweep,
+        "consolidation": {
+            "n_delta": int(report.n_delta),
+            "wall_s": consolidate_s,
+            "post_swap": after,
+        },
+    }
+
+    merged = {}
+    if OUTPUT.exists():
+        try:
+            merged = json.loads(OUTPUT.read_text())
+        except (OSError, json.JSONDecodeError):
+            merged = {}
+    merged["updates"] = payload
+    OUTPUT.write_text(json.dumps(merged, indent=2) + "\n")
+
+    lines = [
+        f"{ALGO} on n={N} dim={DIM} queries={NUM_QUERIES} k={K} ef={EF} "
+        f"build={build_s:.1f}s",
+        f"insert throughput: {inserts_per_s:.0f} inserts/s "
+        f"({len(extra)} points into the delta tier)",
+        f"{'delta':>6s} {'qps':>9s} {'recall@10':>10s} {'mean_ndc':>9s}",
+        *[
+            f"{row['delta_ratio']:6.1%} {row['qps']:9.0f} "
+            f"{row['recall_at_k']:10.3f} {row['mean_ndc']:9.0f}"
+            for row in sweep
+        ],
+        f"consolidation: {report.n_delta} points folded in "
+        f"{consolidate_s:.1f}s, post-swap qps={after['qps']:.0f} "
+        f"recall@{K}={after['recall_at_k']:.3f}",
+    ]
+    RESULTS.mkdir(exist_ok=True)
+    (RESULTS / "updates.txt").write_text(
+        "\n".join(["== online updates (S1: delta tier + consolidation) ==",
+                   *lines, ""])
+    )
+    print("\n".join(lines))
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

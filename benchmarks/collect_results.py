@@ -46,6 +46,7 @@ ORDER = [
     "observability_overhead",
     "compressed_traversal",
     "sharded",
+    "updates",
 ]
 
 

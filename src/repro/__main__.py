@@ -106,6 +106,7 @@ def _cmd_eval(args) -> int:
         for flag, name in ((args.compressed, "--compressed"),
                            (args.mmap_vectors, "--mmap-vectors"),
                            (args.reorder, "--reorder"),
+                           (args.inserts, "--inserts"),
                            (args.seed_provider, "--seed-provider")):
             if flag:
                 print(f"{name} is not supported with --shards",
@@ -122,6 +123,29 @@ def _cmd_eval(args) -> int:
         apply_seed_provider(index, args.seed_provider)
     if args.reorder:
         index.reorder(args.reorder)
+    if args.inserts:
+        import time
+
+        import numpy as np
+
+        rng = np.random.default_rng(args.seed + 1)
+        picks = rng.integers(len(dataset.base), size=args.inserts)
+        jitter = rng.standard_normal(
+            (args.inserts, dataset.base.shape[1])
+        ).astype(np.float32)
+        index.auto_consolidate = False  # explicit lifecycle via flags
+        t0 = time.perf_counter()
+        for row, noise in zip(picks, jitter):
+            index.insert(dataset.base[row] + 0.01 * noise)
+        insert_s = max(time.perf_counter() - t0, 1e-9)
+        line = (f"inserted {args.inserts} points "
+                f"({args.inserts / insert_s:.0f} inserts/s, "
+                f"delta={index.delta_points})")
+        if args.consolidate:
+            t0 = time.perf_counter()
+            index.consolidate()
+            line += f"; consolidated in {time.perf_counter() - t0:.2f}s"
+        print(line)
     if args.compressed:
         index.enable_compressed()
     if args.mmap_vectors:
@@ -255,6 +279,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--mmap-vectors", action="store_true",
         help="round-trip the index through a float32 sidecar and "
              "search with the vectors memory-mapped",
+    )
+    evaluate.add_argument(
+        "--inserts", type=int, default=0, metavar="N",
+        help="after building, insert N perturbed base points (delta "
+             "tier on refinement-built algorithms) and search both "
+             "tiers — the S1 online-update scenario",
+    )
+    evaluate.add_argument(
+        "--consolidate", action="store_true",
+        help="fold the delta tier into a fresh base snapshot before "
+             "searching (requires --inserts)",
     )
     evaluate.add_argument(
         "--check", action="store_true",

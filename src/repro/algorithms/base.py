@@ -9,6 +9,8 @@ aggregates the per-query statistics the evaluation section reports.
 
 from __future__ import annotations
 
+import copy
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -18,11 +20,12 @@ from repro import observability as obs
 from repro.components.context import BuildContext, SearchContext
 from repro.components.routing import SearchResult, best_first_search
 from repro.components.seeding import RandomSeeds, SeedProvider
+from repro.delta import DeltaTier
 from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 from repro.resilience import InvalidQueryError, QueryBudget, validate_query
 
-__all__ = ["BuildReport", "BatchStats", "GraphANNS"]
+__all__ = ["BuildReport", "BatchStats", "ConsolidationReport", "GraphANNS"]
 
 
 @dataclass
@@ -46,6 +49,28 @@ class BuildReport:
     aux_bytes: int = 0
     n_workers: int = 1
     phases: dict = field(default_factory=dict)
+
+
+@dataclass
+class ConsolidationReport:
+    """Outcome of one delta consolidation (Table 7 S1 churn telemetry).
+
+    ``n_base``/``n_delta`` are the sizes of the two tiers that were
+    merged; ``n_carried`` counts inserts that raced the background
+    rebuild and were re-inserted into the fresh delta (their external
+    ids are preserved).  ``build_report`` is the phased build engine's
+    report for the rebuild.
+    """
+
+    n_base: int
+    n_delta: int
+    wall_s: float
+    n_carried: int = 0
+    build_report: "BuildReport | None" = None
+
+    @property
+    def n_total(self) -> int:
+        return self.n_base + self.n_delta
 
 
 @dataclass
@@ -87,6 +112,23 @@ class GraphANNS:
         # None means the identity (never reordered).
         self._id_map: np.ndarray | None = None
         self._id_inv: np.ndarray | None = None  # lazy inverse of _id_map
+        # Mutable delta tier (S1 updates): points inserted after build()
+        # live in a small NSW-style side-graph searched alongside the
+        # frozen base; None until the first delta insert.
+        self._delta: DeltaTier | None = None
+        self._update_lock = threading.RLock()
+        self._consolidation_thread: threading.Thread | None = None
+        self._consolidation_error: BaseException | None = None
+        self._last_consolidation: ConsolidationReport | None = None
+        #: delta insertion parameters (NSW-style side-graph)
+        self.delta_max_m = 10
+        self.delta_ef_construction = 40
+        #: auto-consolidation triggers: background rebuild kicks in when
+        #: delta_n / base_n exceeds the ratio or delta_n exceeds the
+        #: absolute cap (None disables the cap).
+        self.delta_max_ratio: float = 0.25
+        self.delta_max_points: int | None = None
+        self.auto_consolidate = True
 
     # -- construction ---------------------------------------------------
 
@@ -120,6 +162,7 @@ class GraphANNS:
         self._search_ctx = None
         self._id_map = None   # a rebuild starts from the identity labeling
         self._id_inv = None
+        self._delta = None    # a rebuild absorbs (and resets) the delta tier
         graph_bytes = self.graph.index_size_bytes()
         aux_bytes = self.aux_size_bytes()
         self.build_report = BuildReport(
@@ -179,31 +222,313 @@ class GraphANNS:
 
     # -- updates (Table 7 scenario S1) -------------------------------------
 
-    def insert(self, vector: np.ndarray) -> int:
-        """Insert one point into a built index; returns its vertex id.
+    def _validate_insert(self, vector: np.ndarray) -> np.ndarray:
+        """Up-front insert validation (mirrors PR 2's query validation).
 
-        Only the *increment*-strategy algorithms (NSW, HNSW, NGT) build
-        by insertion and therefore support this natively; refinement and
-        divide-and-conquer indexes must be rebuilt — exactly the update
-        asymmetry behind Table 7's S1 scenario.
+        A NaN or mis-shaped vector must be rejected before it touches
+        any graph — a non-finite coordinate silently poisons every
+        distance comparison that ever visits the vertex.
         """
-        raise NotImplementedError(
-            f"{self.name} uses a {type(self).__name__} construction that "
-            "does not support incremental insertion; rebuild instead"
+        reason = validate_query(vector, self.data.shape[1])
+        if reason is not None:
+            raise InvalidQueryError(f"{self.name}: cannot insert: {reason}")
+        return np.ascontiguousarray(vector, dtype=np.float32)
+
+    def _drop_compressed_on_insert(self) -> None:
+        """Drop the PQ tier when an insert invalidates it (loudly).
+
+        The new vector has no PQ code; serving compressed searches that
+        can never reach it would silently cap recall, so the tier is
+        dropped — callers re-enable after consolidation to refit.
+        """
+        if self._compressed is None:
+            return
+        self._compressed = None
+        obs.get_logger("repro.updates").warning(
+            "compressed.tier_dropped",
+            algorithm=self.name, n=len(self.data),
+            reason="insert invalidates PQ codes; re-enable after consolidation",
         )
+        if obs.enabled():
+            obs.instruments().compressed_tier_dropped_total.inc()
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Insert one point into a built index; returns its external id.
+
+        Increment-strategy algorithms (NSW, HNSW) override this to grow
+        their own graph natively.  Every other construction — the
+        refinement and divide-and-conquer families that Table 7's S1
+        scenario says must be rebuilt — takes this universal path: the
+        point goes into a small mutable NSW-style *delta* side-graph
+        (:class:`repro.delta.DeltaTier`) searched alongside the frozen
+        base, and a background :meth:`consolidate` pass later folds it
+        into a fresh base snapshot.  External ids are stable across
+        consolidation: the j-th delta insert is id ``base_n + j``
+        forever.
+        """
+        self._require_built()
+        vector = self._validate_insert(vector)
+        with self._update_lock:
+            self._drop_compressed_on_insert()
+            delta = self._delta
+            if delta is None:
+                delta = self._delta = DeltaTier(
+                    self.data.shape[1], len(self.data),
+                    max_m=self.delta_max_m,
+                    ef_construction=self.delta_ef_construction,
+                )
+            new_id = delta.insert(vector)
+        self._observe_insert(delta)
+        self._maybe_consolidate()
+        return new_id
+
+    def _observe_insert(self, delta: DeltaTier | None) -> None:
+        if not obs.enabled():
+            return
+        handles = obs.instruments()
+        handles.inserts_total.inc()
+        if delta is not None:
+            handles.delta_points.set(delta.n)
+            if delta.first_insert_at is not None:
+                handles.consolidation_lag_seconds.set(
+                    time.monotonic() - delta.first_insert_at
+                )
 
     def delete(self, vertex_id: int) -> None:
         """Tombstone one vertex: routing may pass through it, but it can
-        no longer appear in results (the standard graph-ANNS deletion)."""
+        no longer appear in results (the standard graph-ANNS deletion).
+        Accepts both base ids and delta-tier ids (``>= base_n``)."""
         self._require_built()
-        if not 0 <= vertex_id < len(self.data):
-            raise IndexError(f"vertex {vertex_id} out of range")
-        self._deleted[self._internal_id(vertex_id)] = True
+        vertex_id = int(vertex_id)
+        with self._update_lock:
+            delta = self._delta
+            if delta is not None and delta.contains(vertex_id):
+                delta.delete(vertex_id)
+                return
+            if not 0 <= vertex_id < len(self.data):
+                raise IndexError(f"vertex {vertex_id} out of range")
+            self._deleted[self._internal_id(vertex_id)] = True
 
     @property
     def num_deleted(self) -> int:
-        """How many vertices are tombstoned."""
-        return 0 if self._deleted is None else int(self._deleted.sum())
+        """How many vertices are tombstoned (both tiers)."""
+        base = 0 if self._deleted is None else int(self._deleted.sum())
+        delta = self._delta
+        return base + (delta.num_deleted if delta is not None else 0)
+
+    @property
+    def num_points(self) -> int:
+        """Total points across base + delta (including tombstoned)."""
+        base = 0 if self.data is None else len(self.data)
+        delta = self._delta
+        return base + (delta.n if delta is not None else 0)
+
+    @property
+    def delta_points(self) -> int:
+        """Points currently in the mutable delta tier."""
+        delta = self._delta
+        return delta.n if delta is not None else 0
+
+    # -- consolidation: fold the delta into a fresh base snapshot ----------
+
+    def _maybe_consolidate(self) -> None:
+        """Kick a background consolidation when the delta outgrows its
+        thresholds (ratio of base size, or absolute point cap)."""
+        if not self.auto_consolidate:
+            return
+        delta = self._delta
+        if delta is None or delta.n == 0 or self.data is None:
+            return
+        over_points = (self.delta_max_points is not None
+                       and delta.n >= self.delta_max_points)
+        over_ratio = delta.n / max(1, len(self.data)) > self.delta_max_ratio
+        if over_points or over_ratio:
+            thread = self._consolidation_thread
+            if thread is None or not thread.is_alive():
+                self.consolidate(wait=False)
+
+    def consolidate(self, wait: bool = True):
+        """Rebuild base + delta into one fresh snapshot and swap it in.
+
+        The merged dataset (base rows in original order, then delta rows
+        in insertion order) goes through the phased build engine — on a
+        worker thread when ``wait=False`` — while reads continue on the
+        old snapshot; the finished snapshot is installed atomically
+        (single attribute swap under the update lock), preserving
+        external ids.  Tombstones set *during* the rebuild survive, and
+        inserts that race it are re-inserted into a fresh delta with
+        their ids intact.
+
+        Returns a :class:`ConsolidationReport` when ``wait=True`` (or
+        when joining an in-flight background pass), else the worker
+        :class:`threading.Thread`.
+        """
+        thread = self._consolidation_thread
+        if thread is not None and thread.is_alive():
+            if not wait:
+                return thread
+            thread.join()
+            if self._consolidation_error is not None:
+                raise self._consolidation_error
+            return self._last_consolidation
+        if wait:
+            return self._consolidate_now()
+        self._consolidation_error = None
+        thread = threading.Thread(
+            target=self._consolidate_in_background,
+            name=f"repro-consolidate-{self.name}", daemon=True,
+        )
+        self._consolidation_thread = thread
+        thread.start()
+        return thread
+
+    def _consolidate_in_background(self) -> None:
+        try:
+            self._consolidate_now()
+        except BaseException as exc:  # surfaced on the next consolidate()
+            self._consolidation_error = exc
+            obs.get_logger("repro.updates").warning(
+                "delta.consolidation_failed",
+                algorithm=self.name, error=f"{type(exc).__name__}: {exc}",
+            )
+
+    def _consolidate_now(self) -> ConsolidationReport:
+        from repro import faults
+
+        self._require_built()
+        started = time.perf_counter()
+        plan = faults.active()
+        with self._update_lock:
+            delta = self._delta
+            dim = self.data.shape[1]
+            if delta is not None and delta.n:
+                dvecs, _ddel, dcount = delta.snapshot()
+            else:
+                dvecs = np.empty((0, dim), dtype=np.float32)
+                dcount = 0
+            base_original = self._original_order_data()
+            base_n = len(base_original)
+        if plan is not None:
+            plan.before_consolidate("build")
+        merged = np.vstack([base_original, dvecs]) if dcount else base_original
+        clone = self._clone_for_rebuild()
+        build_report = clone.build(merged, n_workers=self.n_workers)
+        with self._update_lock:
+            if plan is not None:
+                plan.before_consolidate("swap")
+            # Tombstones are re-read *now* so deletes that raced the
+            # rebuild land in the new snapshot (both tiers).
+            new_deleted = np.zeros(base_n + dcount, dtype=bool)
+            if self._deleted is not None and self._deleted.any():
+                if self._id_map is not None:
+                    new_deleted[self._id_map] = self._deleted
+                else:
+                    new_deleted[:base_n] = self._deleted
+            live_delta = self._delta
+            if live_delta is not None and dcount:
+                new_deleted[base_n:] = live_delta.deleted_flags(dcount)
+            if live_delta is not None:
+                tail_vecs, tail_del = live_delta.tail_after(dcount)
+            else:
+                tail_vecs = np.empty((0, dim), dtype=np.float32)
+                tail_del = np.zeros(0, dtype=bool)
+            clone._deleted = new_deleted
+            self._install_snapshot(clone)
+            # Inserts that raced the rebuild restart a fresh delta with
+            # their external ids preserved (new base_n == old total).
+            for vec, dead in zip(tail_vecs, tail_del):
+                carried_id = self._insert_without_consolidation(vec)
+                if dead:
+                    self._delta.delete(carried_id)
+        wall_s = time.perf_counter() - started
+        report = ConsolidationReport(
+            n_base=base_n, n_delta=dcount, wall_s=wall_s,
+            n_carried=len(tail_vecs), build_report=build_report,
+        )
+        self._last_consolidation = report
+        obs.get_logger("repro.updates").info(
+            "delta.consolidated", algorithm=self.name,
+            n_base=base_n, n_delta=dcount, n_carried=len(tail_vecs),
+            wall_s=round(wall_s, 6),
+        )
+        if obs.enabled():
+            handles = obs.instruments()
+            handles.consolidations_total.inc()
+            handles.delta_points.set(self.delta_points)
+            handles.consolidation_lag_seconds.set(0.0)
+            obs.record_span(
+                "consolidate", wall_s, algorithm=self.name,
+                n_base=base_n, n_delta=dcount, n_carried=len(tail_vecs),
+            )
+        return report
+
+    def _insert_without_consolidation(self, vector: np.ndarray) -> int:
+        """Delta insert that never triggers auto-consolidation (used to
+        carry racing inserts across a snapshot swap)."""
+        vector = self._validate_insert(vector)
+        with self._update_lock:
+            delta = self._delta
+            if delta is None:
+                delta = self._delta = DeltaTier(
+                    self.data.shape[1], len(self.data),
+                    max_m=self.delta_max_m,
+                    ef_construction=self.delta_ef_construction,
+                )
+            return delta.insert(vector)
+
+    def _original_order_data(self) -> np.ndarray:
+        """Base vectors in original-id order (undoing any reorder())."""
+        data = np.asarray(self.data)
+        if self._id_map is None:
+            return data
+        out = np.empty_like(data)
+        out[self._id_map] = data
+        return out
+
+    def _clone_for_rebuild(self):
+        """A detached copy of this index that can build() the merged
+        dataset without touching the live snapshot."""
+        clone = copy.copy(self)
+        clone.seed_provider = copy.deepcopy(self.seed_provider)
+        clone.data = None
+        clone.graph = None
+        clone._deleted = None
+        clone._compressed = None
+        clone._search_ctx = None
+        clone._delta = None
+        clone._id_map = None
+        clone._id_inv = None
+        clone._update_lock = threading.RLock()
+        clone._consolidation_thread = None
+        clone._consolidation_error = None
+        return clone
+
+    #: live attributes that must NOT be overwritten by a snapshot swap
+    _SWAP_EXCLUDE = frozenset({
+        "_update_lock", "_consolidation_thread", "_consolidation_error",
+        "_last_consolidation",
+    })
+
+    def _install_snapshot(self, clone) -> None:
+        """Atomically adopt a rebuilt snapshot's state.
+
+        Ordering matters for readers racing the swap without the lock:
+        ``data`` (a row-superset of the old array) lands first, then the
+        tombstones sized for the new graph, then the graph itself — so a
+        torn read sees at worst the old graph over the new data, never
+        an out-of-range index.
+        """
+        self.data = clone.data
+        self._deleted = clone._deleted
+        self._id_map = clone._id_map
+        self._id_inv = clone._id_inv
+        self.graph = clone.graph
+        for key, value in clone.__dict__.items():
+            if key in self._SWAP_EXCLUDE or key in (
+                "data", "graph", "_deleted", "_id_map", "_id_inv",
+            ):
+                continue
+            setattr(self, key, value)
 
     def _internal_id(self, vertex_id: int) -> int:
         """Original-space id -> internal vertex id (identity pre-reorder)."""
@@ -217,11 +542,10 @@ class GraphANNS:
         return int(self._id_inv[vertex_id])
 
     def _grow_bookkeeping(self) -> None:
-        """Extend per-vertex state after an insertion."""
+        """Extend per-vertex state after a native (in-graph) insertion."""
         self._deleted = np.append(self._deleted, False)
-        # the new vector has no PQ code; drop the tier rather than serve
-        # compressed searches that can never reach it (re-enable to refit)
-        self._compressed = None
+        self._drop_compressed_on_insert()
+        self._observe_insert(None)
         if self._id_map is not None:
             # the new vertex is appended in both labelings: its original
             # id is the next fresh one, its internal id the last row
@@ -452,7 +776,7 @@ class GraphANNS:
             if trace is not None:
                 ctx.trace = None
         result.ndc = counter.count - start
-        if self.num_deleted and len(result.ids):
+        if self._deleted is not None and self._deleted.any() and len(result.ids):
             keep = ~self._deleted[result.ids]
             result.ids = result.ids[keep]
             result.dists = result.dists[keep]
@@ -460,12 +784,58 @@ class GraphANNS:
         result.dists = result.dists[:k]
         if self._id_map is not None and len(result.ids):
             result.ids = self._id_map[result.ids]
+        delta = self._delta
+        if delta is not None and delta.n:
+            self._merge_delta(result, query, k, ef, counter, budget, start)
         if metrics:
             elapsed = time.perf_counter() - started
             if trace is not None:
                 obs.finish_query_trace(trace, result, elapsed)
             obs.observe_query(result, elapsed)
         return result
+
+    def _merge_delta(
+        self,
+        result: SearchResult,
+        query: np.ndarray,
+        k: int,
+        ef: int,
+        counter: DistanceCounter,
+        budget: QueryBudget | None,
+        start: int,
+    ) -> None:
+        """Fold the delta tier's top-k into a finished base result.
+
+        The global top-k is a subset of (base top-k ∪ delta top-k), so
+        merging the two finished lists by ``(distance, id)`` and
+        truncating is exact.  The delta walk is charged to the same
+        counter with whatever budget remains after the base spend, so a
+        two-tier search never exceeds its NDC cap.  Only called when the
+        delta is non-empty — the empty-delta path is bit-identical
+        (ids and NDC) to the single-tier code.
+        """
+        delta = self._delta
+        remaining = (
+            None if budget is None
+            else budget.after_spending(counter.count - start)
+        )
+        dres = delta.search(
+            np.ascontiguousarray(query, dtype=np.float64), k, ef,
+            counter, budget=remaining,
+        )
+        result.hops += dres.hops
+        result.visited += dres.visited
+        if dres.degraded:
+            result.degraded = True
+            if result.budget is None:
+                result.budget = dres.budget
+        if len(dres.ids):
+            all_ids = np.concatenate([result.ids, dres.ids])
+            all_dists = np.concatenate([result.dists, dres.dists])
+            order = np.lexsort((all_ids, all_dists))[:k]
+            result.ids = all_ids[order]
+            result.dists = all_dists[order]
+        result.ndc = counter.count - start
 
     def _route(
         self,

@@ -98,12 +98,7 @@ class HNSW(GraphANNS):
     def insert(self, vector: np.ndarray) -> int:
         """Incremental insertion — HNSW's native construction step."""
         self._require_built()
-        vector = np.ascontiguousarray(vector, dtype=np.float32)
-        if vector.shape != (self.data.shape[1],):
-            raise ValueError(
-                f"expected a vector of dim {self.data.shape[1]}, "
-                f"got shape {vector.shape}"
-            )
+        vector = self._validate_insert(vector)
         level = min(int(-math.log(self._rng.random()) * self.level_mult), 12)
         while level > self.max_level:
             self.layers.append(Graph(self.graph.n))

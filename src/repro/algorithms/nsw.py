@@ -81,12 +81,7 @@ class NSW(GraphANNS):
     def insert(self, vector: np.ndarray) -> int:
         """Incremental insertion — NSW's native construction step."""
         self._require_built()
-        vector = np.ascontiguousarray(vector, dtype=np.float32)
-        if vector.shape != (self.data.shape[1],):
-            raise ValueError(
-                f"expected a vector of dim {self.data.shape[1]}, "
-                f"got shape {vector.shape}"
-            )
+        vector = self._validate_insert(vector)
         counter = DistanceCounter()
         entry = np.asarray(
             [int(self._rng.integers(self.graph.n))], dtype=np.int64

@@ -447,7 +447,10 @@ def search_batch(
         lut_pos = np.zeros(num_queries, dtype=np.int64)
         lut_pos[finite_rows] = np.arange(len(finite_rows), dtype=np.int64)
 
-    deleted = index._deleted if index.num_deleted else None
+    deleted = (
+        index._deleted
+        if index._deleted is not None and index._deleted.any() else None
+    )
     id_map = index._id_map  # reordered indexes return original-space ids
     native_ok = (
         _uses_default_route(index)
@@ -774,6 +777,41 @@ def search_batch(
                 ]
                 for future in futures:
                     future.result()
+
+    # Two-tier merge: when the index carries a delta side-graph, fold
+    # its per-query top-k into the finished base rows.  Every compute
+    # path above (fused MT kernel, chunked pool, traced Python) lands
+    # here, so the merge semantics match the sequential search exactly;
+    # with an empty delta this block never runs and the batch stays
+    # bit-identical (ids and NDC) to the single-tier code.
+    delta = getattr(index, "_delta", None)
+    if delta is not None and delta.n:
+        for i in finite_rows:
+            if errors[i] is not None:
+                continue
+            dcounter = DistanceCounter()
+            dres = delta.search(
+                np.ascontiguousarray(queries[i], dtype=np.float64), k, ef,
+                dcounter,
+                budget=(None if budget is None
+                        else budget.after_spending(int(ndc[i]))),
+            )
+            ndc[i] += dcounter.count
+            hops[i] += dres.hops
+            visited[i] += dres.visited
+            if dres.degraded:
+                degraded[i] = True
+            if not len(dres.ids):
+                continue
+            keep = ids[i] >= 0
+            all_ids = np.concatenate([ids[i][keep], dres.ids])
+            all_dists = np.concatenate([dists[i][keep], dres.dists])
+            order = np.lexsort((all_ids, all_dists))[:k]
+            m = len(order)
+            ids[i, :m] = all_ids[order]
+            ids[i, m:] = -1
+            dists[i, :m] = all_dists[order]
+            dists[i, m:] = np.inf
     elapsed_s = time.perf_counter() - started
     utilization = 0.0
     if handles is not None:

@@ -1,0 +1,392 @@
+"""Mutable delta tier: the side-graph that makes every index insertable.
+
+The paper's Table 7 / scenario S1 names the update asymmetry of graph
+indexes: increment-built graphs (NSW, HNSW, NGT) absorb inserts
+natively, while refinement and divide-and-conquer graphs (NSG, Vamana,
+DPG, HCNNG, ...) are frozen at build time and must be rebuilt.  The
+:class:`DeltaTier` removes that asymmetry at the serving layer: new
+points land in a small NSW-style mutable side-graph with its own id
+range *above* the frozen base, every search walks both tiers (the base
+on the existing serial/MT C kernels, the delta in Python/NumPy — it is
+small by construction), and the two result lists merge deterministically
+by ``(distance, id)``.
+
+Design points:
+
+* **Append-grown storage.**  Vectors live in a geometrically doubled
+  float32 block, adjacency in per-vertex Python lists — O(1) amortized
+  insertion, no CSR rebuild per insert.
+* **Deterministic NSW insertion.**  Each new point greedy-searches the
+  existing delta graph from vertex 0 (the first delta insert) with an
+  ef-bounded best-first walk and links undirected edges to its best
+  ``max_m`` neighbors.  No RNG: replaying the same insert sequence
+  rebuilds the same side-graph bit for bit, which keeps consolidation
+  carry-over and save/load round-trips reproducible.
+* **External ids.**  Delta-local vertex ``j`` is addressed everywhere
+  as ``base_n + j``; tombstoned delta points still route (standard
+  graph-ANNS deletion) but never surface in results.
+* **Budget honesty.**  The walk charges every distance evaluation to
+  the caller's counter and honors a :class:`QueryBudget` through the
+  same :class:`BudgetTracker` the base routing uses, so a two-tier
+  search never exceeds its NDC cap.
+
+Consolidation (rebuilding base+delta into a fresh frozen snapshot) is
+orchestrated by :meth:`repro.algorithms.base.GraphANNS.consolidate`;
+this module only has to export/import its state (index format v5) and
+answer queries.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+
+import numpy as np
+
+from repro.components.routing import SearchResult
+from repro.distance import DistanceCounter
+from repro.resilience import BudgetTracker, QueryBudget
+
+__all__ = ["DeltaTier"]
+
+_INITIAL_CAPACITY = 16
+
+
+class DeltaTier:
+    """NSW-style mutable side-graph over the points inserted post-build."""
+
+    def __init__(self, dim: int, base_n: int, max_m: int = 10,
+                 ef_construction: int = 40):
+        if dim < 1:
+            raise ValueError(f"dim must be >= 1, got {dim}")
+        if base_n < 0:
+            raise ValueError(f"base_n must be >= 0, got {base_n}")
+        self.dim = int(dim)
+        #: external ids of delta vertices are ``base_n + local``
+        self.base_n = int(base_n)
+        self.max_m = max(1, int(max_m))
+        self.ef_construction = max(1, int(ef_construction))
+        self._vectors = np.empty((_INITIAL_CAPACITY, dim), dtype=np.float32)
+        self._count = 0
+        self._adj: list[list[int]] = []
+        self._deleted: list[bool] = []
+        #: NDC spent inside insert-time greedy searches (churn telemetry)
+        self.insert_ndc = 0
+        #: wall-clock of the first insert since the last consolidation,
+        #: driving the consolidation-lag gauge
+        self.first_insert_at: float | None = None
+
+    # -- bookkeeping -----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Number of delta points (tombstoned ones included)."""
+        return self._count
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def vectors(self) -> np.ndarray:
+        """The live float32 rows (a view into the growable block)."""
+        return self._vectors[: self._count]
+
+    @property
+    def num_deleted(self) -> int:
+        return sum(self._deleted)
+
+    def size_bytes(self) -> int:
+        edges = sum(len(nbrs) for nbrs in self._adj)
+        return int(self._vectors[: self._count].nbytes + 8 * edges
+                   + len(self._deleted))
+
+    def _ensure_capacity(self, needed: int) -> None:
+        cap = len(self._vectors)
+        if needed <= cap:
+            return
+        while cap < needed:
+            cap *= 2
+        grown = np.empty((cap, self.dim), dtype=np.float32)
+        grown[: self._count] = self._vectors[: self._count]
+        self._vectors = grown
+
+    # -- mutation --------------------------------------------------------
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Add one float32 vector; returns its *external* id.
+
+        The caller (``GraphANNS.insert``) validates the vector first;
+        this method assumes a finite, contiguous ``(dim,)`` float32 row.
+        """
+        if self.first_insert_at is None:
+            self.first_insert_at = time.monotonic()
+        local = self._count
+        self._ensure_capacity(local + 1)
+        self._vectors[local] = vector
+        self._adj.append([])
+        self._deleted.append(False)
+        self._count = local + 1
+        if local > 0:
+            counter = DistanceCounter()
+            result = self._walk(
+                np.ascontiguousarray(vector, dtype=np.float64),
+                ef=max(self.ef_construction, self.max_m),
+                counter=counter, budget=None, exclude=local,
+            )
+            self.insert_ndc += counter.count
+            for neighbor in result[0][: self.max_m]:
+                self._add_undirected_edge(local, int(neighbor))
+        return self.base_n + local
+
+    def _add_undirected_edge(self, u: int, v: int) -> None:
+        if u == v:
+            return
+        if v not in self._adj[u]:
+            self._adj[u].append(v)
+        if u not in self._adj[v]:
+            self._adj[v].append(u)
+
+    def delete(self, external_id: int) -> None:
+        """Tombstone one delta point (addressed by its external id)."""
+        local = external_id - self.base_n
+        if not 0 <= local < self._count:
+            raise IndexError(f"vertex {external_id} is not a delta point")
+        self._deleted[local] = True
+
+    def contains(self, external_id: int) -> bool:
+        return self.base_n <= external_id < self.base_n + self._count
+
+    # -- search ----------------------------------------------------------
+
+    def _walk(
+        self,
+        query64: np.ndarray,
+        ef: int,
+        counter: DistanceCounter,
+        budget: QueryBudget | None,
+        exclude: int | None = None,
+    ):
+        """ef-bounded best-first walk over the delta adjacency.
+
+        Returns ``(local_ids, sq_dists, hops, visited, tracker)`` with
+        ids in ascending ``(squared distance, id)`` order.  ``exclude``
+        hides one vertex (the point being inserted) from the walk.
+        Tombstoned vertices route but are *not* filtered here — result
+        filtering happens in :meth:`search`, exactly like the base
+        tier's tombstone handling.
+        """
+        n = self._count
+        tracker = (
+            None if budget is None or budget.unlimited
+            else BudgetTracker(budget, counter)
+        )
+        # entry is always local vertex 0: the delta graph is connected
+        # by construction (every insert links to an earlier vertex), so
+        # vertex 0 reaches everything and the walk is deterministic
+        visited = np.zeros(n, dtype=bool)
+        if exclude is not None:
+            visited[exclude] = True
+        rows = self._vectors[:n].astype(np.float64, copy=False)
+
+        def score(ids: np.ndarray) -> np.ndarray:
+            diff = rows[ids] - query64
+            counter.count += len(ids)
+            return np.einsum("ij,ij->i", diff, diff)
+
+        entry = np.asarray([0], dtype=np.int64)
+        entry = entry[~visited[entry]]
+        if tracker is not None:
+            entry = tracker.clip(entry)
+        candidates: list[tuple[float, int]] = []   # min-heap on sq dist
+        results: list[tuple[float, int]] = []      # max-heap (negated)
+        visited_count = 0
+        if len(entry):
+            visited[entry] = True
+            visited_count += len(entry)
+            for vertex, sq in zip(entry.tolist(), score(entry).tolist()):
+                heapq.heappush(candidates, (sq, vertex))
+                heapq.heappush(results, (-sq, vertex))
+        hops = 0
+        while candidates:
+            if tracker is not None and tracker.stop_before_hop(hops):
+                break
+            sq, u = heapq.heappop(candidates)
+            worst = -results[0][0] if len(results) >= ef else np.inf
+            if sq > worst:
+                break
+            hops += 1
+            nbrs = np.asarray(self._adj[u], dtype=np.int64)
+            if len(nbrs):
+                nbrs = nbrs[~visited[nbrs]]
+            if tracker is not None:
+                nbrs = tracker.clip(nbrs)
+            if len(nbrs) == 0:
+                continue
+            visited[nbrs] = True
+            visited_count += len(nbrs)
+            worst = -results[0][0] if len(results) >= ef else np.inf
+            for vertex, value in zip(nbrs.tolist(), score(nbrs).tolist()):
+                if len(results) < ef:
+                    heapq.heappush(results, (-value, vertex))
+                    heapq.heappush(candidates, (value, vertex))
+                    worst = -results[0][0] if len(results) >= ef else np.inf
+                elif value < worst:
+                    heapq.heapreplace(results, (-value, vertex))
+                    heapq.heappush(candidates, (value, vertex))
+                    worst = -results[0][0]
+        ordered = sorted((-negsq, vertex) for negsq, vertex in results)
+        ids = np.asarray([vertex for _, vertex in ordered], dtype=np.int64)
+        sqs = np.asarray([sq for sq, _ in ordered], dtype=np.float64)
+        return ids, sqs, hops, visited_count, tracker
+
+    def search(
+        self,
+        query64: np.ndarray,
+        k: int,
+        ef: int,
+        counter: DistanceCounter,
+        budget: QueryBudget | None = None,
+    ) -> SearchResult:
+        """Top-k of the delta tier for one query (external ids).
+
+        ``query64`` is the float64 contiguous query row; distances are
+        true (square-rooted) L2 so they merge directly with the base
+        tier's.  Tombstoned points are filtered from the result but
+        still routed through, matching the base search semantics.
+        """
+        if self._count == 0:
+            return SearchResult(ids=np.empty(0, dtype=np.int64),
+                                dists=np.empty(0))
+        start = counter.count
+        ids, sqs, hops, visited_count, tracker = self._walk(
+            query64, ef=max(ef, k), counter=counter, budget=budget,
+        )
+        if self.num_deleted and len(ids):
+            keep = ~np.asarray(self._deleted, dtype=bool)[ids]
+            ids, sqs = ids[keep], sqs[keep]
+        ids, sqs = ids[:k], sqs[:k]
+        degraded = tracker is not None and tracker.fired is not None
+        return SearchResult(
+            ids=self.base_n + ids,
+            dists=np.sqrt(sqs),
+            ndc=counter.count - start,
+            hops=hops,
+            visited=visited_count,
+            degraded=degraded,
+            budget=tracker.report(hops) if degraded else None,
+        )
+
+    # -- consolidation support -------------------------------------------
+
+    def snapshot(self) -> tuple[np.ndarray, np.ndarray, int]:
+        """A consistent copy of ``(vectors, deleted, count)`` for the
+        consolidation worker to rebuild from while inserts continue."""
+        count = self._count
+        return (
+            self._vectors[:count].copy(),
+            np.asarray(self._deleted[:count], dtype=bool),
+            count,
+        )
+
+    def deleted_flags(self, count: int) -> np.ndarray:
+        """Tombstone flags for the first ``count`` delta points."""
+        return np.asarray(self._deleted[:count], dtype=bool)
+
+    def tail_after(self, count: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vectors (and tombstones) inserted after position ``count`` —
+        the inserts that raced a consolidation and must be re-inserted
+        into the fresh delta, in order, to keep their external ids."""
+        return (
+            self._vectors[count: self._count].copy(),
+            np.asarray(self._deleted[count: self._count], dtype=bool),
+        )
+
+    # -- persistence (index format v5) -----------------------------------
+
+    def export_state(self):
+        """``(vectors, indptr, neighbors, deleted, meta)`` for v5 files."""
+        counts = [len(self._adj[i]) for i in range(self._count)]
+        indptr = np.zeros(self._count + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        neighbors = (
+            np.concatenate([
+                np.asarray(self._adj[i], dtype=np.int64)
+                for i in range(self._count)
+            ]) if indptr[-1] else np.empty(0, dtype=np.int64)
+        ).astype(np.int32)
+        meta = {
+            "base_n": self.base_n,
+            "max_m": self.max_m,
+            "ef_construction": self.ef_construction,
+        }
+        return (
+            self._vectors[: self._count].copy(),
+            indptr,
+            neighbors,
+            np.asarray(self._deleted, dtype=bool),
+            meta,
+        )
+
+    @classmethod
+    def from_state(cls, vectors, indptr, neighbors, deleted, meta) -> "DeltaTier":
+        vectors = np.ascontiguousarray(vectors, dtype=np.float32)
+        if vectors.ndim != 2:
+            raise ValueError(f"delta vectors must be 2-D, got {vectors.shape}")
+        n, dim = vectors.shape
+        indptr = np.asarray(indptr, dtype=np.int64)
+        neighbors = np.asarray(neighbors, dtype=np.int64)
+        if len(indptr) != n + 1 or (n and int(indptr[-1]) != len(neighbors)):
+            raise ValueError("delta adjacency arrays are inconsistent")
+        tier = cls(dim or 1, int(meta["base_n"]),
+                   max_m=int(meta.get("max_m", 10)),
+                   ef_construction=int(meta.get("ef_construction", 40)))
+        tier.dim = dim
+        tier._ensure_capacity(n)
+        tier._vectors[:n] = vectors
+        tier._count = n
+        tier._adj = [
+            neighbors[int(indptr[i]): int(indptr[i + 1])].tolist()
+            for i in range(n)
+        ]
+        tier._deleted = list(np.asarray(deleted, dtype=bool)[:n])
+        while len(tier._deleted) < n:
+            tier._deleted.append(False)
+        return tier
+
+    # -- integrity -------------------------------------------------------
+
+    def consistency_issues(self, dim: int, base_n: int | None = None) -> list[str]:
+        """Structural problems :func:`repro.resilience.verify_index`
+        reports (and repairs by dropping the delta)."""
+        issues: list[str] = []
+        n = self._count
+        if self.dim != dim:
+            issues.append(
+                f"delta is {self.dim}-d but the base data is {dim}-d"
+            )
+        if base_n is not None and self.base_n != base_n:
+            issues.append(
+                f"delta id range starts at {self.base_n} but the base "
+                f"holds {base_n} points"
+            )
+        if len(self._adj) != n or len(self._deleted) != n:
+            issues.append(
+                f"delta bookkeeping out of sync: {n} vectors, "
+                f"{len(self._adj)} adjacency lists, "
+                f"{len(self._deleted)} tombstone slots"
+            )
+            return issues
+        if n and not np.isfinite(self._vectors[:n]).all():
+            bad = int((~np.isfinite(self._vectors[:n]).all(axis=1)).sum())
+            issues.append(f"{bad} delta vectors contain NaN/Inf")
+        for u in range(n):
+            for v in self._adj[u]:
+                if not 0 <= v < n:
+                    issues.append(
+                        f"delta edge {u}->{v} points outside [0, {n})"
+                    )
+                    return issues
+                if v == u:
+                    issues.append(f"delta self-loop at vertex {u}")
+                    return issues
+        return issues

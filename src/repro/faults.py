@@ -95,6 +95,9 @@ class FaultPlan:
     #: commit — lets a test corrupt the temp file a simulated crash
     #: leaves behind (e.g. with :func:`truncate_file`)
     save_stage_hook: object = None
+    #: consolidation stages aborted mid-flight; "build" fires before the
+    #: rebuild starts, "swap" after it, right before the snapshot swap
+    fail_consolidate_stages: set = field(default_factory=set)
 
     def fail_shard(self, shard: int, replica: int | None = None) -> "FaultPlan":
         """Make shard ``shard`` (one replica, or all when ``None``)
@@ -114,6 +117,14 @@ class FaultPlan:
         """Abort a sharded save right before ``stage``'s atomic rename,
         as a crash at that instant would.  Chainable."""
         self.fail_save_stages.add(stage)
+        return self
+
+    def fail_consolidation(self, stage: str = "swap") -> "FaultPlan":
+        """Abort a delta consolidation at ``stage`` ("build": before the
+        rebuild; "swap": after the rebuild, right before the new
+        snapshot is installed).  The previous snapshot must remain live
+        and searchable either way.  Chainable."""
+        self.fail_consolidate_stages.add(stage)
         return self
 
     def before_chunk(self, worker_index: int) -> None:
@@ -149,6 +160,14 @@ class FaultPlan:
             hook(stage, tmp_path)
         if stage in self.fail_save_stages:
             raise self.exc_type(f"injected crash before {stage} rename")
+
+    def before_consolidate(self, stage: str) -> None:
+        """Hook run at consolidation checkpoints; raising here models a
+        crash mid-consolidation (the old snapshot must survive it)."""
+        if stage in self.fail_consolidate_stages:
+            raise self.exc_type(
+                f"injected crash during consolidation ({stage})"
+            )
 
 
 _ACTIVE: FaultPlan | None = None

@@ -31,6 +31,7 @@ import numpy as np
 from repro import faults
 from repro.algorithms.base import GraphANNS
 from repro.components.seeding import FixedSeeds, provider_from_spec
+from repro.delta import DeltaTier
 from repro.distance import DistanceCounter
 from repro.graphs.graph import Graph
 from repro.quantization import CompressedTier
@@ -53,12 +54,16 @@ __all__ = [
 # id_map (cache-locality reordering, internal id -> original dataset id);
 # v4: + optional compressed tier (pq_codes/pq_codebook/pq_meta) and
 # optional vector_manifest pointing the float32 vectors at a raw ``.vec``
-# sidecar that loaders may memory-map instead of resident-loading.
-# Indexes using no v4 feature are still written as v3, byte-compatible
+# sidecar that loaders may memory-map instead of resident-loading;
+# v5: + optional delta tier (delta_vectors/delta_indptr/delta_neighbors/
+# delta_deleted/delta_meta — the mutable side-graph of points inserted
+# since the last consolidation, serialized beside the frozen base).
+# Indexes using no v4/v5 feature are still written as v3, byte-compatible
 # with the previous release.
 _FORMAT_VERSION = 3
 _COMPRESSED_FORMAT_VERSION = 4
-_READABLE_VERSIONS = frozenset({1, 2, 3, 4})
+_DELTA_FORMAT_VERSION = 5
+_READABLE_VERSIONS = frozenset({1, 2, 3, 4, 5})
 
 _REQUIRED_KEYS = frozenset(
     {"format_version", "algorithm", "data", "offsets", "neighbors", "seeds"}
@@ -66,18 +71,19 @@ _REQUIRED_KEYS = frozenset(
 
 
 def _content_checksum(data, offsets, neighbors, seeds, deleted,
-                      id_map=None, pq_arrays=()) -> str:
+                      id_map=None, pq_arrays=(), delta_arrays=()) -> str:
     """sha256 over the payload arrays (bytes + dtype + shape).
 
-    ``id_map`` (v3) and the pq arrays (v4) join the digest only when
-    present, so checksums of files not using those features equal what
-    the earlier writers would have stored.
+    ``id_map`` (v3), the pq arrays (v4) and the delta arrays (v5) join
+    the digest only when present, so checksums of files not using those
+    features equal what the earlier writers would have stored.
     """
     digest = hashlib.sha256()
     arrays = [data, offsets, neighbors, seeds, deleted]
     if id_map is not None:
         arrays.append(id_map)
     arrays.extend(pq_arrays)
+    arrays.extend(delta_arrays)
     for array in arrays:
         array = np.ascontiguousarray(array)
         digest.update(str(array.dtype).encode())
@@ -106,7 +112,14 @@ def save_index(
     If the index carries a compressed tier
     (:meth:`~repro.algorithms.base.GraphANNS.enable_compressed`), its
     codes and codebooks are persisted too.  Either feature bumps the
-    file to format v4; plain saves stay v3.
+    file to format v4; plain saves stay v3.  A non-empty delta tier
+    (points inserted since the last consolidation) is serialized beside
+    the base as format v5.
+
+    Every file is written to a temp name and published with an atomic
+    ``os.replace`` (stages ``"vector_commit"``/``"index_commit"`` for
+    fault injection), so an interrupted save never clobbers a previous
+    index at the same path.
     """
     if index.graph is None or index.data is None:
         raise RuntimeError("build the index before saving it")
@@ -147,11 +160,23 @@ def save_index(
         extra["pq_codebook"] = codebook
         extra["pq_meta"] = np.asarray(json.dumps(meta))
         pq_arrays = (codes, codebook)
+    delta = getattr(index, "_delta", None)
+    delta_arrays: tuple = ()
+    if delta is not None and delta.n:
+        dvecs, dindptr, dneighbors, ddeleted, dmeta = delta.export_state()
+        extra["delta_vectors"] = dvecs
+        extra["delta_indptr"] = dindptr
+        extra["delta_neighbors"] = dneighbors
+        extra["delta_deleted"] = ddeleted
+        extra["delta_meta"] = np.asarray(json.dumps(dmeta))
+        delta_arrays = (dvecs, dindptr, dneighbors, ddeleted)
     data = np.ascontiguousarray(index.data, dtype=np.float32)
     stored_data = data
     if vector_tier == "sidecar":
         vec_path = path.with_name(path.name + ".vec")
-        data.tofile(vec_path)
+        vec_tmp = path.with_name(path.name + ".vec.tmp")
+        data.tofile(vec_tmp)
+        _commit(vec_tmp, vec_path, "vector_commit")
         extra["vector_manifest"] = np.asarray(json.dumps({
             "dtype": "float32",
             "shape": list(data.shape),
@@ -161,13 +186,16 @@ def save_index(
         # the archive keeps a zero-row placeholder; the rows live in the
         # sidecar, where a loader can memory-map them
         stored_data = np.empty((0, data.shape[1]), dtype=np.float32)
-    version = (
-        _COMPRESSED_FORMAT_VERSION
-        if (tier is not None or vector_tier == "sidecar")
-        else _FORMAT_VERSION
-    )
+    if delta_arrays:
+        version = _DELTA_FORMAT_VERSION
+    elif tier is not None or vector_tier == "sidecar":
+        version = _COMPRESSED_FORMAT_VERSION
+    else:
+        version = _FORMAT_VERSION
+    final = path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+    tmp = final.with_name(final.stem + ".tmp.npz")
     np.savez_compressed(
-        path,
+        tmp,
         format_version=np.asarray(version),
         algorithm=np.asarray(index.name),
         data=stored_data,
@@ -178,10 +206,12 @@ def save_index(
         checksum=np.asarray(
             _content_checksum(stored_data, offsets, neighbors, seeds, deleted,
                               id_map=extra.get("id_map"),
-                              pq_arrays=pq_arrays)
+                              pq_arrays=pq_arrays,
+                              delta_arrays=delta_arrays)
         ),
         **extra,
     )
+    _commit(tmp, final, "index_commit")
 
 
 class StaticGraphIndex(GraphANNS):
@@ -192,7 +222,8 @@ class StaticGraphIndex(GraphANNS):
     def __init__(self, data: np.ndarray, graph: Graph, seeds: np.ndarray,
                  source: str = "?", deleted: np.ndarray | None = None,
                  provider=None, id_map: np.ndarray | None = None,
-                 compressed: CompressedTier | None = None):
+                 compressed: CompressedTier | None = None,
+                 delta=None):
         super().__init__()
         if (isinstance(data, np.memmap) and data.dtype == np.float32
                 and data.flags["C_CONTIGUOUS"]):
@@ -216,6 +247,9 @@ class StaticGraphIndex(GraphANNS):
             if deleted is not None
             else np.zeros(graph.n, dtype=bool)
         )
+        # restored delta tier (v5); further insert()s extend it, but
+        # consolidation needs the original builder (build() raises here)
+        self._delta = delta
 
     def build(self, data):  # pragma: no cover - explicit API misuse
         """Loaded indexes are immutable; always raises."""
@@ -291,6 +325,22 @@ def load_index(
                 str(archive["vector_manifest"])
                 if "vector_manifest" in files else None
             )
+            delta_vectors = (
+                archive["delta_vectors"] if "delta_vectors" in files else None
+            )
+            delta_indptr = (
+                archive["delta_indptr"] if "delta_indptr" in files else None
+            )
+            delta_neighbors = (
+                archive["delta_neighbors"]
+                if "delta_neighbors" in files else None
+            )
+            delta_deleted = (
+                archive["delta_deleted"] if "delta_deleted" in files else None
+            )
+            delta_meta = (
+                str(archive["delta_meta"]) if "delta_meta" in files else None
+            )
     except IndexFormatError:
         raise
     except (OSError, EOFError, KeyError, ValueError,
@@ -301,6 +351,14 @@ def load_index(
             path, "compressed tier is incomplete "
                   "(pq_codes without pq_codebook/pq_meta)"
         )
+    if delta_vectors is not None and (
+        delta_indptr is None or delta_neighbors is None
+        or delta_deleted is None or delta_meta is None
+    ):
+        raise IndexFormatError(
+            path, "delta tier is incomplete "
+                  "(delta_vectors without indptr/neighbors/deleted/meta)"
+        )
     if stored_sum is not None:  # absent in pre-checksum files
         actual = _content_checksum(
             data, offsets, neighbors, seeds,
@@ -308,6 +366,11 @@ def load_index(
             id_map=id_map,
             pq_arrays=(
                 () if pq_codes is None else (pq_codes, pq_codebook)
+            ),
+            delta_arrays=(
+                () if delta_vectors is None
+                else (delta_vectors, delta_indptr, delta_neighbors,
+                      delta_deleted)
             ),
         )
         if actual != stored_sum:
@@ -366,6 +429,17 @@ def load_index(
             raise IndexFormatError(
                 path, f"bad compressed tier: {type(exc).__name__}: {exc}"
             ) from exc
+    delta = None
+    if delta_vectors is not None:
+        try:
+            delta = DeltaTier.from_state(
+                delta_vectors, delta_indptr, delta_neighbors,
+                delta_deleted, json.loads(delta_meta),
+            )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise IndexFormatError(
+                path, f"bad delta tier: {type(exc).__name__}: {exc}"
+            ) from exc
     if repair:
         offsets, neighbors, _ = repair_csr_arrays(offsets, neighbors, len(data))
     provider = None
@@ -380,7 +454,7 @@ def load_index(
         data,
         Graph.from_csr(offsets, neighbors, validate=not (verify or repair)),
         seeds, source=source, deleted=deleted, provider=provider,
-        id_map=id_map, compressed=tier,
+        id_map=id_map, compressed=tier, delta=delta,
     )
     if verify or repair:
         verify_index(index, repair=repair)
@@ -619,10 +693,10 @@ def load_sharded(path: str | Path, verify: bool = True, repair: bool = False):
         try:
             member = _checked_member(path, entry, f"shard {pos}")
             shard = load_index(member, verify=verify, repair=repair)
-            if len(ids) != shard.graph.n:
+            if len(ids) != shard.num_points:  # base + delta tiers
                 raise IndexFormatError(
                     member,
-                    f"shard {pos} holds {shard.graph.n} points but the "
+                    f"shard {pos} holds {shard.num_points} points but the "
                     f"manifest maps {len(ids)} global ids",
                 )
         except (IndexFormatError, IndexIntegrityError) as exc:

@@ -207,6 +207,22 @@ class Instruments:
             "repro_build_seconds", "Wall-clock per index build.")
         self.builds_total = registry.counter(
             "repro_builds_total", "Completed index builds.")
+        self.inserts_total = registry.counter(
+            "repro_inserts_total",
+            "Points inserted into a built index (delta tier or native).")
+        self.consolidations_total = registry.counter(
+            "repro_consolidations_total",
+            "Completed delta consolidations (rebuild + snapshot swap).")
+        self.delta_points = registry.gauge(
+            "repro_delta_points",
+            "Points currently in the mutable delta tier.")
+        self.consolidation_lag_seconds = registry.gauge(
+            "repro_consolidation_lag_seconds",
+            "Age of the oldest insert not yet folded into the base.")
+        self.compressed_tier_dropped_total = registry.counter(
+            "repro_compressed_tier_dropped_total",
+            "Compressed tiers dropped because an insert invalidated "
+            "the PQ codes.")
         self.repairs_total = registry.counter(
             "repro_index_repairs_total",
             "Repair actions applied by verify_index(repair=True).")

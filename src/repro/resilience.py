@@ -338,6 +338,8 @@ def verify_index(
     ``[0, n)``, no self-loops, data row count and finiteness, a
     compressed tier's code/codebook consistency (row count, subspace
     boundaries, code values inside each codebook) when one is attached,
+    a delta tier's structure (dimension, id-range alignment, edge
+    bounds, vector finiteness) when one is attached,
     and — when ``check_reachability`` — that every vertex is reachable
     from the index's entry points, which is exactly the guarantee the
     C5 connectivity component exists to provide.
@@ -345,7 +347,9 @@ def verify_index(
     With ``repair=True`` the index is fixed in place: bad edges are
     dropped, non-finite vectors are zeroed *and tombstoned* (so they
     can never appear in a result), an inconsistent compressed tier is
-    dropped (exact search keeps working; re-enable to rebuild it), and
+    dropped (exact search keeps working; re-enable to rebuild it), a
+    corrupt delta tier is dropped (base search keeps working; the
+    unconsolidated inserts are lost), and
     stranded vertices are reconnected with
     :func:`repro.components.connectivity.ensure_reachable_from`.
     Without it, a failing check raises :class:`IndexIntegrityError`
@@ -429,6 +433,28 @@ def verify_index(
                 report.repairs.append(
                     "compressed tier dropped (exact search unaffected; "
                     "re-run enable_compressed() to rebuild)"
+                )
+
+    delta = getattr(index, "_delta", None)
+    if delta is not None:
+        delta_issues = delta.consistency_issues(
+            int(data.shape[1]), base_n=len(data)
+        )
+        if delta_issues:
+            if not repair:
+                report.issues.extend(
+                    f"delta tier: {issue}" for issue in delta_issues
+                )
+            else:
+                # a structurally damaged delta cannot be trusted to
+                # route; base search keeps working without it
+                index._delta = None
+                report.repairs.extend(
+                    f"delta tier: {issue}" for issue in delta_issues
+                )
+                report.repairs.append(
+                    "delta tier dropped (points inserted since the last "
+                    "consolidation are lost; base search unaffected)"
                 )
 
     id_map = getattr(index, "_id_map", None)

@@ -243,6 +243,8 @@ class ShardedIndex:
         ]
         self._latency = _LatencyTracker()
         self._log = obs.get_logger("repro.sharding")
+        # next global id for insert(); resolved lazily from the id maps
+        self._next_gid: int | None = None
 
     # -- construction ---------------------------------------------------
 
@@ -356,6 +358,92 @@ class ShardedIndex:
             raise RuntimeError(
                 "every shard is quarantined; nothing can answer queries"
             )
+
+    # -- updates (Table 7 scenario S1) -----------------------------------
+
+    def _refresh_replicas(self, s: int) -> None:
+        """Re-clone shard ``s``'s hedged replicas after a mutation so
+        they see the shard's current tiers (clones are shallow; a delta
+        created after cloning would otherwise be invisible to them)."""
+        reps = self.replicas[s]
+        if len(reps) <= 1:
+            return
+        fresh = [self.shards[s]]
+        for _ in range(1, len(reps)):
+            clone = copy.copy(self.shards[s])
+            clone._search_ctx = None
+            fresh.append(clone)
+        self.replicas[s] = fresh
+
+    def _next_global_id(self) -> int:
+        if self._next_gid is None:
+            self._next_gid = int(max(
+                (int(ids.max()) for ids in self.shard_ids if len(ids)),
+                default=-1,
+            )) + 1
+        gid = self._next_gid
+        self._next_gid += 1
+        return gid
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Insert one point, routed to the alive shard whose centroid is
+        nearest (ties break toward the lower shard id — the same rule
+        query routing uses).  Returns the point's *global* id.  The
+        shard absorbs it natively (NSW/HNSW) or through its delta tier,
+        so every algorithm is insertable behind the sharded front."""
+        self._require_shards()
+        reason = validate_query(vector, self.dim)
+        if reason is not None:
+            raise InvalidQueryError(
+                f"sharded[{self.algorithm}]: cannot insert: {reason}"
+            )
+        vector = np.ascontiguousarray(vector, dtype=np.float32)
+        alive = self.alive_shards
+        if len(alive) == 1:
+            s = alive[0]
+        else:
+            dists = l2_batch(vector.astype(np.float64), self.centroids[alive])
+            s = alive[int(np.argmin(dists))]
+        gid = self._next_global_id()
+        # the shard's new local id is its current point count, which by
+        # invariant equals len(shard_ids[s]) — appending gid keeps the
+        # local -> global map aligned
+        self.shards[s].insert(vector)
+        self.shard_ids[s] = np.append(self.shard_ids[s], gid)
+        self._refresh_replicas(s)
+        return gid
+
+    def delete(self, global_id: int) -> None:
+        """Tombstone ``global_id`` on its owning shard (the one whose
+        id map holds it)."""
+        self._require_shards()
+        gid = int(global_id)
+        for s in self.alive_shards:
+            local = np.flatnonzero(self.shard_ids[s] == gid)
+            if len(local):
+                self.shards[s].delete(int(local[0]))
+                return
+        raise IndexError(f"global id {gid} not found in any alive shard")
+
+    def consolidate(self, wait: bool = True) -> dict:
+        """Consolidate every alive shard carrying a non-empty delta;
+        returns ``{shard: ConsolidationReport-or-Thread}``."""
+        reports = {}
+        for s in self.alive_shards:
+            shard = self.shards[s]
+            if getattr(shard, "delta_points", 0):
+                reports[s] = shard.consolidate(wait=wait)
+                if wait:
+                    self._refresh_replicas(s)
+        return reports
+
+    @property
+    def delta_points(self) -> int:
+        """Unconsolidated inserts across all alive shards."""
+        return int(sum(
+            getattr(shard, "delta_points", 0)
+            for shard in self.shards if shard is not None
+        ))
 
     def _route_query(
         self, query: np.ndarray, fanout: int | None

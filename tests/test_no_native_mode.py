@@ -27,6 +27,7 @@ DUAL_MODE_SUITES = [
     "tests/test_parallel_determinism.py",
     "tests/test_compressed.py",
     "tests/test_sharded.py",
+    "tests/test_updates.py",
 ]
 
 

@@ -442,3 +442,92 @@ def test_fault_plan_save_stage_hook():
     with pytest.raises(faults.InjectedFault):
         plan.before_save_commit("meta_commit", None)
     assert seen == ["shard_commit:0", "meta_commit"]
+
+
+# -- online mutability ---------------------------------------------------
+
+
+def test_sharded_insert_routes_and_is_findable(easy_dataset):
+    index = ShardedIndex.build(
+        easy_dataset.base, num_shards=4, algorithm=ALGO, seed=SEED
+    )
+    n = len(easy_dataset.base)
+    vec = easy_dataset.base[17] + 0.001
+    gid = index.insert(vec)
+    assert gid == n  # global ids continue past the build set
+    assert index.delta_points == 1
+    result = index.search(vec, k=3, ef=60)
+    assert gid in result.ids
+    # the new point lives in exactly one shard, aligned with shard_ids
+    owners = [
+        s for s in range(index.num_shards)
+        if gid in index.shard_ids[s]
+    ]
+    assert len(owners) == 1
+    s = owners[0]
+    assert len(index.shard_ids[s]) == index.shards[s].num_points
+
+
+def test_sharded_delete_routes_to_owning_shard(easy_dataset):
+    index = ShardedIndex.build(
+        easy_dataset.base, num_shards=4, algorithm=ALGO, seed=SEED
+    )
+    query = easy_dataset.queries[0]
+    target = int(index.search(query, k=1, ef=60).ids[0])
+    index.delete(target)
+    owner = next(
+        s for s in range(index.num_shards)
+        if target in index.shard_ids[s]
+    )
+    assert index.shards[owner].num_deleted == 1
+    assert sum(sh.num_deleted for sh in index.shards) == 1
+    assert target not in index.search(query, k=10, ef=80).ids
+    with pytest.raises(IndexError, match="not found"):
+        index.delete(10**9)
+
+
+def test_sharded_insert_visible_to_hedged_replicas(easy_dataset):
+    index = ShardedIndex.build(
+        easy_dataset.base, num_shards=2, algorithm=ALGO, seed=SEED
+    )
+    index.replicate(2)
+    vec = easy_dataset.base[5] + 0.002
+    gid = index.insert(vec)
+    result = index.search_batch(vec[None], k=3, ef=60)
+    assert gid in result.ids[0]
+    # insert re-cloned the owning shard's replicas, so a hedge that
+    # lands on replica 1 sees the same delta as the primary
+    owner = next(
+        s for s in range(index.num_shards) if gid in index.shard_ids[s]
+    )
+    local = int(np.flatnonzero(index.shard_ids[owner] == gid)[0])
+    for replica in index.replicas[owner]:
+        assert replica.delta_points == 1
+        assert local in replica.search(vec, k=3, ef=60).ids
+
+
+def test_sharded_consolidate_folds_all_deltas(easy_dataset):
+    index = ShardedIndex.build(
+        easy_dataset.base, num_shards=3, algorithm=ALGO, seed=SEED
+    )
+    vecs = [easy_dataset.base[j] + 0.001 for j in (3, 44, 101)]
+    gids = [index.insert(v) for v in vecs]
+    assert index.delta_points == 3
+    report = index.consolidate()
+    assert index.delta_points == 0
+    assert sum(r.n_delta for r in report.values()) == 3
+    for gid, vec in zip(gids, vecs):
+        assert gid in index.search(vec, k=3, ef=60).ids
+
+
+def test_sharded_unconsolidated_delta_roundtrip(easy_dataset, tmp_path):
+    index = ShardedIndex.build(
+        easy_dataset.base, num_shards=2, algorithm=ALGO, seed=SEED
+    )
+    vec = easy_dataset.base[9] + 0.003
+    gid = index.insert(vec)
+    path = tmp_path / "sharded"
+    save_sharded(index, path)
+    loaded = load_sharded(path)
+    assert loaded.delta_points == 1
+    assert gid in loaded.search(vec, k=3, ef=60).ids

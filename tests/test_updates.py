@@ -1,10 +1,17 @@
-"""Tests for incremental updates (Table 7 scenario S1): insert + delete."""
+"""Tests for incremental updates (Table 7 scenario S1): insert + delete.
+
+Since the delta-tier refactor, *every* algorithm supports ``insert()``:
+increment-built graphs (NSW/HNSW) grow natively, everything else lands
+in the mutable NSW-style side-graph searched alongside the frozen base
+and folded in by ``consolidate()``.
+"""
 
 import numpy as np
 import pytest
 
 from repro import create
 from repro.datasets import brute_force_knn, make_clustered
+from repro.resilience import InvalidQueryError, QueryBudget
 
 
 @pytest.fixture(scope="module")
@@ -45,11 +52,47 @@ class TestInsert:
             index.insert(np.zeros(5, dtype=np.float32))
 
     @pytest.mark.parametrize("name", ["kgraph", "nsg", "hcnng", "sptag-kdt"])
-    def test_non_incremental_algorithms_refuse(self, name, world):
+    def test_non_incremental_algorithms_insert_via_delta(self, name, world):
+        """Refinement/divide-and-conquer graphs used to refuse insert();
+        the delta tier makes it universal."""
         index = create(name, seed=2)
         index.build(world.base)
-        with pytest.raises(NotImplementedError, match="incremental"):
-            index.insert(world.base[0])
+        new_vector = world.base[7] + 0.001
+        new_id = index.insert(new_vector)
+        assert new_id == world.n
+        assert index.delta_points == 1
+        result = index.search(new_vector, k=3, ef=40)
+        assert new_id in result.ids
+
+    def test_nan_insert_rejected(self, world):
+        """A NaN insert must fail up front on every insert path — it
+        would silently poison greedy construction otherwise."""
+        for name in ("nsw", "hnsw", "nsg"):
+            index = create(name, seed=2)
+            index.build(world.base)
+            bad = world.base[0].copy()
+            bad[0] = np.nan
+            with pytest.raises(InvalidQueryError):
+                index.insert(bad)
+            assert index.num_points == world.n  # nothing was added
+
+    def test_insert_drops_compressed_tier_loudly(self, world):
+        from repro import observability as obs
+
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        index.enable_compressed()
+        obs.enable(metrics=True)
+        try:
+            index.insert(world.base[3] + 0.001)
+            assert index._compressed is None
+            events = [e for e in obs.EVENTS.snapshot()
+                      if e.get("event") == "compressed.tier_dropped"]
+            assert events, "tier drop must emit a structured event"
+            value = obs.instruments().compressed_tier_dropped_total.value
+            assert value >= 1
+        finally:
+            obs.disable()
 
     def test_hnsw_level_growth(self, world):
         index = create("hnsw", seed=2)
@@ -116,3 +159,260 @@ class TestDelete:
         result = index.search(world.base[5], k=2, ef=40)
         assert new_id in result.ids
         assert 5 not in result.ids
+
+    def test_delta_point_deletable(self, world):
+        """delete() accepts delta-tier ids and they never resurface."""
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        new_vector = world.base[7] + 0.001
+        new_id = index.insert(new_vector)
+        index.delete(new_id)
+        assert index.num_deleted == 1
+        result = index.search(new_vector, k=10, ef=80)
+        assert new_id not in result.ids
+
+
+class TestDeltaTier:
+    """The universal insert path: frozen base + mutable side-graph."""
+
+    def test_insert_many_keeps_recall_refinement(self, world):
+        """Acceptance: recall holds on a refinement-built algorithm with
+        ~8% of the points living in the delta tier."""
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        index.auto_consolidate = False
+        rng = np.random.default_rng(0)
+        extra = world.base[rng.choice(world.n, 30)] + rng.normal(
+            0, 0.5, (30, world.dim)
+        ).astype(np.float32)
+        for vector in extra:
+            index.insert(vector)
+        assert index.delta_points == 30
+        full_base = np.vstack([world.base, extra])
+        gt, _ = brute_force_knn(full_base, world.queries, 10)
+        stats = index.batch_search(world.queries, gt, k=10, ef=80)
+        assert stats.recall >= 0.85
+
+    def test_batch_matches_sequential_with_delta(self, world):
+        """search_batch's two-tier merge is the sequential merge."""
+        from repro.batch import search_batch
+
+        index = create("vamana", seed=2)
+        index.build(world.base)
+        index.auto_consolidate = False
+        rng = np.random.default_rng(4)
+        for row in rng.choice(world.n, 12):
+            index.insert(world.base[row] + 0.01)
+        index.delete(int(world.n + 3))  # one delta tombstone in the mix
+        batch = search_batch(index, world.queries, k=10, ef=60, workers=2)
+        for i, query in enumerate(world.queries):
+            result = index.search(query, k=10, ef=60)
+            got = batch.ids[i][batch.ids[i] >= 0]
+            assert np.array_equal(got, result.ids)
+            assert batch.ndc[i] == result.ndc
+
+    def test_budget_spans_both_tiers(self, world):
+        """An NDC budget caps base + delta work combined."""
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        index.auto_consolidate = False
+        for j in range(20):
+            index.insert(world.base[j] + 0.01)
+        cap = 60
+        result = index.search(
+            world.queries[0], k=10, ef=80, budget=QueryBudget(max_ndc=cap)
+        )
+        assert result.ndc <= cap
+        assert result.degraded
+
+    def test_empty_delta_has_no_delta_state(self, world):
+        """Before any insert the index carries no delta tier at all —
+        the structural guarantee behind the bit-identity invariant."""
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        assert index._delta is None
+        index.search(world.queries[0], k=5, ef=40)
+        assert index._delta is None
+
+
+class TestConsolidation:
+    def test_consolidate_matches_fresh_build(self, world):
+        """Consolidation rebuilds through the same phased engine with
+        the same seed, so the swapped-in snapshot answers exactly like
+        an index built on the merged dataset from scratch."""
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        index.auto_consolidate = False
+        extra = [world.base[j] + 0.01 for j in range(8)]
+        for vector in extra:
+            index.insert(vector)
+        report = index.consolidate()
+        assert report.n_base == world.n and report.n_delta == 8
+        assert index.delta_points == 0
+        assert index.graph.n == world.n + 8
+
+        fresh = create("nsg", seed=2)
+        fresh.build(np.vstack([world.base] + [v[None] for v in extra]))
+        for query in world.queries[:5]:
+            a = index.search(query, k=10, ef=60)
+            b = fresh.search(query, k=10, ef=60)
+            assert np.array_equal(a.ids, b.ids)
+            assert a.ndc == b.ndc
+
+    def test_external_ids_stable_across_consolidation(self, world):
+        index = create("vamana", seed=2)
+        index.build(world.base)
+        index.auto_consolidate = False
+        vec = world.base[11] + 0.002
+        new_id = index.insert(vec)
+        assert new_id == world.n
+        index.consolidate()
+        result = index.search(vec, k=2, ef=60)
+        assert new_id in result.ids  # same id, now served by the base
+
+    def test_deletes_survive_consolidation(self, world):
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        index.auto_consolidate = False
+        target = int(world.ground_truth[0][0])
+        vec = world.base[9] + 0.003
+        delta_id = index.insert(vec)
+        index.delete(target)        # base tombstone
+        index.delete(delta_id)      # delta tombstone
+        index.consolidate()
+        assert index.num_deleted == 2
+        assert target not in index.search(world.queries[0], k=10, ef=80).ids
+        assert delta_id not in index.search(vec, k=10, ef=80).ids
+
+    def test_auto_consolidation_threshold(self, world):
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        index.delta_max_points = 10
+        for j in range(10):
+            index.insert(world.base[j] + 0.01)
+        thread = index._consolidation_thread
+        assert thread is not None
+        thread.join(timeout=120)
+        assert index._consolidation_error is None
+        assert index.delta_points == 0
+        assert index.graph.n == world.n + 10
+
+    def test_crash_mid_consolidation_preserves_snapshot(self, world):
+        """Acceptance: a crash injected mid-consolidation leaves the
+        previous snapshot live and searchable, delta included."""
+        from repro import faults
+
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        index.auto_consolidate = False
+        vec = world.base[5] + 0.004
+        new_id = index.insert(vec)
+        old_graph = index.graph
+        for stage in ("build", "swap"):
+            with faults.inject(faults.FaultPlan().fail_consolidation(stage)):
+                with pytest.raises(RuntimeError, match="consolidation"):
+                    index.consolidate()
+            assert index.graph is old_graph
+            assert index.delta_points == 1
+            assert new_id in index.search(vec, k=3, ef=60).ids
+        # without the fault plan the same call succeeds
+        index.consolidate()
+        assert index.delta_points == 0
+        assert new_id in index.search(vec, k=3, ef=60).ids
+
+    def test_background_consolidation_thread(self, world):
+        index = create("vamana", seed=2)
+        index.build(world.base)
+        index.auto_consolidate = False
+        index.insert(world.base[3] + 0.01)
+        thread = index.consolidate(wait=False)
+        report = index.consolidate(wait=True)  # joins the running pass
+        assert not thread.is_alive()
+        assert report.n_delta == 1
+        assert index.delta_points == 0
+
+
+class TestUpdatePersistence:
+    """delete -> save -> load round trips across index formats."""
+
+    def test_tombstones_survive_v3_roundtrip(self, world, tmp_path):
+        from repro.io import load_index, save_index
+
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        target = int(world.ground_truth[0][0])
+        index.delete(target)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.num_deleted == 1
+        assert target not in loaded.search(world.queries[0], k=10, ef=80).ids
+
+    def test_tombstones_survive_v4_roundtrip(self, world, tmp_path):
+        from repro.io import load_index, save_index
+
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        index.enable_compressed()
+        target = int(world.ground_truth[0][0])
+        index.delete(target)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.num_deleted == 1
+        assert target not in loaded.search(world.queries[0], k=10, ef=80).ids
+        assert loaded._compressed is not None
+
+    def test_delta_survives_v5_roundtrip(self, world, tmp_path):
+        import numpy.lib.npyio  # noqa: F401 - np.load path below
+
+        from repro.io import load_index, save_index
+
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        index.auto_consolidate = False
+        vec = world.base[7] + 0.002
+        kept = index.insert(vec)
+        doomed = index.insert(world.base[8] + 0.002)
+        index.delete(doomed)
+        index.delete(3)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        with np.load(path) as archive:
+            assert int(archive["format_version"]) == 5
+        loaded = load_index(path)
+        assert loaded.delta_points == 2
+        assert loaded.num_deleted == 2
+        assert kept in loaded.search(vec, k=3, ef=60).ids
+        res = loaded.search(world.base[8] + 0.002, k=10, ef=80)
+        assert doomed not in res.ids
+        # the restored delta keeps growing
+        third = loaded.insert(world.base[9] + 0.002)
+        assert third == world.n + 2
+        assert third in loaded.search(world.base[9] + 0.002, k=3, ef=60).ids
+
+    def test_empty_delta_stays_v3(self, world, tmp_path):
+        """Indexes that never saw an insert keep the old format."""
+        from repro.io import save_index
+
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        with np.load(path) as archive:
+            assert int(archive["format_version"]) == 3
+
+    def test_corrupt_delta_repairable(self, world, tmp_path):
+        from repro.resilience import verify_index
+
+        index = create("nsg", seed=2)
+        index.build(world.base)
+        index.auto_consolidate = False
+        index.insert(world.base[4] + 0.01)
+        index.insert(world.base[5] + 0.01)
+        index._delta._adj[0] = [999]  # edge outside the delta
+        report = verify_index(index, repair=True, strict=False)
+        assert index._delta is None
+        assert any("delta tier dropped" in r for r in report.repairs)
+        # base search is unaffected
+        assert len(index.search(world.queries[0], k=10, ef=60).ids) == 10
