@@ -1,0 +1,328 @@
+"""Serving front-door benchmark: micro-batching vs one-at-a-time.
+
+Boots the real HTTP server (``repro.serving``) over a 10k-point index
+and measures the thing the front door exists for — turning the fused
+MT kernel's batch throughput into user-facing QPS:
+
+* **closed-loop**: 1 client (the sequential one-request-at-a-time
+  baseline) vs 32 concurrent clients, each looping request→response;
+  every response is checked bit-identical (ids and NDC) to a direct
+  ``index.search()`` of the same vector.  The acceptance gate is the
+  32-client/1-client throughput ratio.
+* **open-loop**: Poisson arrivals sweeping offered QPS; per-rate
+  p50/p99/p999 latency, achieved QPS, mean batch size, and
+  degraded/rejected rates — the latency-vs-throughput trade the
+  ``max_wait_ms`` window buys.
+
+Results → ``BENCH_serving.json`` (repo root) and a plain table in
+``benchmarks/results/serving.txt`` (picked up by
+``collect_results.py``).  Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+Scale knobs: ``REPRO_BENCH_SERVING_N`` (base points, default 10000),
+``REPRO_BENCH_SERVING_CLIENTS`` (default 32),
+``REPRO_BENCH_SERVING_SECONDS`` (per measurement, default 3),
+``REPRO_BENCH_SERVING_RATES`` (comma-separated offered QPS for the
+open-loop sweep; default scales off the measured baseline).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import create  # noqa: E402
+from repro.serving import BackgroundServer, ServingConfig  # noqa: E402
+
+N = int(os.environ.get("REPRO_BENCH_SERVING_N", "10000"))
+DIM = 32
+K = 10
+EF = 64
+CLIENTS = int(os.environ.get("REPRO_BENCH_SERVING_CLIENTS", "32"))
+SECONDS = float(os.environ.get("REPRO_BENCH_SERVING_SECONDS", "3"))
+ALGO = os.environ.get("REPRO_BENCH_SERVING_ALGO", "nsg")
+
+ROOT = Path(__file__).resolve().parent.parent
+OUTPUT = ROOT / "BENCH_serving.json"
+RESULTS = Path(__file__).resolve().parent / "results"
+
+
+def percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return float("nan")
+    return float(np.percentile(np.asarray(samples), q))
+
+
+class Client:
+    """One keep-alive HTTP connection."""
+
+    def __init__(self, port: int):
+        self.conn = http.client.HTTPConnection(
+            "127.0.0.1", port, timeout=30.0
+        )
+
+    def search(self, vector: np.ndarray) -> tuple[int, dict, float]:
+        body = json.dumps({"vector": vector.tolist(), "k": K, "ef": EF})
+        started = time.perf_counter()
+        self.conn.request("POST", "/search", body,
+                          {"Content-Type": "application/json"})
+        response = self.conn.getresponse()
+        payload = json.loads(response.read())
+        return response.status, payload, time.perf_counter() - started
+
+    def get(self, path: str) -> dict:
+        self.conn.request("GET", path)
+        return json.loads(self.conn.getresponse().read())
+
+    def close(self) -> None:
+        self.conn.close()
+
+
+def closed_loop(port: int, queries: np.ndarray, num_clients: int,
+                seconds: float, reference: dict | None) -> dict:
+    """``num_clients`` threads looping request→response for ``seconds``;
+    verifies every response against ``reference`` when given."""
+    stop_at = time.perf_counter() + seconds
+    counts = [0] * num_clients
+    latencies: list[list[float]] = [[] for _ in range(num_clients)]
+    batch_sizes: list[list[int]] = [[] for _ in range(num_clients)]
+    mismatches = [0] * num_clients
+    errors = [0] * num_clients
+
+    def run(c: int) -> None:
+        client = Client(port)
+        rng = np.random.default_rng(c)
+        try:
+            while time.perf_counter() < stop_at:
+                i = int(rng.integers(len(queries)))
+                status, payload, elapsed = client.search(queries[i])
+                if status != 200:
+                    errors[c] += 1
+                    continue
+                counts[c] += 1
+                latencies[c].append(elapsed)
+                batch_sizes[c].append(payload["batch_size"])
+                if reference is not None:
+                    want = reference[i]
+                    if (payload["ids"] != want["ids"]
+                            or payload["ndc"] != want["ndc"]):
+                        mismatches[c] += 1
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=run, args=(c,)) for c in range(num_clients)
+    ]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - started
+    all_lat = [v for lane in latencies for v in lane]
+    all_sizes = [v for lane in batch_sizes for v in lane]
+    return {
+        "clients": num_clients,
+        "requests": sum(counts),
+        "qps": sum(counts) / wall,
+        "p50_ms": percentile(all_lat, 50) * 1000,
+        "p99_ms": percentile(all_lat, 99) * 1000,
+        "p999_ms": percentile(all_lat, 99.9) * 1000,
+        "mean_batch_size": float(np.mean(all_sizes)) if all_sizes else 0.0,
+        "mismatches": sum(mismatches),
+        "errors": sum(errors),
+    }
+
+
+def open_loop(port: int, queries: np.ndarray, offered_qps: float,
+              seconds: float) -> dict:
+    """Poisson arrivals at ``offered_qps``: a pacer hands scheduled
+    send-times to a worker pool so request launches don't wait for
+    responses (up to pool capacity — saturation shows up as achieved
+    < offered, which is the signal an open-loop run wants)."""
+    rng = np.random.default_rng(99)
+    num = max(1, int(offered_qps * seconds))
+    gaps = rng.exponential(1.0 / offered_qps, size=num)
+    send_at = np.cumsum(gaps)
+
+    pool_size = min(128, max(8, int(offered_qps * 0.1)))
+    latencies: list[float] = []
+    statuses: dict[int, int] = {}
+    degraded = 0
+    lock = threading.Lock()
+    next_slot = [0]
+
+    def worker() -> None:
+        nonlocal degraded
+        client = Client(port)
+        try:
+            while True:
+                with lock:
+                    slot = next_slot[0]
+                    if slot >= num:
+                        return
+                    next_slot[0] += 1
+                wait = t0 + send_at[slot] - time.perf_counter()
+                if wait > 0:
+                    time.sleep(wait)
+                i = slot % len(queries)
+                try:
+                    status, payload, elapsed = client.search(queries[i])
+                except (OSError, http.client.HTTPException):
+                    with lock:
+                        statuses[599] = statuses.get(599, 0) + 1
+                    continue
+                with lock:
+                    statuses[status] = statuses.get(status, 0) + 1
+                    if status == 200:
+                        latencies.append(elapsed)
+                        if payload["degraded"]:
+                            degraded += 1
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=worker) for _ in range(pool_size)]
+    t0 = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - t0
+    answered = statuses.get(200, 0)
+    rejected = sum(v for s, v in statuses.items() if s in (429, 503, 504))
+    return {
+        "offered_qps": offered_qps,
+        "achieved_qps": answered / wall,
+        "p50_ms": percentile(latencies, 50) * 1000,
+        "p99_ms": percentile(latencies, 99) * 1000,
+        "p999_ms": percentile(latencies, 99.9) * 1000,
+        "degraded_rate": degraded / max(1, answered),
+        "rejected_rate": rejected / max(1, num),
+        "statuses": dict(sorted(statuses.items())),
+    }
+
+
+def main() -> None:
+    rng = np.random.default_rng(5)
+    data = rng.standard_normal((N, DIM)).astype(np.float32)
+    queries = rng.standard_normal((256, DIM)).astype(np.float32)
+
+    index = create(ALGO, seed=0)
+    t0 = time.perf_counter()
+    index.build(data)
+    print(f"built {ALGO} on {N}x{DIM} in {time.perf_counter() - t0:.1f}s",
+          flush=True)
+
+    reference = {}
+    for i, q in enumerate(queries):
+        r = index.search(q, k=K, ef=EF)
+        reference[i] = {"ids": [int(v) for v in r.ids], "ndc": r.ndc}
+
+    # a throughput-leaning window: every solo request pays ~5ms of
+    # coalescing wait, but concurrent traffic forms batches ~6-8 deep
+    # (docs/serving.md walks the trade; 2ms is the latency-leaning
+    # server default)
+    config = ServingConfig(
+        port=0, max_wait_ms=5.0, max_batch=64, queue_depth=512,
+        workers=2, default_k=K, default_ef=EF,
+    )
+    results: dict = {
+        "config": {
+            "n": N, "dim": DIM, "k": K, "ef": EF, "algorithm": ALGO,
+            "max_wait_ms": config.max_wait_ms,
+            "max_batch": config.max_batch,
+            "queue_depth": config.queue_depth,
+            "workers": config.workers,
+        },
+    }
+    with BackgroundServer(index, config) as server:
+        print(f"serving on {server.address}", flush=True)
+        # warmup
+        closed_loop(server.port, queries, 2, 0.5, None)
+
+        baseline = closed_loop(server.port, queries, 1, SECONDS, reference)
+        print(f"closed-loop 1 client : {baseline['qps']:8.0f} qps  "
+              f"p50={baseline['p50_ms']:.2f}ms p99={baseline['p99_ms']:.2f}ms "
+              f"mismatches={baseline['mismatches']}", flush=True)
+        loaded = closed_loop(server.port, queries, CLIENTS, SECONDS, reference)
+        speedup = loaded["qps"] / max(baseline["qps"], 1e-9)
+        print(f"closed-loop {CLIENTS:2d} clients: {loaded['qps']:8.0f} qps  "
+              f"p50={loaded['p50_ms']:.2f}ms p99={loaded['p99_ms']:.2f}ms "
+              f"batch={loaded['mean_batch_size']:.1f} "
+              f"mismatches={loaded['mismatches']} "
+              f"speedup={speedup:.1f}x", flush=True)
+        results["closed_loop"] = {
+            "baseline": baseline, "loaded": loaded,
+            "speedup": speedup,
+        }
+
+        rates_env = os.environ.get("REPRO_BENCH_SERVING_RATES", "")
+        if rates_env:
+            rates = [float(r) for r in rates_env.split(",") if r.strip()]
+        else:
+            top = max(200.0, loaded["qps"])
+            rates = [round(top * f) for f in (0.25, 0.5, 0.75, 1.0)]
+        sweep = []
+        for rate in rates:
+            row = open_loop(server.port, queries, rate, SECONDS)
+            sweep.append(row)
+            print(f"open-loop {rate:7.0f} qps offered: "
+                  f"{row['achieved_qps']:7.0f} achieved  "
+                  f"p50={row['p50_ms']:.2f}ms p99={row['p99_ms']:.2f}ms "
+                  f"p999={row['p999_ms']:.2f}ms "
+                  f"rejected={row['rejected_rate']:.1%}", flush=True)
+        results["open_loop"] = sweep
+
+        stats = Client(server.port).get("/stats")
+        results["server_stats"] = stats
+        print(f"server: batches={stats['batches']} "
+              f"mean_batch={stats['mean_batch_size']} "
+              f"kernel_paths={stats['kernel_paths']}", flush=True)
+
+    OUTPUT.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+    RESULTS.mkdir(exist_ok=True)
+    lines = [
+        "serving front door (dynamic micro-batching onto the fused MT "
+        "kernel)",
+        f"index: {ALGO} {N}x{DIM}, k={K} ef={EF}, "
+        f"window={config.max_wait_ms}ms max_batch={config.max_batch} "
+        f"workers={config.workers}",
+        "",
+        f"{'scenario':24s} {'qps':>8s} {'p50ms':>8s} {'p99ms':>8s} "
+        f"{'batch':>6s} {'wrong':>6s}",
+        f"{'closed-loop 1 client':24s} {baseline['qps']:8.0f} "
+        f"{baseline['p50_ms']:8.2f} {baseline['p99_ms']:8.2f} "
+        f"{baseline['mean_batch_size']:6.1f} {baseline['mismatches']:6d}",
+        f"{'closed-loop %d clients' % CLIENTS:24s} {loaded['qps']:8.0f} "
+        f"{loaded['p50_ms']:8.2f} {loaded['p99_ms']:8.2f} "
+        f"{loaded['mean_batch_size']:6.1f} {loaded['mismatches']:6d}",
+        f"speedup at {CLIENTS} clients: {speedup:.1f}x",
+        "",
+        f"{'offered':>8s} {'achieved':>9s} {'p50ms':>8s} {'p99ms':>8s} "
+        f"{'p999ms':>8s} {'degraded':>9s} {'rejected':>9s}",
+    ]
+    for row in sweep:
+        lines.append(
+            f"{row['offered_qps']:8.0f} {row['achieved_qps']:9.0f} "
+            f"{row['p50_ms']:8.2f} {row['p99_ms']:8.2f} "
+            f"{row['p999_ms']:8.2f} {row['degraded_rate']:9.1%} "
+            f"{row['rejected_rate']:9.1%}"
+        )
+    (RESULTS / "serving.txt").write_text("\n".join(lines) + "\n")
+    print(f"wrote {RESULTS / 'serving.txt'}")
+
+
+if __name__ == "__main__":
+    main()

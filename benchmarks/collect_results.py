@@ -47,6 +47,7 @@ ORDER = [
     "compressed_traversal",
     "sharded",
     "updates",
+    "serving",
 ]
 
 

@@ -1,0 +1,180 @@
+"""CI smoke for the serving front door.
+
+Boots the real HTTP server over a small index, drives a fixed
+concurrent load from keep-alive clients, and gates on the serving
+contract end to end:
+
+1. every response is bit-identical (ids and NDC) to a direct
+   ``index.search()`` of the same vector — zero incorrect responses;
+2. requests actually coalesced (mean batch size > 1 under concurrent
+   load) and, on the native leg, every batch ran the fused MT kernel;
+3. deadline-carrying requests are answered (degraded at worst, never
+   an error) and stay on the fused path;
+4. p99 end-to-end latency under a generous CI threshold;
+5. drain semantics: a draining server 503s new requests, then stops
+   cleanly with all in-flight responses delivered.
+
+Exits non-zero on any violated assertion.  Runs in both the native
+and ``REPRO_NO_NATIVE=1`` CI legs::
+
+    PYTHONPATH=src python scripts/serving_smoke.py
+
+Knobs: ``REPRO_SMOKE_SERVING_N`` (base points, default 2000),
+``REPRO_SMOKE_SERVING_CLIENTS`` (default 16),
+``REPRO_SMOKE_SERVING_REQUESTS`` (per client, default 40),
+``REPRO_SMOKE_SERVING_P99_MS`` (latency gate, default 500).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import _native, create, observability as obs  # noqa: E402
+from repro.serving import BackgroundServer, ServingConfig  # noqa: E402
+
+N = int(os.environ.get("REPRO_SMOKE_SERVING_N", "2000"))
+DIM = 24
+K = 10
+EF = 64
+CLIENTS = int(os.environ.get("REPRO_SMOKE_SERVING_CLIENTS", "16"))
+REQUESTS = int(os.environ.get("REPRO_SMOKE_SERVING_REQUESTS", "40"))
+P99_MS = float(os.environ.get("REPRO_SMOKE_SERVING_P99_MS", "500"))
+
+
+def post(conn, payload) -> tuple[int, dict]:
+    conn.request("POST", "/search", json.dumps(payload),
+                 {"Content-Type": "application/json"})
+    response = conn.getresponse()
+    return response.status, json.loads(response.read())
+
+
+def main() -> int:
+    native = _native.LIB is not None
+    print(f"native kernel: {native}")
+    obs.enable(metrics=True, trace=False)
+
+    rng = np.random.default_rng(17)
+    data = rng.standard_normal((N, DIM)).astype(np.float32)
+    queries = rng.standard_normal((64, DIM)).astype(np.float32)
+    index = create("nsg", seed=0)
+    index.build(data)
+    reference = [index.search(q, k=K, ef=EF) for q in queries]
+    print(f"built nsg on {N}x{DIM}; {len(queries)} reference answers")
+
+    config = ServingConfig(
+        port=0, max_wait_ms=3.0, max_batch=32, queue_depth=256,
+        workers=2, default_k=K, default_ef=EF,
+    )
+    background = BackgroundServer(index, config).start()
+    try:
+        # -- fixed concurrent load, every response verified ------------
+        wrong = [0] * CLIENTS
+        failed = [0] * CLIENTS
+        latencies: list[list[float]] = [[] for _ in range(CLIENTS)]
+
+        def client(c: int) -> None:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", background.port, timeout=60.0
+            )
+            lane = np.random.default_rng(c)
+            try:
+                for _ in range(REQUESTS):
+                    i = int(lane.integers(len(queries)))
+                    # half the requests carry a generous deadline: the
+                    # SLO path must not change a single bit
+                    payload = {"vector": queries[i].tolist(),
+                               "k": K, "ef": EF}
+                    if i % 2 == 0:
+                        payload["deadline_ms"] = 60_000
+                    started = time.perf_counter()
+                    status, body = post(conn, payload)
+                    latencies[c].append(time.perf_counter() - started)
+                    if status != 200:
+                        failed[c] += 1
+                        continue
+                    want = reference[i]
+                    if (body["ids"] != [int(v) for v in want.ids]
+                            or body["ndc"] != want.ndc
+                            or body["degraded"]):
+                        wrong[c] += 1
+            finally:
+                conn.close()
+
+        threads = [
+            threading.Thread(target=client, args=(c,))
+            for c in range(CLIENTS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        total = CLIENTS * REQUESTS
+        all_lat = sorted(v for lane in latencies for v in lane)
+        p99 = all_lat[int(len(all_lat) * 0.99) - 1] * 1000
+        stats = background.server.coalescer.stats.snapshot()
+        print(f"{total} requests: wrong={sum(wrong)} failed={sum(failed)} "
+              f"p99={p99:.1f}ms mean_batch={stats['mean_batch_size']} "
+              f"kernel_paths={stats['kernel_paths']}")
+        assert sum(wrong) == 0, f"{sum(wrong)} incorrect responses"
+        assert sum(failed) == 0, f"{sum(failed)} failed responses"
+        assert stats["mean_batch_size"] > 1.0, "no coalescing happened"
+        assert p99 <= P99_MS, f"p99 {p99:.1f}ms over the {P99_MS}ms gate"
+        if native:
+            assert set(stats["kernel_paths"]) == {"fused_mt"}, (
+                f"SLO-budgeted batches fell off the fused path: "
+                f"{stats['kernel_paths']}"
+            )
+
+        # -- tiny deadline: degraded answer or queue-expiry, no error --
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", background.port, timeout=60.0
+        )
+        status, body = post(conn, {
+            "vector": queries[0].tolist(), "k": K, "ef": EF,
+            "deadline_ms": 0.2,
+        })
+        assert status in (200, 504), (status, body)
+        print(f"0.2ms deadline → {status} "
+              f"({'degraded=' + str(body.get('degraded')) if status == 200 else 'expired in queue'})")
+
+        # -- malformed request fails alone -----------------------------
+        status, body = post(conn, {"vector": [1.0, 2.0]})
+        assert status == 400 and "error" in body, (status, body)
+        status, body = post(conn, {"vector": queries[0].tolist()})
+        assert status == 200, (status, body)
+        print("malformed request 400s; connection still serves")
+        conn.close()
+
+        # -- drain: new requests 503, then clean stop ------------------
+        background.begin_drain()
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", background.port, timeout=60.0
+        )
+        status, body = post(conn, {"vector": queries[0].tolist()})
+        assert status == 503, (status, body)
+        conn.request("GET", "/healthz")
+        response = conn.getresponse()
+        health = json.loads(response.read())
+        assert response.status == 503 and health["status"] == "draining"
+        conn.close()
+        print("draining server 503s new requests")
+    finally:
+        background.stop()
+    print("drained and stopped cleanly")
+    print("serving smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

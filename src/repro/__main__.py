@@ -10,6 +10,9 @@ Commands
 ``recommend`` — Table 7 advice for a named dataset.
 ``stats``     — summarize a JSONL query-trace file (total/mean NDC,
                 hops, degradations, termination reasons).
+``serve``     — build an index and run the async HTTP front door
+                (dynamic micro-batching onto the fused MT kernel);
+                SIGINT/SIGTERM drain gracefully.
 """
 
 from __future__ import annotations
@@ -202,6 +205,48 @@ def _cmd_eval(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from repro.serving import ServingConfig, serve
+
+    obs.enable(metrics=True, trace=False)
+    dataset = load_dataset(args.dataset, cardinality=args.n, num_queries=1)
+    if args.shards > 1:
+        from repro.sharding import ShardedIndex
+
+        if args.compressed or args.mmap_vectors:
+            print("--compressed/--mmap-vectors are not supported with "
+                  "--shards", file=sys.stderr)
+            return 2
+        index = ShardedIndex.build(
+            dataset.base, num_shards=args.shards,
+            algorithm=args.algorithm, seed=args.seed,
+        )
+    else:
+        index = create(args.algorithm, seed=args.seed)
+        index.build(dataset.base)
+        if args.compressed:
+            index.enable_compressed()
+        if args.mmap_vectors:
+            import tempfile
+            from pathlib import Path
+
+            from repro.io import load_index, save_index
+
+            tmp = tempfile.mkdtemp(prefix="repro-serve-")
+            path = Path(tmp) / "index.npz"
+            save_index(index, path, vector_tier="sidecar")
+            index = load_index(path, mmap_vectors=True)
+    config = ServingConfig(
+        host=args.host, port=args.port,
+        max_wait_ms=args.max_wait_ms, max_batch=args.max_batch,
+        queue_depth=args.queue_depth, deadline_ms=args.deadline_ms,
+        workers=args.workers, default_k=args.k, default_ef=args.ef,
+        compressed=args.compressed, rerank_factor=args.rerank_factor,
+    )
+    serve(index, config)
+    return 0
+
+
 def _cmd_stats(args) -> int:
     traces = read_jsonl(args.trace_file)
     if not traces:
@@ -309,6 +354,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable metrics; write a Prometheus text scrape here",
     )
     evaluate.set_defaults(run=_cmd_eval)
+
+    serving = commands.add_parser(
+        "serve", help="run the async HTTP serving front door"
+    )
+    serving.add_argument("algorithm", choices=sorted(ALGORITHMS))
+    serving.add_argument("dataset")
+    serving.add_argument("--n", type=int, default=10000,
+                         help="dataset cardinality to build (default 10000)")
+    serving.add_argument("--seed", type=int, default=0)
+    serving.add_argument("--host", default="127.0.0.1")
+    serving.add_argument("--port", type=int, default=8080,
+                         help="listen port (0 = ephemeral)")
+    serving.add_argument("--max-wait-ms", type=float, default=2.0,
+                         help="coalescing window before a partial batch "
+                              "flushes (default 2ms)")
+    serving.add_argument("--max-batch", type=int, default=64,
+                         help="flush immediately at this many queries")
+    serving.add_argument("--queue-depth", type=int, default=256,
+                         help="admission bound: queued + in-flight "
+                              "requests before 429s")
+    serving.add_argument("--deadline-ms", type=float, default=None,
+                         help="default per-request SLO mapped onto a "
+                              "QueryBudget (requests may override)")
+    serving.add_argument("--workers", type=int, default=2,
+                         help="MT kernel threads per batch")
+    serving.add_argument("--k", type=int, default=10,
+                         help="default neighbors per request")
+    serving.add_argument("--ef", type=int, default=64,
+                         help="default candidate-set size per request")
+    serving.add_argument("--shards", type=int, default=1,
+                         help="serve a sharded scatter-gather index")
+    serving.add_argument("--compressed", action="store_true",
+                         help="serve the ADC (PQ) traversal tier")
+    serving.add_argument("--rerank-factor", type=int, default=None,
+                         help="compressed-mode exact re-rank multiplier")
+    serving.add_argument("--mmap-vectors", action="store_true",
+                         help="serve with vectors memory-mapped from a "
+                              "float32 sidecar")
+    serving.set_defaults(run=_cmd_serve)
 
     stats = commands.add_parser(
         "stats", help="summarize a JSONL query-trace file"

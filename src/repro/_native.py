@@ -71,6 +71,19 @@ _C_SOURCE = r"""
 #include <pthread.h>
 #include <time.h>
 
+/* Coarse wall-clock reads for deadline budgets and per-thread busy
+   accounting.  CLOCK_MONOTONIC, read at most once every
+   DEADLINE_CHECK_GRAIN expansions, so the deadline branch costs a
+   predictable O(hops / grain) syscalls and nothing on the unbudgeted
+   path (deadline <= 0 short-circuits before the modulo). */
+static double mono_now(void) {
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+}
+
+#define DEADLINE_CHECK_GRAIN 16
+
 /* Deterministic unrolled dot product: four partial sums combined as
    (s0+s1)+(s2+s3).  Both entry points below use this same routine, so
    every distance the library ever reports is computed identically. */
@@ -190,10 +203,14 @@ static void res_push(double *hd, int32_t *hi, int64_t *len,
 /* -- best-first search (Algorithm 1 / Definition 4.7) ---------------
    max_ndc / max_hops implement the QueryBudget caps: a negative value
    means unlimited, in which case every budget branch below is dead and
-   the loop is byte-for-byte the unbudgeted Algorithm 1.  When a cap
-   fires the search stops where it stands and the current result heap
-   is returned as a degraded best-k; stats[3] records which cap fired
-   (0 none, 1 ndc, 2 hops) so Python can attach a BudgetReport. */
+   the loop is byte-for-byte the unbudgeted Algorithm 1.  ``deadline``
+   is an absolute CLOCK_MONOTONIC second count (<= 0 means none),
+   checked coarsely — once every DEADLINE_CHECK_GRAIN expansions — so
+   wall-clock SLO budgets can ride the kernel instead of falling back
+   to the Python pool.  When a cap fires the search stops where it
+   stands and the current result heap is returned as a degraded
+   best-k; stats[3] records which cap fired (0 none, 1 ndc, 2 hops,
+   3 deadline) so Python can attach a BudgetReport. */
 
 /* The shared search core.  ``counts`` selects the adjacency layout:
    NULL walks the frozen CSR arrays (indptr[u]..indptr[u+1]); non-NULL
@@ -217,7 +234,7 @@ static int64_t bf_core(
     const unsigned char *codes, const float *lut, int64_t pqm, int64_t pqk,
     const double *q, double qsq,
     const int64_t *seeds, int64_t nseeds, int64_t ef,
-    int64_t max_ndc, int64_t max_hops,
+    int64_t max_ndc, int64_t max_hops, double deadline,
     int64_t *visit_gen, int64_t gen,
     double *cd, int32_t *ci,          /* candidate heap, capacity n  */
     double *rd, int32_t *ri,          /* result heap, capacity ef    */
@@ -249,6 +266,8 @@ static int64_t bf_core(
     while (clen > 0 && !fired) {
         if (max_hops >= 0 && hops >= max_hops) { fired = 2; break; }
         if (max_ndc >= 0 && ndc >= max_ndc) { fired = 1; break; }
+        if (deadline > 0.0 && hops % DEADLINE_CHECK_GRAIN == 0 &&
+            mono_now() >= deadline) { fired = 3; break; }
         double du; int32_t u;
         cand_pop(cd, ci, &clen, &du, &u);
         if (rlen == ef && du > rd[0]) break;
@@ -309,7 +328,7 @@ int64_t best_first(
 {
     (void)n;
     return bf_core(data, d, norms, indptr, indices, 0, 0, 0, 0, 0,
-                   q, qsq, seeds, nseeds, ef, max_ndc, max_hops,
+                   q, qsq, seeds, nseeds, ef, max_ndc, max_hops, 0.0,
                    visit_gen, gen, cd, ci, rd, ri, out_ids, out_sq,
                    0, 0, stats);
 }
@@ -332,7 +351,7 @@ int64_t best_first_adc(
 {
     (void)n;
     return bf_core(0, 0, 0, indptr, indices, 0, codes, lut, pqm, pqk,
-                   0, 0.0, seeds, nseeds, ef, max_ndc, max_hops,
+                   0, 0.0, seeds, nseeds, ef, max_ndc, max_hops, 0.0,
                    visit_gen, gen, cd, ci, rd, ri, out_ids, out_sq,
                    0, 0, stats);
 }
@@ -352,7 +371,7 @@ int64_t best_first_build(
     int64_t *stats)
 {
     return bf_core(data, d, norms, indptr, indices, counts, 0, 0, 0, 0,
-                   q, qsq, seeds, nseeds, ef, -1, -1,
+                   q, qsq, seeds, nseeds, ef, -1, -1, 0.0,
                    visit_gen, gen, cd, ci, rd, ri, out_ids, out_sq,
                    vis_ids, vis_sq, stats);
 }
@@ -425,7 +444,11 @@ typedef struct {
     const double *queries; const double *qsqs; int64_t nq;
     const int64_t *seed_indptr; const int64_t *seeds;
     int64_t ef;
-    const int64_t *max_ndcs; int64_t max_hops;
+    const int64_t *max_ndcs;
+    const int64_t *max_hops;     /* per query, -1 = unlimited */
+    const double *deadlines;     /* per query, seconds of wall-clock
+                                    allowed from kernel entry; <= 0 = none */
+    double deadline_base;        /* CLOCK_MONOTONIC at kernel entry */
     int32_t *out_ids; double *out_sq; int64_t *out_len; int64_t *stats;
     double *thread_busy;
     int64_t next;          /* atomic work cursor */
@@ -434,16 +457,10 @@ typedef struct {
 
 typedef struct { mt_job *job; int64_t tid; } mt_arg;
 
-static double mt_now(void) {
-    struct timespec ts;
-    clock_gettime(CLOCK_MONOTONIC, &ts);
-    return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
-}
-
 static void *mt_worker(void *argp) {
     mt_arg *arg = (mt_arg *)argp;
     mt_job *job = arg->job;
-    double started = mt_now();
+    double started = mono_now();
     int64_t n = job->n, ef = job->ef;
     int64_t *visit_gen = (int64_t *)calloc((size_t)n, sizeof(int64_t));
     double *cd = (double *)malloc((size_t)n * sizeof(double));
@@ -461,6 +478,12 @@ static void *mt_worker(void *argp) {
             if (stop > job->nq) stop = job->nq;
             for (int64_t i = start; i < stop; i++) {
                 gen++;
+                /* a query's wall-clock allowance is measured from the
+                   single kernel entry point — the deadline the serving
+                   layer computed against request arrival — not from
+                   whenever a thread happens to dequeue it */
+                double dl = (job->deadlines && job->deadlines[i] > 0.0)
+                    ? job->deadline_base + job->deadlines[i] : 0.0;
                 job->out_len[i] = bf_core(
                     job->data, job->d, job->norms,
                     job->indptr, job->indices, 0,
@@ -471,7 +494,7 @@ static void *mt_worker(void *argp) {
                     job->qsqs ? job->qsqs[i] : 0.0,
                     job->seeds + job->seed_indptr[i],
                     job->seed_indptr[i + 1] - job->seed_indptr[i],
-                    ef, job->max_ndcs[i], job->max_hops,
+                    ef, job->max_ndcs[i], job->max_hops[i], dl,
                     visit_gen, gen, cd, ci, rd, ri,
                     job->out_ids + i * ef, job->out_sq + i * ef,
                     0, 0, job->stats + i * 4);
@@ -479,7 +502,7 @@ static void *mt_worker(void *argp) {
         }
     }
     free(visit_gen); free(cd); free(ci); free(rd); free(ri);
-    job->thread_busy[arg->tid] = mt_now() - started;
+    job->thread_busy[arg->tid] = mono_now() - started;
     return 0;
 }
 
@@ -518,7 +541,8 @@ int64_t best_first_batch_mt(
     const int32_t *indptr, const int32_t *indices,
     const double *queries, const double *qsqs, int64_t nq,
     const int64_t *seed_indptr, const int64_t *seeds, int64_t ef,
-    const int64_t *max_ndcs, int64_t max_hops,
+    const int64_t *max_ndcs, const int64_t *max_hops,
+    const double *deadlines,
     int32_t *out_ids, double *out_sq, int64_t *out_len,
     int64_t *stats, int64_t n_threads, double *thread_busy)
 {
@@ -529,6 +553,7 @@ int64_t best_first_batch_mt(
     job.queries = queries; job.qsqs = qsqs; job.nq = nq;
     job.seed_indptr = seed_indptr; job.seeds = seeds; job.ef = ef;
     job.max_ndcs = max_ndcs; job.max_hops = max_hops;
+    job.deadlines = deadlines; job.deadline_base = mono_now();
     job.out_ids = out_ids; job.out_sq = out_sq; job.out_len = out_len;
     job.stats = stats; job.thread_busy = thread_busy;
     job.next = 0; job.failed = 0;
@@ -544,7 +569,8 @@ int64_t best_first_batch_adc_mt(
     const float *luts,
     const int32_t *indptr, const int32_t *indices, int64_t nq,
     const int64_t *seed_indptr, const int64_t *seeds, int64_t ef,
-    const int64_t *max_ndcs, int64_t max_hops,
+    const int64_t *max_ndcs, const int64_t *max_hops,
+    const double *deadlines,
     int32_t *out_ids, double *out_sq, int64_t *out_len,
     int64_t *stats, int64_t n_threads, double *thread_busy)
 {
@@ -555,6 +581,7 @@ int64_t best_first_batch_adc_mt(
     job.queries = 0; job.qsqs = 0; job.nq = nq;
     job.seed_indptr = seed_indptr; job.seeds = seeds; job.ef = ef;
     job.max_ndcs = max_ndcs; job.max_hops = max_hops;
+    job.deadlines = deadlines; job.deadline_base = mono_now();
     job.out_ids = out_ids; job.out_sq = out_sq; job.out_len = out_len;
     job.stats = stats; job.thread_busy = thread_busy;
     job.next = 0; job.failed = 0;
@@ -655,7 +682,7 @@ def _build_library() -> ctypes.CDLL | None:
     lib.best_first_batch.restype = None
     lib.best_first_batch_mt.argtypes = [
         _PF32, _I64, _I64, _PF64, _PI32, _PI32, _PF64, _PF64, _I64,
-        _PI64, _PI64, _I64, _PI64, _I64,
+        _PI64, _PI64, _I64, _PI64, _PI64, _PF64,
         _PI32, _PF64, _PI64, _PI64, _I64, _PF64,
     ]
     lib.best_first_batch_mt.restype = _I64
@@ -667,7 +694,7 @@ def _build_library() -> ctypes.CDLL | None:
     lib.best_first_adc.restype = _I64
     lib.best_first_batch_adc_mt.argtypes = [
         _PU8, _I64, _I64, _I64, _PF32, _PI32, _PI32, _I64,
-        _PI64, _PI64, _I64, _PI64, _I64,
+        _PI64, _PI64, _I64, _PI64, _PI64, _PF64,
         _PI32, _PF64, _PI64, _PI64, _I64, _PF64,
     ]
     lib.best_first_batch_adc_mt.restype = _I64
@@ -778,7 +805,32 @@ def best_first(ctx, graph, query64, query_sq, seeds, ef,
     )
 
 
-_FIRED_LABELS = {0: None, 1: "ndc", 2: "hops"}
+_FIRED_LABELS = {0: None, 1: "ndc", 2: "hops", 3: "deadline"}
+
+
+def _per_query_caps(nq, max_ndcs, max_hops, deadlines):
+    """Normalize the MT kernels' per-query budget arrays.
+
+    ``max_ndcs``/``max_hops`` accept ``None`` (unlimited), a scalar
+    applied to every query, or an int64 array; ``deadlines`` accepts
+    ``None`` or a float64 array of per-query wall-clock allowances in
+    seconds measured from kernel entry (``<= 0`` = none).
+    """
+    if max_ndcs is None:
+        max_ndcs = np.full(nq, -1, dtype=np.int64)
+    else:
+        max_ndcs = np.ascontiguousarray(max_ndcs, dtype=np.int64)
+    if max_hops is None:
+        max_hops = np.full(nq, -1, dtype=np.int64)
+    elif np.isscalar(max_hops):
+        max_hops = np.full(nq, int(max_hops), dtype=np.int64)
+    else:
+        max_hops = np.ascontiguousarray(max_hops, dtype=np.int64)
+    if deadlines is None:
+        deadlines = np.zeros(nq, dtype=np.float64)
+    else:
+        deadlines = np.ascontiguousarray(deadlines, dtype=np.float64)
+    return max_ndcs, max_hops, deadlines
 
 
 def best_first_adc(ctx, graph, codes, lut, seeds, ef,
@@ -811,7 +863,8 @@ def best_first_adc(ctx, graph, codes, lut, seeds, ef,
 
 
 def best_first_batch_adc_mt(codes, luts, graph, nq, seed_indptr, seeds,
-                            ef, n_threads, max_ndcs=None, max_hops=-1):
+                            ef, n_threads, max_ndcs=None, max_hops=-1,
+                            deadlines=None):
     """Compressed whole-batch search on the pthread pool.
 
     ``luts`` is the stacked ``(nq, M, K)`` float32 table block (one GEMM
@@ -825,8 +878,9 @@ def best_first_batch_adc_mt(codes, luts, graph, nq, seed_indptr, seeds,
     """
     indptr, indices = graph.csr()
     n_threads = max(1, min(int(n_threads), max(nq, 1)))
-    if max_ndcs is None:
-        max_ndcs = np.full(nq, -1, dtype=np.int64)
+    max_ndcs, max_hops, deadlines = _per_query_caps(
+        nq, max_ndcs, max_hops, deadlines
+    )
     out_ids = np.empty((nq, ef), dtype=np.int32)
     out_sq = np.empty((nq, ef), dtype=np.float64)
     out_len = np.empty(nq, dtype=np.int64)
@@ -834,7 +888,8 @@ def best_first_batch_adc_mt(codes, luts, graph, nq, seed_indptr, seeds,
     thread_busy = np.zeros(n_threads, dtype=np.float64)
     rc = LIB.best_first_batch_adc_mt(
         codes, len(codes), codes.shape[1], luts.shape[2], luts,
-        indptr, indices, nq, seed_indptr, seeds, ef, max_ndcs, max_hops,
+        indptr, indices, nq, seed_indptr, seeds, ef,
+        max_ndcs, max_hops, deadlines,
         out_ids, out_sq, out_len, stats, n_threads, thread_busy,
     )
     if rc != 0:
@@ -875,7 +930,7 @@ def best_first_batch(ctx, graph, queries64, qsqs, seed_indptr, seeds, ef,
 
 def best_first_batch_mt(data, norms_sq, graph, queries64, qsqs,
                         seed_indptr, seeds, ef, n_threads,
-                        max_ndcs=None, max_hops=-1):
+                        max_ndcs=None, max_hops=-1, deadlines=None):
     """Whole-batch search on a pthread pool: one GIL-released C call.
 
     Unlike :func:`best_first_batch` this needs no
@@ -891,8 +946,9 @@ def best_first_batch_mt(data, norms_sq, graph, queries64, qsqs,
     indptr, indices = graph.csr()
     nq = len(queries64)
     n_threads = max(1, min(int(n_threads), max(nq, 1)))
-    if max_ndcs is None:
-        max_ndcs = np.full(nq, -1, dtype=np.int64)
+    max_ndcs, max_hops, deadlines = _per_query_caps(
+        nq, max_ndcs, max_hops, deadlines
+    )
     out_ids = np.empty((nq, ef), dtype=np.int32)
     out_sq = np.empty((nq, ef), dtype=np.float64)
     out_len = np.empty(nq, dtype=np.int64)
@@ -901,7 +957,7 @@ def best_first_batch_mt(data, norms_sq, graph, queries64, qsqs,
     rc = LIB.best_first_batch_mt(
         data, len(data), data.shape[1], norms_sq,
         indptr, indices, queries64, qsqs, nq,
-        seed_indptr, seeds, ef, max_ndcs, max_hops,
+        seed_indptr, seeds, ef, max_ndcs, max_hops, deadlines,
         out_ids, out_sq, out_len, stats, n_threads, thread_busy,
     )
     if rc != 0:

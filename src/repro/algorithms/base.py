@@ -794,6 +794,32 @@ class GraphANNS:
             obs.observe_query(result, elapsed)
         return result
 
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        ef: int | None = None,
+        workers: int = 1,
+        budget=None,
+        compressed: bool = False,
+        rerank_factor: int | None = None,
+    ):
+        """Answer many queries through :func:`repro.batch.search_batch`.
+
+        Method form of the batch API so a bare index satisfies the same
+        duck type as :class:`~repro.sharding.ShardedIndex` — anything
+        exposing ``search_batch`` can sit behind the serving coalescer.
+        ``budget`` may be a single :class:`QueryBudget` or one per query
+        (``None`` entries = unbudgeted); results are bit-identical (ids
+        and NDC) to a sequential ``search`` loop.
+        """
+        from repro.batch import search_batch as _search_batch
+
+        return _search_batch(
+            self, queries, k=k, ef=ef, workers=workers, budget=budget,
+            compressed=compressed, rerank_factor=rerank_factor,
+        )
+
     def _merge_delta(
         self,
         result: SearchResult,

@@ -110,6 +110,12 @@ class BatchQueryResult:
     trace_ids: list | None = None                    # (Q,) str, tracing only
     batch_id: str | None = None
     worker_utilization: float = 0.0
+    # which engine answered the batch: "fused_mt" / "fused_mt_adc" (one
+    # GIL-released MT kernel call), "chunked_native" (per-chunk serial
+    # kernel calls), or "python" (per-query orchestration).  Serving
+    # telemetry uses this to prove SLO-budgeted batches stayed on the
+    # fast path; None for empty batches.
+    kernel_path: str | None = None
     # compressed mode only (None otherwise): per-query ADC table lookups
     # (zero true NDC) and exact re-rank cost (included in ndc)
     adc_lookups: np.ndarray | None = None            # (Q,) int64
@@ -317,7 +323,7 @@ def search_batch(
     k: int = 10,
     ef: int | None = None,
     workers: int = 1,
-    budget: QueryBudget | None = None,
+    budget: "QueryBudget | Sequence[QueryBudget | None] | None" = None,
     compressed: bool = False,
     rerank_factor: int | None = None,
 ) -> BatchQueryResult:
@@ -329,9 +335,9 @@ def search_batch(
     default-routing indexes the whole batch runs below the interpreter:
     one ctypes call into the multi-threaded C kernel (``workers``
     pthreads, the GIL released once), bit-identical for any thread
-    count.  Custom ``_route`` implementations, traced runs, deadline
-    budgets and kernel-less environments use the chunked Python worker
-    pool instead, each chunk reusing one :class:`SearchContext`.
+    count.  Custom ``_route`` implementations, traced runs and
+    kernel-less environments use the chunked Python worker pool
+    instead, each chunk reusing one :class:`SearchContext`.
 
     Resilience semantics:
 
@@ -343,7 +349,16 @@ def search_batch(
     * ``budget`` applies per query (the ``max_ndc``/``max_hops`` caps
       are *per query*, with each query's own seed-acquisition NDC
       charged against it).  Budget-capped queries return their best-k
-      so far with ``result.degraded[i]`` set.
+      so far with ``result.degraded[i]`` set.  A sequence of budgets
+      (one entry per query, ``None`` for unlimited) carries
+      heterogeneous per-request limits — the serving front door maps
+      each request's SLO deadline here.  Deadline budgets stay on the
+      fused MT kernel: the C worker pool checks CLOCK_MONOTONIC
+      coarsely (every few expansions) against each query's allowance,
+      so SLO-budgeted batches no longer fall back to the chunked
+      Python pool.  A deadline measures wall-clock from kernel entry
+      (the chunked fallback measures from each query's own route
+      start); a deadline that never fires changes no bits either way.
     * A worker that raises mid-chunk does not sink the batch: the chunk
       is retried once, sequentially and in pure NumPy.  Queries that
       still fail get ``result.errors[i]`` set instead of propagating.
@@ -371,6 +386,30 @@ def search_batch(
             f"queries are {queries.shape[1]}-d"
         )
     num_queries = len(queries)
+    # heterogeneous per-request budgets: normalize a sequence into a
+    # per-query list (all-None collapses to the unbudgeted fast path)
+    budgets: list | None = None
+    if budget is not None and not isinstance(budget, QueryBudget):
+        budgets = list(budget)
+        if len(budgets) != num_queries:
+            raise ValueError(
+                f"budget sequence has {len(budgets)} entries for "
+                f"{num_queries} queries"
+            )
+        for entry in budgets:
+            if entry is not None and not isinstance(entry, QueryBudget):
+                raise TypeError(
+                    f"budget entries must be QueryBudget or None, "
+                    f"got {type(entry).__name__}"
+                )
+        budget = None
+        if all(entry is None for entry in budgets):
+            budgets = None
+    any_budget = budget is not None or budgets is not None
+
+    def budget_for(i: int) -> QueryBudget | None:
+        return budgets[i] if budgets is not None else budget
+
     ef = max(k, ef if ef is not None else index.default_ef)
     tier = None
     max_pool = 0
@@ -452,27 +491,61 @@ def search_batch(
         if index._deleted is not None and index._deleted.any() else None
     )
     id_map = index._id_map  # reordered indexes return original-space ids
-    native_ok = (
+    native_base = (
         _uses_default_route(index)
         and _native.LIB is not None
         and index.graph.finalized
         and index.graph.n > 0
-        and (budget is None or budget.native_ok)
         # hop events are only observable on the Python path; it is
         # bit-identical to the kernel, so traced results don't change
         and not tracing
     )
-    # The GIL-free whole-batch kernel additionally steps around armed
-    # fault plans (their injection points are per-chunk/per-query hooks
-    # in the Python orchestration below).
+    # The chunked serial kernel takes one uniform NDC/hop cap per
+    # chunk: deadline budgets and heterogeneous per-query budgets go
+    # through the per-query Python loop instead.
+    native_ok = (
+        native_base
+        and budgets is None
+        and (budget is None or budget.native_ok)
+    )
+    # The GIL-free whole-batch kernel honors *every* budget kind —
+    # per-query NDC/hop caps and coarse wall-clock deadlines are
+    # enforced inside the C worker pool — so SLO-budgeted batches stay
+    # on the fast path.  It only steps around armed fault plans (their
+    # injection points are per-chunk/per-query hooks in the Python
+    # orchestration below).
     native_mt_ok = (
-        native_ok and len(finite_rows) > 0 and faults.active() is None
+        native_base and len(finite_rows) > 0 and faults.active() is None
     )
 
     def effective_budget(i: int) -> QueryBudget | None:
-        if budget is None:
+        b = budget_for(i)
+        if b is None:
             return None
-        return budget.after_spending(int(acq_ndc[i]))
+        return b.after_spending(int(acq_ndc[i]))
+
+    def budget_cap_arrays(rows):
+        """Per-query (max_ndcs, max_hops, deadlines) arrays for the MT
+        kernels — None/-1/0 entries mean unlimited.  Seed-acquisition
+        NDC is already charged; deadlines are relative to kernel entry
+        (seed acquisition happened before it, so a request's wall
+        budget covers the whole in-index span)."""
+        if not any_budget:
+            return None, None, None
+        max_ndcs = np.full(len(rows), -1, dtype=np.int64)
+        max_hops = np.full(len(rows), -1, dtype=np.int64)
+        deadlines = np.zeros(len(rows), dtype=np.float64)
+        for pos, i in enumerate(rows):
+            b = budget_for(i)
+            if b is None:
+                continue
+            if b.max_ndc is not None:
+                max_ndcs[pos] = max(b.max_ndc - int(acq_ndc[i]), 0)
+            if b.max_hops is not None:
+                max_hops[pos] = int(b.max_hops)
+            if b.deadline_s is not None:
+                deadlines[pos] = float(b.deadline_s)
+        return max_ndcs, max_hops, deadlines
 
     def fill_query(i: int, res_ids: np.ndarray, res_dists: np.ndarray) -> None:
         if deleted is not None:
@@ -638,15 +711,7 @@ def search_batch(
         seeds = (
             np.concatenate(uniq) if uniq else np.empty(0, dtype=np.int64)
         ).astype(np.int64, copy=False)
-        max_ndcs = None
-        max_hops = -1
-        if budget is not None:
-            if budget.max_ndc is not None:
-                max_ndcs = np.maximum(
-                    budget.max_ndc - acq_ndc[rows], 0
-                ).astype(np.int64)
-            if budget.max_hops is not None:
-                max_hops = int(budget.max_hops)
+        max_ndcs, max_hops, deadlines = budget_cap_arrays(rows)
         # results are bit-identical for any thread count, so threads
         # beyond the physical cores buy nothing but context switches
         # and per-thread scratch pressure — clamp to the machine
@@ -654,7 +719,7 @@ def search_batch(
         out_ids, out_sq, out_len, stats, thread_busy = _native.best_first_batch_mt(
             index.data, squared_norms(index.data), index.graph,
             queries64, qsqs, seed_indptr, seeds, ef, kernel_threads,
-            max_ndcs=max_ndcs, max_hops=max_hops,
+            max_ndcs=max_ndcs, max_hops=max_hops, deadlines=deadlines,
         )
         ndc[rows] = acq_ndc[rows] + stats[:, 0]
         hops[rows] = stats[:, 1]
@@ -689,21 +754,13 @@ def search_batch(
         seeds = (
             np.concatenate(uniq) if uniq else np.empty(0, dtype=np.int64)
         ).astype(np.int64, copy=False)
-        max_ndcs = None
-        max_hops = -1
-        if budget is not None:
-            if budget.max_ndc is not None:
-                max_ndcs = np.maximum(
-                    budget.max_ndc - acq_ndc[rows], 0
-                ).astype(np.int64)
-            if budget.max_hops is not None:
-                max_hops = int(budget.max_hops)
+        max_ndcs, max_hops, deadlines = budget_cap_arrays(rows)
         kernel_threads = max(1, min(workers, os.cpu_count() or workers))
         out_ids, out_sq, out_len, stats, thread_busy = (
             _native.best_first_batch_adc_mt(
                 tier.codes, luts, index.graph, len(rows), seed_indptr,
                 seeds, ef, kernel_threads,
-                max_ndcs=max_ndcs, max_hops=max_hops,
+                max_ndcs=max_ndcs, max_hops=max_hops, deadlines=deadlines,
             )
         )
         queries64 = np.ascontiguousarray(queries[rows], dtype=np.float64)
@@ -777,6 +834,12 @@ def search_batch(
                 ]
                 for future in futures:
                     future.result()
+    if fused_done:
+        kernel_path = "fused_mt_adc" if compressed else "fused_mt"
+    elif native_ok and not compressed:
+        kernel_path = "chunked_native"
+    else:
+        kernel_path = "python"
 
     # Two-tier merge: when the index carries a delta side-graph, fold
     # its per-query top-k into the finished base rows.  Every compute
@@ -790,11 +853,12 @@ def search_batch(
             if errors[i] is not None:
                 continue
             dcounter = DistanceCounter()
+            row_budget = budget_for(i)
             dres = delta.search(
                 np.ascontiguousarray(queries[i], dtype=np.float64), k, ef,
                 dcounter,
-                budget=(None if budget is None
-                        else budget.after_spending(int(ndc[i]))),
+                budget=(None if row_budget is None
+                        else row_budget.after_spending(int(ndc[i]))),
             )
             ndc[i] += dcounter.count
             hops[i] += dres.hops
@@ -823,6 +887,7 @@ def search_batch(
         handles.batch_worker_utilization.set(utilization)
         handles.batch_seconds.observe(elapsed_s)
         handles.batch_queries_total.inc(num_queries)
+        handles.batch_kernel_path(kernel_path).inc()
         num_degraded = int(degraded.sum())
         if num_degraded:
             handles.batch_degraded_total.inc(num_degraded)
@@ -844,4 +909,5 @@ def search_batch(
         worker_utilization=utilization,
         adc_lookups=adc_lookups,
         rerank_ndc=rerank_ndc,
+        kernel_path=kernel_path,
     )

@@ -229,7 +229,43 @@ class Instruments:
         self.integrity_issues_total = registry.counter(
             "repro_index_integrity_issues_total",
             "Integrity issues found by verify_index.")
+        self.serving_requests_total = registry.counter(
+            "repro_serving_requests_total",
+            "Search requests admitted by the serving front door.")
+        self.serving_queue_depth = registry.gauge(
+            "repro_serving_queue_depth",
+            "Requests queued or in flight inside the coalescer.")
+        self.serving_batch_size = registry.histogram(
+            "repro_serving_batch_size",
+            "Queries per coalesced search_batch call.",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0))
+        self.serving_coalesce_wait_seconds = registry.histogram(
+            "repro_serving_coalesce_wait_seconds",
+            "Time a request waited in the coalescing window before "
+            "its batch flushed.")
+        self.serving_request_seconds = registry.histogram(
+            "repro_serving_request_seconds",
+            "End-to-end request latency (enqueue to response ready).")
+        self.serving_index_seconds = registry.histogram(
+            "repro_serving_index_seconds",
+            "In-index time of a coalesced batch (the search_batch call "
+            "itself; subtract from end-to-end for queueing overhead).")
         self._registry = registry
+
+    def serving_rejected(self, reason: str) -> Counter:
+        """Admission rejections by reason (overloaded/draining/expired)."""
+        return self._registry.counter(
+            "repro_serving_rejected_total",
+            "Requests rejected by serving admission control.",
+            labels={"reason": reason})
+
+    def batch_kernel_path(self, path: str) -> Counter:
+        """Which compute path a search_batch call took."""
+        return self._registry.counter(
+            "repro_batch_kernel_path_total",
+            "search_batch calls by compute path "
+            "(fused_mt/fused_mt_adc/chunked_native/python).",
+            labels={"path": path})
 
     def build_phase_seconds(self, phase: str) -> Histogram:
         """Per-phase build histogram (phases are dynamic labels)."""

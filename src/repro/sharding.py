@@ -672,7 +672,7 @@ class ShardedIndex:
         ef: int | None = None,
         workers: int = 1,
         fanout: int | None = None,
-        budget: QueryBudget | None = None,
+        budget=None,
         shard_timeout_s: float | None = None,
     ):
         """Batched scatter–gather: group the batch by shard, run one
@@ -682,6 +682,12 @@ class ShardedIndex:
         affected queries (``result.degraded[i]``) instead of raising;
         ``result.shard_report`` summarizes the scatter.  A single-shard
         index is bit-identical to the unsharded ``search_batch``.
+
+        ``budget`` may be one :class:`QueryBudget` for the whole batch
+        or a sequence of ``QueryBudget | None``, one per query (the
+        serving coalescer's shape — requests arrive with heterogeneous
+        deadlines).  Each query's budget is sliced across its fan-out
+        exactly as the scalar form is.
         """
         from repro.batch import BatchQueryResult, search_batch
 
@@ -744,7 +750,19 @@ class ShardedIndex:
                     routes[alive[s_pos]] = rows
         ndc[finite_rows] = routing_ndc
 
-        shard_budget = slice_budget(budget, fan if len(alive) > 1 else 1)
+        slice_fan = fan if len(alive) > 1 else 1
+        if budget is None or isinstance(budget, QueryBudget):
+            shard_budget = slice_budget(budget, slice_fan)
+            per_query_budget = None
+        else:
+            budgets = list(budget)
+            if len(budgets) != num_queries:
+                raise ValueError(
+                    f"budget sequence length {len(budgets)} != "
+                    f"batch size {num_queries}"
+                )
+            shard_budget = None
+            per_query_budget = [slice_budget(b, slice_fan) for b in budgets]
         plan = faults.active()
         quarantined: list[tuple[int, str]] = []
         shard_results: dict[int, tuple[np.ndarray, object]] = {}
@@ -752,9 +770,13 @@ class ShardedIndex:
         def run_shard(s: int, rows: np.ndarray):
             if plan is not None:
                 plan.before_shard(s, 0)
+            if per_query_budget is None:
+                row_budget = shard_budget
+            else:
+                row_budget = [per_query_budget[int(i)] for i in rows]
             return search_batch(
                 self.shards[s], queries[rows], k=k, ef=ef,
-                workers=workers, budget=shard_budget,
+                workers=workers, budget=row_budget,
             )
 
         involved = sorted(routes)
@@ -837,10 +859,16 @@ class ShardedIndex:
             },
         )
         elapsed = time.perf_counter() - started
+        paths = {shard_results[s][1].kernel_path for s in survivors}
+        kernel_path = (
+            paths.pop() if len(paths) == 1
+            else ("mixed" if paths else None)
+        )
         result = BatchQueryResult(
             ids=ids, dists=dists, ndc=ndc, hops=hops, visited=visited,
             elapsed_s=elapsed, workers=workers, errors=errors,
             degraded=degraded, shard_report=report,
+            kernel_path=kernel_path,
         )
         self._observe(report, bool(degraded.any()), elapsed, num_queries)
         for s, reason in quarantined:

@@ -28,6 +28,7 @@ DUAL_MODE_SUITES = [
     "tests/test_compressed.py",
     "tests/test_sharded.py",
     "tests/test_updates.py",
+    "tests/test_serving.py",
 ]
 
 

@@ -1,0 +1,523 @@
+"""Serving front door: coalescing correctness, admission, drain.
+
+The contract under test is the tentpole claim: concurrent single-query
+requests coalesced into one fused-kernel ``search_batch`` call return
+responses *bit-identical* (ids and NDC) to a direct ``index.search()``
+of the same vector — batching is a throughput transform, never a
+semantic one.  On top of that: per-request deadlines ride the
+``QueryBudget``/``degraded`` machinery without leaving the fused MT
+path, malformed requests fail alone (never their batchmates), the
+bounded queue sheds load with 429, and a draining server finishes
+in-flight work while refusing new requests with 503.
+
+Runs in both kernel modes (listed in DUAL_MODE_SUITES): with
+``REPRO_NO_NATIVE=1`` the same requests flow through the pure-NumPy
+batch path — slower, same bits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+import repro
+from repro import _native
+from repro.serving import (
+    BackgroundServer,
+    Coalescer,
+    Draining,
+    Overloaded,
+    ProtocolError,
+    RequestFailed,
+    Server,
+    ServingConfig,
+    parse_search_request,
+)
+from repro.serving.protocol import SearchRequest
+
+DIM = 16
+K = 10
+EF = 64
+
+
+@pytest.fixture(scope="module")
+def served_index():
+    """A small deterministic-seed index (NSG routes from the medoid, so
+    sequential and batched searches share seeds bit-for-bit)."""
+    rng = np.random.default_rng(11)
+    data = rng.standard_normal((1500, DIM)).astype(np.float32)
+    index = repro.create("nsg", seed=3)
+    index.build(data)
+    return index
+
+
+@pytest.fixture(scope="module")
+def query_set():
+    rng = np.random.default_rng(12)
+    return rng.standard_normal((48, DIM)).astype(np.float32)
+
+
+@pytest.fixture(scope="module")
+def sequential_reference(served_index, query_set):
+    return [served_index.search(q, k=K, ef=EF) for q in query_set]
+
+
+def make_request(vector, **extra) -> SearchRequest:
+    body = json.dumps({"vector": list(map(float, vector)), **extra}).encode()
+    return parse_search_request(body, DIM, default_k=K, default_ef=EF)
+
+
+def post_json(port: int, payload, path: str = "/search", timeout=30.0):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=timeout)
+    try:
+        body = payload if isinstance(payload, (bytes, str)) else json.dumps(payload)
+        conn.request("POST", path, body,
+                     {"Content-Type": "application/json"})
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+def run_concurrent_submits(coalescer, requests):
+    """Drive many submits concurrently on one event loop; returns
+    results/errors in request order."""
+
+    async def go():
+        return await asyncio.gather(
+            *(coalescer.submit(r) for r in requests),
+            return_exceptions=True,
+        )
+
+    return asyncio.run(go())
+
+
+# -- protocol ------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_defaults_applied(self):
+        req = make_request(np.zeros(DIM))
+        assert req.k == K and req.ef == EF
+        assert req.deadline_ms is None and req.max_ndc is None
+
+    def test_ef_floored_to_k(self):
+        req = make_request(np.zeros(DIM), k=32, ef=4)
+        assert req.ef == 32
+
+    @pytest.mark.parametrize("body", [
+        b"not json",
+        b"[1,2,3]",
+        b'{"k": 5}',
+        b'{"vector": []}',
+        b'{"vector": "nope"}',
+        b'{"vector": [1, "x"]}',
+        json.dumps({"vector": [0.0] * (DIM + 1)}).encode(),
+        json.dumps({"vector": [float("nan")] * DIM}).encode(),
+        json.dumps({"vector": [0.0] * DIM, "k": 0}).encode(),
+        json.dumps({"vector": [0.0] * DIM, "k": "five"}).encode(),
+        json.dumps({"vector": [0.0] * DIM, "deadline_ms": -5}).encode(),
+        json.dumps({"vector": [0.0] * DIM, "bogus": 1}).encode(),
+    ])
+    def test_malformed_rejected(self, body):
+        with pytest.raises(ProtocolError):
+            parse_search_request(body, DIM, default_k=K, default_ef=EF)
+
+    def test_nan_vector_rejected(self):
+        body = json.dumps({"vector": [None] + [0.0] * (DIM - 1)}).encode()
+        with pytest.raises(ProtocolError):
+            parse_search_request(body, DIM, default_k=K, default_ef=EF)
+
+    def test_budget_mapping(self):
+        req = make_request(np.zeros(DIM), deadline_ms=25, max_ndc=5000)
+        budget = req.make_budget(0.025)
+        assert budget.deadline_s == pytest.approx(0.025)
+        assert budget.max_ndc == 5000
+        assert make_request(np.zeros(DIM)).make_budget(None) is None
+
+
+# -- coalescer correctness ----------------------------------------------
+
+
+class TestCoalescerBitIdentity:
+    def test_concurrent_equals_sequential(
+        self, served_index, query_set, sequential_reference
+    ):
+        coalescer = Coalescer(
+            served_index, max_wait_ms=10.0, max_batch=16, workers=2
+        )
+        requests = [make_request(q) for q in query_set]
+        results = run_concurrent_submits(coalescer, requests)
+        coalescer.close()
+        for got, want in zip(results, sequential_reference):
+            assert not isinstance(got, Exception), got
+            assert list(got["ids"][got["ids"] >= 0]) == list(want.ids)
+            assert got["ndc"] == want.ndc
+            assert not got["degraded"]
+        # and they actually coalesced
+        assert coalescer.stats.batches < len(query_set)
+        assert coalescer.stats.mean_batch_size > 1.0
+
+    def test_generous_deadline_changes_no_bits(
+        self, served_index, query_set, sequential_reference
+    ):
+        coalescer = Coalescer(
+            served_index, max_wait_ms=10.0, max_batch=16, workers=2
+        )
+        requests = [make_request(q, deadline_ms=60_000) for q in query_set]
+        results = run_concurrent_submits(coalescer, requests)
+        coalescer.close()
+        for got, want in zip(results, sequential_reference):
+            assert not isinstance(got, Exception), got
+            assert list(got["ids"][got["ids"] >= 0]) == list(want.ids)
+            assert got["ndc"] == want.ndc
+            assert not got["degraded"]
+
+    @pytest.mark.skipif(_native.LIB is None, reason="native kernel unavailable")
+    def test_deadline_budgets_stay_on_fused_kernel(
+        self, served_index, query_set
+    ):
+        """The fast-path fix under test: SLO-budgeted batches must run
+        the fused MT kernel, not the chunked Python fallback."""
+        coalescer = Coalescer(
+            served_index, max_wait_ms=10.0, max_batch=16, workers=2
+        )
+        requests = [make_request(q, deadline_ms=60_000) for q in query_set]
+        results = run_concurrent_submits(coalescer, requests)
+        coalescer.close()
+        assert all(r["kernel_path"] == "fused_mt" for r in results)
+        assert set(coalescer.stats.kernel_paths) == {"fused_mt"}
+
+    def test_mixed_budgets_preserved_per_request(self, served_index, query_set):
+        """Heterogeneous SLOs in one batch: the hopeless deadline
+        degrades its own request only."""
+        coalescer = Coalescer(
+            served_index, max_wait_ms=10.0, max_batch=len(query_set), workers=2
+        )
+        requests = [make_request(q, deadline_ms=60_000) for q in query_set]
+        # one request with an un-meetable NDC cap instead of a tiny
+        # deadline (deterministic in both kernel modes)
+        requests[3] = make_request(query_set[3], max_ndc=1, deadline_ms=60_000)
+        results = run_concurrent_submits(coalescer, requests)
+        coalescer.close()
+        assert results[3]["degraded"]
+        flags = [r["degraded"] for i, r in enumerate(results) if i != 3]
+        assert not any(flags)
+
+    def test_tiny_deadline_degrades_not_errors(self, served_index, query_set):
+        coalescer = Coalescer(
+            served_index, max_wait_ms=0.0, max_batch=8, workers=2
+        )
+        # 10ms SLO: admitted (not expired in queue) but fires mid-walk
+        # only if the walk is slow; either way the response is a valid
+        # best-k, never an exception
+        requests = [make_request(q, deadline_ms=10.0) for q in query_set[:8]]
+        results = run_concurrent_submits(coalescer, requests)
+        coalescer.close()
+        for got in results:
+            assert not isinstance(got, Exception), got
+            assert got["ndc"] >= 0
+
+    def test_batch_key_separates_parameter_groups(self, served_index, query_set):
+        """Different (k, ef) never share a batch — bit-identity demands
+        exact parameters."""
+        coalescer = Coalescer(
+            served_index, max_wait_ms=10.0, max_batch=64, workers=2
+        )
+        requests = [
+            make_request(q, k=5 if i % 2 else K) for i, q in enumerate(query_set)
+        ]
+        results = run_concurrent_submits(coalescer, requests)
+        coalescer.close()
+        for i, (got, q) in enumerate(zip(results, query_set)):
+            want = served_index.search(q, k=5 if i % 2 else K, ef=EF)
+            assert list(got["ids"][got["ids"] >= 0]) == list(want.ids)
+            assert got["ndc"] == want.ndc
+        assert coalescer.stats.batches >= 2
+
+
+class TestCoalescerResilience:
+    def test_nan_batchmate_fails_alone(self, served_index, query_set,
+                                       sequential_reference):
+        """A request that slips past parse with a poisoned vector is
+        isolated by the batch layer; its batchmates still answer
+        bit-identically."""
+        coalescer = Coalescer(
+            served_index, max_wait_ms=10.0, max_batch=8, workers=2
+        )
+        requests = [make_request(q) for q in query_set[:8]]
+        poisoned = make_request(query_set[2])
+        poisoned.vector = poisoned.vector.copy()
+        poisoned.vector[0] = np.nan
+        requests[2] = poisoned
+        results = run_concurrent_submits(coalescer, requests)
+        coalescer.close()
+        assert isinstance(results[2], RequestFailed)
+        for i in (0, 1, 3, 4, 5, 6, 7):
+            want = sequential_reference[i]
+            got = results[i]
+            assert not isinstance(got, Exception), got
+            assert list(got["ids"][got["ids"] >= 0]) == list(want.ids)
+            assert got["ndc"] == want.ndc
+
+    def test_admission_control_sheds_load(self, query_set):
+        """A slow duck-typed index backs the queue up; submissions past
+        queue_depth are rejected with Overloaded, not queued forever."""
+
+        class SlowIndex:
+            dim = DIM
+
+            def search_batch(self, queries, k=10, ef=None, workers=1,
+                             budget=None, **_):
+                time.sleep(0.25)
+                n = len(queries)
+                from repro.batch import BatchQueryResult
+                return BatchQueryResult(
+                    ids=np.zeros((n, k), dtype=np.int64),
+                    dists=np.zeros((n, k)),
+                    ndc=np.ones(n, dtype=np.int64),
+                    hops=np.zeros(n, dtype=np.int64),
+                    visited=np.zeros(n, dtype=np.int64),
+                    elapsed_s=0.25, workers=workers,
+                    errors=[None] * n,
+                    degraded=np.zeros(n, dtype=bool),
+                    kernel_path="fake",
+                )
+
+        coalescer = Coalescer(
+            SlowIndex(), max_wait_ms=0.0, max_batch=4, queue_depth=8,
+        )
+        requests = [make_request(q) for q in query_set[:32]]
+        results = run_concurrent_submits(coalescer, requests)
+        coalescer.close()
+        rejected = [r for r in results if isinstance(r, Overloaded)]
+        answered = [r for r in results if isinstance(r, dict)]
+        assert len(rejected) >= 1
+        assert len(answered) >= 8
+        assert coalescer.stats.rejected["overloaded"] == len(rejected)
+
+    def test_expired_in_queue_rejected_without_kernel_time(
+        self, served_index, query_set
+    ):
+        """A deadline that lapses before the window flushes is answered
+        with DeadlineExceeded, not given to the kernel."""
+        coalescer = Coalescer(
+            served_index, max_wait_ms=80.0, max_batch=1024, workers=2
+        )
+        requests = [
+            make_request(q, deadline_ms=1.0) for q in query_set[:4]
+        ]
+        results = run_concurrent_submits(coalescer, requests)
+        coalescer.close()
+        from repro.serving import DeadlineExceeded
+        assert all(isinstance(r, DeadlineExceeded) for r in results)
+        assert coalescer.stats.rejected["expired"] == len(requests)
+        assert coalescer.stats.batches == 0
+
+    def test_drain_refuses_new_finishes_inflight(self, served_index, query_set):
+        coalescer = Coalescer(
+            served_index, max_wait_ms=1000.0, max_batch=1024, workers=2
+        )
+
+        async def go():
+            inflight = [
+                asyncio.ensure_future(coalescer.submit(make_request(q)))
+                for q in query_set[:6]
+            ]
+            await asyncio.sleep(0.02)      # let them queue
+            drained = asyncio.ensure_future(coalescer.drain(timeout_s=30.0))
+            await asyncio.sleep(0.02)      # draining flag now set
+            with pytest.raises(Draining):
+                await coalescer.submit(make_request(query_set[10]))
+            results = await asyncio.gather(*inflight)
+            assert await drained
+            return results
+
+        results = asyncio.run(go())
+        coalescer.close()
+        for got, q in zip(results, query_set[:6]):
+            want = served_index.search(q, k=K, ef=EF)
+            assert list(got["ids"][got["ids"] >= 0]) == list(want.ids)
+            assert got["ndc"] == want.ndc
+
+
+# -- composition: sharded and mutable indexes ---------------------------
+
+
+class TestComposition:
+    def test_sharded_index_under_front_door(self, query_set):
+        from repro.sharding import ShardedIndex
+
+        rng = np.random.default_rng(21)
+        data = rng.standard_normal((1800, DIM)).astype(np.float32)
+        sharded = ShardedIndex.build(
+            data, num_shards=3, algorithm="nsg", seed=3
+        )
+        reference = sharded.search_batch(query_set, k=K, ef=EF)
+        coalescer = Coalescer(
+            sharded, max_wait_ms=10.0, max_batch=16, workers=2
+        )
+        results = run_concurrent_submits(
+            coalescer, [make_request(q) for q in query_set]
+        )
+        coalescer.close()
+        for i, got in enumerate(results):
+            assert not isinstance(got, Exception), got
+            assert (got["ids"] == reference.ids[i]).all()
+            assert got["ndc"] == reference.ndc[i]
+
+    def test_delta_tier_under_front_door(self, query_set):
+        rng = np.random.default_rng(22)
+        data = rng.standard_normal((1200, DIM)).astype(np.float32)
+        index = repro.create("nsg", seed=3)
+        index.build(data)
+        index.auto_consolidate = False
+        for row in rng.standard_normal((30, DIM)).astype(np.float32):
+            index.insert(row)
+        reference = [index.search(q, k=K, ef=EF) for q in query_set[:16]]
+        coalescer = Coalescer(
+            index, max_wait_ms=10.0, max_batch=8, workers=2
+        )
+        results = run_concurrent_submits(
+            coalescer, [make_request(q) for q in query_set[:16]]
+        )
+        coalescer.close()
+        for got, want in zip(results, reference):
+            assert not isinstance(got, Exception), got
+            assert list(got["ids"][got["ids"] >= 0]) == list(want.ids)
+            assert got["ndc"] == want.ndc
+
+
+# -- HTTP end-to-end -----------------------------------------------------
+
+
+class TestHTTPServer:
+    @pytest.fixture(scope="class")
+    def server(self, served_index):
+        config = ServingConfig(
+            port=0, max_wait_ms=5.0, max_batch=16, workers=2,
+            default_k=K, default_ef=EF,
+        )
+        with BackgroundServer(served_index, config) as background:
+            yield background
+
+    def test_concurrent_http_bit_identical(
+        self, server, query_set, sequential_reference
+    ):
+        answers: dict[int, tuple] = {}
+
+        def one(i):
+            answers[i] = post_json(
+                server.port, {"vector": query_set[i].tolist(),
+                              "k": K, "ef": EF},
+            )
+
+        threads = [
+            threading.Thread(target=one, args=(i,))
+            for i in range(len(query_set))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        batch_sizes = set()
+        for i, want in enumerate(sequential_reference):
+            status, body = answers[i]
+            assert status == 200, body
+            assert body["ids"] == [int(v) for v in want.ids]
+            assert body["ndc"] == want.ndc
+            assert not body["degraded"]
+            batch_sizes.add(body["batch_size"])
+        assert max(batch_sizes) > 1          # coalescing happened
+
+    def test_malformed_request_400s_alone(self, server, query_set,
+                                          sequential_reference):
+        """Fire a bad request surrounded by good concurrent ones."""
+        answers: dict[int, tuple] = {}
+
+        def good(i):
+            answers[i] = post_json(
+                server.port, {"vector": query_set[i].tolist(),
+                              "k": K, "ef": EF},
+            )
+
+        def bad():
+            answers["bad"] = post_json(server.port, "this is not json")
+
+        threads = [threading.Thread(target=good, args=(i,)) for i in range(8)]
+        threads.append(threading.Thread(target=bad))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert answers["bad"][0] == 400
+        assert "error" in answers["bad"][1]
+        for i in range(8):
+            status, body = answers[i]
+            assert status == 200
+            want = sequential_reference[i]
+            assert body["ids"] == [int(v) for v in want.ids]
+            assert body["ndc"] == want.ndc
+
+    def test_operational_endpoints(self, server):
+        conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=10)
+        try:
+            conn.request("GET", "/healthz")
+            assert conn.getresponse().read() == b'{"status": "ok"}'
+            conn.request("GET", "/stats")
+            stats = json.loads(conn.getresponse().read())
+            assert stats["answered"] >= 1
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 200
+            conn.request("GET", "/nope")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 404
+            conn.request("GET", "/search")
+            response = conn.getresponse()
+            response.read()
+            assert response.status == 405
+        finally:
+            conn.close()
+
+    def test_wrong_dimension_400(self, server):
+        status, body = post_json(server.port, {"vector": [1.0, 2.0]})
+        assert status == 400
+        assert "dimension mismatch" in body["error"]
+
+
+class TestHTTPDrain:
+    def test_draining_server_503s_then_stops(self, served_index, query_set):
+        config = ServingConfig(
+            port=0, max_wait_ms=5.0, max_batch=16, workers=2,
+            default_k=K, default_ef=EF,
+        )
+        background = BackgroundServer(served_index, config).start()
+        try:
+            status, _ = post_json(
+                background.port, {"vector": query_set[0].tolist()},
+            )
+            assert status == 200
+            background.begin_drain()
+            status, body = post_json(
+                background.port, {"vector": query_set[0].tolist()},
+            )
+            assert status == 503
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", background.port, timeout=10
+            )
+            conn.request("GET", "/healthz")
+            response = conn.getresponse()
+            assert response.status == 503
+            assert json.loads(response.read())["status"] == "draining"
+            conn.close()
+        finally:
+            background.stop()
